@@ -1,0 +1,186 @@
+#ifndef RDFOPT_BENCH_BENCH_COMMON_H_
+#define RDFOPT_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the per-table/per-figure benchmark binaries. Each
+// binary regenerates one table or figure of the paper's evaluation (§5);
+// see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Scales are configurable through environment variables so the suite runs
+// in minutes by default and can be scaled up towards the paper's sizes:
+//   RDFOPT_LUBM_TRIPLES        default per-bench (paper: 1M and 100M)
+//   RDFOPT_LUBM_LARGE_TRIPLES  the "large" LUBM scale (default 3M)
+//   RDFOPT_DBLP_TRIPLES        default 500k (paper: 8M)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "optimizer/answering.h"
+#include "reasoner/saturation.h"
+#include "sparql/parser.h"
+#include "storage/statistics.h"
+#include "storage/triple_store.h"
+#include "workload/dblp.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+namespace rdfopt::bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+/// A generated workload plus everything the answerer needs.
+struct BenchEnv {
+  Graph graph;
+  TripleStore store;
+  TripleStore saturated;
+  Statistics stats;
+  size_t data_triples = 0;
+  double saturation_ms = 0.0;
+
+  static BenchEnv Lubm(size_t target_triples) {
+    BenchEnv env;
+    LubmOptions options = LubmOptionsForTripleTarget(target_triples);
+    std::printf("# generating LUBM-style data: target %zu triples "
+                "(%zu universities)...\n",
+                target_triples, options.num_universities);
+    env.data_triples = GenerateLubm(options, &env.graph);
+    env.Finish();
+    return env;
+  }
+
+  static BenchEnv Dblp(size_t target_triples) {
+    BenchEnv env;
+    DblpOptions options = DblpOptionsForTripleTarget(target_triples);
+    std::printf("# generating DBLP-style data: target %zu triples "
+                "(%zu publications)...\n",
+                target_triples, options.num_publications);
+    env.data_triples = GenerateDblp(options, &env.graph);
+    env.Finish();
+    return env;
+  }
+
+  QueryAnswerer MakeAnswerer(const EngineProfile& profile) {
+    return QueryAnswerer(&store, &saturated, &graph.schema(), &graph.vocab(),
+                         &stats, &profile);
+  }
+
+ private:
+  void Finish() {
+    graph.FinalizeSchema();
+    store = TripleStore::Build(graph.data_triples());
+    Stopwatch sw;
+    SaturationResult sat = Saturate(store, graph.schema(), graph.vocab());
+    saturation_ms = sw.ElapsedMillis();
+    saturated = std::move(sat.store);
+    stats = Statistics::Compute(store);
+    std::printf("# %zu distinct data triples, %zu after saturation "
+                "(%.0f ms to saturate)\n",
+                store.size(), saturated.size(), saturation_ms);
+  }
+};
+
+/// One strategy execution, flattened for table printing.
+struct StrategyRun {
+  bool ok = false;
+  std::string failure;       // StatusCodeName on failure.
+  size_t answers = 0;
+  double total_ms = 0.0;
+  double optimize_ms = 0.0;
+  double reformulate_ms = 0.0;
+  double evaluate_ms = 0.0;
+  size_t union_terms = 0;
+  size_t num_components = 0;
+  size_t covers_examined = 0;
+  bool optimizer_timed_out = false;
+};
+
+inline StrategyRun RunStrategy(const QueryAnswerer& answerer,
+                               const Query& query, Strategy strategy,
+                               const AnswerOptions& base_options = {}) {
+  AnswerOptions options = base_options;
+  options.strategy = strategy;
+  StrategyRun run;
+  Result<AnswerOutcome> outcome = answerer.Answer(query, options);
+  if (!outcome.ok()) {
+    run.failure = StatusCodeName(outcome.status().code());
+    return run;
+  }
+  const AnswerOutcome& o = outcome.ValueOrDie();
+  run.ok = true;
+  run.answers = o.answers.num_rows();
+  run.total_ms = o.total_ms();
+  run.optimize_ms = o.optimize_ms;
+  run.reformulate_ms = o.reformulate_ms;
+  run.evaluate_ms = o.evaluate_ms;
+  run.union_terms = o.union_terms;
+  run.num_components = o.num_components;
+  run.covers_examined = o.covers_examined;
+  run.optimizer_timed_out = o.optimizer_timed_out;
+  return run;
+}
+
+/// "123.4" or the failure tag ("FAIL:QueryTooComplex").
+inline std::string MsOrFail(const StrategyRun& run) {
+  if (!run.ok) return "FAIL:" + run.failure;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", run.total_ms);
+  return buf;
+}
+
+inline Query ParseOrDie(const std::string& text, Dictionary* dict) {
+  Result<Query> q = ParseQuery(text, dict);
+  if (!q.ok()) {
+    std::fprintf(stderr, "query parse failed: %s\n",
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return q.TakeValue();
+}
+
+/// The three reformulation-target profiles in figure order.
+inline const EngineProfile* const* ThreeProfiles() {
+  static const EngineProfile* const profiles[3] = {
+      &Db2LikeProfile(), &PostgresLikeProfile(), &MysqlLikeProfile()};
+  return profiles;
+}
+
+/// The strategy matrix of Figures 4/5/6: for every query and every engine
+/// profile, the evaluation time of the UCQ, SCQ, ECov-JUCQ and GCov-JUCQ
+/// reformulations (log-scale bars in the paper; rows here). Missing bars in
+/// the paper are FAIL:... entries here.
+inline void RunStrategyMatrix(BenchEnv* env,
+                              const std::vector<BenchmarkQuery>& queries,
+                              const char* title) {
+  std::printf("\n== %s: query answering times (ms) per engine profile\n",
+              title);
+  std::printf("%-5s %-26s %14s %14s %14s %14s %10s\n", "q", "engine", "UCQ",
+              "SCQ", "ECov", "GCov", "#answers");
+  for (const BenchmarkQuery& bq : queries) {
+    Query query = ParseOrDie(bq.text, &env->graph.dict());
+    for (int p = 0; p < 3; ++p) {
+      const EngineProfile& profile = *ThreeProfiles()[p];
+      QueryAnswerer answerer = env->MakeAnswerer(profile);
+      StrategyRun ucq = RunStrategy(answerer, query, Strategy::kUcq);
+      StrategyRun scq = RunStrategy(answerer, query, Strategy::kScq);
+      StrategyRun ecov = RunStrategy(answerer, query, Strategy::kEcov);
+      StrategyRun gcov = RunStrategy(answerer, query, Strategy::kGcov);
+      size_t answers = gcov.ok ? gcov.answers
+                               : (ucq.ok ? ucq.answers : scq.answers);
+      std::printf("%-5s %-26s %14s %14s %14s %14s %10zu\n", bq.name.c_str(),
+                  profile.name.c_str(), MsOrFail(ucq).c_str(),
+                  MsOrFail(scq).c_str(), MsOrFail(ecov).c_str(),
+                  MsOrFail(gcov).c_str(), answers);
+    }
+  }
+}
+
+}  // namespace rdfopt::bench
+
+#endif  // RDFOPT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,13 @@
+// Figure 4 (paper §5.2): LUBM small-scale query answering through the UCQ,
+// SCQ, ECov-JUCQ and GCov-JUCQ reformulations, on the three engine
+// profiles. Default scale 1M triples (the paper's LUBM 1M); override with
+// RDFOPT_LUBM_TRIPLES.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rdfopt::bench;
+  BenchEnv env = BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_TRIPLES", 1'000'000));
+  RunStrategyMatrix(&env, rdfopt::LubmQuerySet(), "Figure 4 (LUBM small)");
+  return 0;
+}

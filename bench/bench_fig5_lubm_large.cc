@@ -1,0 +1,14 @@
+// Figure 5 (paper §5.2): the Figure 4 matrix at the larger LUBM scale (the
+// paper uses 100M triples; we default to 2M — the qualitative shape, which
+// strategies fail and who wins, is scale-stable). Override with
+// RDFOPT_LUBM_LARGE_TRIPLES.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rdfopt::bench;
+  BenchEnv env =
+      BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_LARGE_TRIPLES", 2'000'000));
+  RunStrategyMatrix(&env, rdfopt::LubmQuerySet(), "Figure 5 (LUBM large)");
+  return 0;
+}

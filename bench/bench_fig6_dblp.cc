@@ -1,0 +1,12 @@
+// Figure 6 (paper §5.2): DBLP query answering through UCQ, SCQ, ECov and
+// GCov JUCQ reformulations on the three engine profiles. The paper's DBLP
+// dump has 8M triples; default here 500k (RDFOPT_DBLP_TRIPLES to scale).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rdfopt::bench;
+  BenchEnv env = BenchEnv::Dblp(EnvSize("RDFOPT_DBLP_TRIPLES", 500'000));
+  RunStrategyMatrix(&env, rdfopt::DblpQuerySet(), "Figure 6 (DBLP)");
+  return 0;
+}

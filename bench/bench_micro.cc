@@ -1,0 +1,187 @@
+// Operator- and component-level microbenchmarks (google-benchmark): the
+// building blocks whose costs the §4.1 model abstracts — index scans, hash
+// joins, duplicate elimination, reformulation, cover enumeration and the
+// saturation fixpoint.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/evaluator.h"
+#include "engine/operators.h"
+#include "optimizer/ecov.h"
+#include "reasoner/saturation.h"
+#include "reformulation/reformulator.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+namespace rdfopt {
+namespace {
+
+// Shared fixture data (built once).
+struct MicroEnv {
+  Graph graph;
+  TripleStore store;
+  ValueId takes_course;
+  ValueId member_of;
+  ValueId rdf_type;
+
+  MicroEnv() {
+    LubmOptions options;
+    options.num_universities = 2;
+    GenerateLubm(options, &graph);
+    graph.FinalizeSchema();
+    store = TripleStore::Build(graph.data_triples());
+    takes_course = graph.dict().LookupIri(
+        "http://lubm.example.org/univ#takesCourse");
+    member_of =
+        graph.dict().LookupIri("http://lubm.example.org/univ#memberOf");
+    rdf_type = graph.vocab().rdf_type;
+  }
+};
+
+MicroEnv& Env() {
+  static MicroEnv& env = *new MicroEnv();
+  return env;
+}
+
+void BM_IndexScan(benchmark::State& state) {
+  MicroEnv& env = Env();
+  TriplePattern atom{PatternTerm::Var(0),
+                     PatternTerm::Const(env.takes_course),
+                     PatternTerm::Var(1)};
+  for (auto _ : state) {
+    Relation r = ScanAtom(env.store, atom);
+    benchmark::DoNotOptimize(r.num_rows());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(ScanAtomInputSize(env.store, atom)));
+}
+BENCHMARK(BM_IndexScan);
+
+void BM_CountMatches(benchmark::State& state) {
+  MicroEnv& env = Env();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.store.CountMatches(kAnyValue, env.takes_course, kAnyValue));
+  }
+}
+BENCHMARK(BM_CountMatches);
+
+void BM_HashJoin(benchmark::State& state) {
+  MicroEnv& env = Env();
+  Relation left = ScanAtom(env.store,
+                           TriplePattern{PatternTerm::Var(0),
+                                         PatternTerm::Const(env.takes_course),
+                                         PatternTerm::Var(1)});
+  Relation right = ScanAtom(env.store,
+                            TriplePattern{PatternTerm::Var(0),
+                                          PatternTerm::Const(env.member_of),
+                                          PatternTerm::Var(2)});
+  for (auto _ : state) {
+    Relation joined = HashJoin(left, right);
+    benchmark::DoNotOptimize(joined.num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(left.num_rows() +
+                                               right.num_rows()));
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_Deduplicate(benchmark::State& state) {
+  MicroEnv& env = Env();
+  Relation base = ScanAtom(env.store,
+                           TriplePattern{PatternTerm::Var(0),
+                                         PatternTerm::Const(env.rdf_type),
+                                         PatternTerm::Var(1)});
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation copy({0, 1});
+    for (size_t i = 0; i < base.num_rows(); ++i) copy.AppendRow(base.row(i));
+    for (size_t i = 0; i < base.num_rows(); ++i) copy.AppendRow(base.row(i));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(copy.Deduplicate());
+  }
+}
+BENCHMARK(BM_Deduplicate);
+
+void BM_ReformulateTypeVariableAtom(benchmark::State& state) {
+  MicroEnv& env = Env();
+  Reformulator reformulator(&env.graph.schema(), &env.graph.vocab());
+  for (auto _ : state) {
+    VarTable vars;
+    VarId x = vars.GetOrCreate("x");
+    VarId y = vars.GetOrCreate("y");
+    TriplePattern atom{PatternTerm::Var(x), PatternTerm::Const(env.rdf_type),
+                       PatternTerm::Var(y)};
+    auto refs = reformulator.ReformulateAtom(atom, &vars);
+    benchmark::DoNotOptimize(refs.size());
+  }
+}
+BENCHMARK(BM_ReformulateTypeVariableAtom);
+
+void BM_ReformulateMotivatingQ1(benchmark::State& state) {
+  MicroEnv& env = Env();
+  Reformulator reformulator(&env.graph.schema(), &env.graph.vocab());
+  Result<Query> q = ParseQuery(LubmMotivatingQ1().text, &env.graph.dict());
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    VarTable vars = q.ValueOrDie().vars;
+    Result<UnionQuery> ucq =
+        reformulator.ReformulateCQ(q.ValueOrDie().cq, &vars);
+    benchmark::DoNotOptimize(ucq.ok());
+  }
+}
+BENCHMARK(BM_ReformulateMotivatingQ1);
+
+void BM_EnumerateCovers(benchmark::State& state) {
+  const size_t atoms = static_cast<size_t>(state.range(0));
+  Dictionary dict;
+  std::string text = "SELECT ?a WHERE {";
+  for (size_t i = 0; i < atoms; ++i) {
+    text += " ?a <p" + std::to_string(i) + "> ?v" + std::to_string(i) + " .";
+  }
+  text += " }";
+  Result<Query> q = ParseQuery(text, &dict);
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    bool timed_out = false;
+    auto covers = EnumerateCovers(q.ValueOrDie().cq, 60.0, 10'000'000,
+                                  &timed_out);
+    benchmark::DoNotOptimize(covers.size());
+  }
+}
+BENCHMARK(BM_EnumerateCovers)->Arg(4)->Arg(5)->Arg(6);
+
+void BM_Saturation(benchmark::State& state) {
+  MicroEnv& env = Env();
+  for (auto _ : state) {
+    SaturationResult sat =
+        Saturate(env.store, env.graph.schema(), env.graph.vocab());
+    benchmark::DoNotOptimize(sat.output_triples);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(env.store.size()));
+}
+BENCHMARK(BM_Saturation);
+
+void BM_TripleStoreBuild(benchmark::State& state) {
+  MicroEnv& env = Env();
+  for (auto _ : state) {
+    std::vector<Triple> copy(env.graph.data_triples());
+    TripleStore store = TripleStore::Build(std::move(copy));
+    benchmark::DoNotOptimize(store.size());
+  }
+}
+BENCHMARK(BM_TripleStoreBuild);
+
+}  // namespace
+}  // namespace rdfopt
+
+BENCHMARK_MAIN();

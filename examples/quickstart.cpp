@@ -1,0 +1,88 @@
+// Quickstart: load a tiny RDF graph (the paper's running example), pose a
+// SPARQL query, and answer it by reformulation — no saturation needed.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "optimizer/answering.h"
+#include "rdf/ntriples.h"
+#include "reasoner/saturation.h"
+#include "sparql/parser.h"
+#include "sparql/printer.h"
+
+int main() {
+  using namespace rdfopt;
+
+  // 1. An RDF graph: the book example of the paper (Examples 1-3).
+  //    Schema triples (subClassOf/subPropertyOf/domain/range) are routed to
+  //    the in-memory schema automatically.
+  const char* document = R"(
+# RDFS constraints
+<Book> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <Publication> .
+<writtenBy> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <hasAuthor> .
+<writtenBy> <http://www.w3.org/2000/01/rdf-schema#domain> <Book> .
+<writtenBy> <http://www.w3.org/2000/01/rdf-schema#range> <Person> .
+# Facts
+<doi1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Book> .
+<doi1> <writtenBy> _:b1 .
+<doi1> <hasTitle> "Game of Thrones" .
+_:b1 <hasName> "George R. R. Martin" .
+<doi1> <publishedIn> "1996" .
+)";
+
+  Graph graph;
+  Status load = ParseNTriples(document, &graph);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
+    return 1;
+  }
+  graph.FinalizeSchema();
+  std::printf("Loaded %zu data triples and %zu schema triples.\n",
+              graph.num_data_triples(), graph.num_schema_triples());
+
+  // 2. Build the store and its statistics (no saturation!).
+  TripleStore store = TripleStore::Build(graph.data_triples());
+  Statistics stats = Statistics::Compute(store);
+
+  // 3. The paper's Example 3: names of authors of things connected to 1996.
+  //    The answer is implicit - no explicit hasAuthor triple exists.
+  const char* sparql =
+      "SELECT ?name WHERE { ?book <hasAuthor> ?author . "
+      "?author <hasName> ?name . ?book ?p \"1996\" . }";
+  Result<Query> query = ParseQuery(sparql, &graph.dict());
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Query: %s\n", ToString(query.ValueOrDie(),
+                                      graph.dict()).c_str());
+
+  // 4. Answer it with the cost-based JUCQ strategy (GCov).
+  QueryAnswerer answerer(&store, /*saturated=*/nullptr, &graph.schema(),
+                         &graph.vocab(), &stats, &PostgresLikeProfile());
+  AnswerOptions options;
+  options.strategy = Strategy::kGcov;
+  Result<AnswerOutcome> outcome = answerer.Answer(query.ValueOrDie(),
+                                                  options);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "answering failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+
+  const AnswerOutcome& o = outcome.ValueOrDie();
+  std::printf("Answered in %.2f ms via a %zu-component JUCQ (%zu union "
+              "terms), %zu cover(s) examined.\n",
+              o.total_ms(), o.num_components, o.union_terms,
+              o.covers_examined);
+  for (size_t i = 0; i < o.answers.num_rows(); ++i) {
+    std::printf("  answer: %s\n",
+                graph.dict().term(o.answers.at(i, 0)).Encoded().c_str());
+  }
+  // Expected: "George R. R. Martin" - found through the subproperty and
+  // range constraints even though the data never states hasAuthor.
+  return o.answers.num_rows() == 1 ? 0 : 1;
+}

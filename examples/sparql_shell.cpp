@@ -1,0 +1,240 @@
+// Interactive SPARQL shell over an RDF database with query-time reasoning:
+// the "downstream tool" face of the library. Loads N-Triples from a file or
+// generates a synthetic workload, then reads SPARQL queries from stdin.
+//
+// Usage:
+//   sparql_shell data.nt
+//   sparql_shell --lubm 2        (2 universities)
+//   sparql_shell --dblp 20000    (20000 publications)
+//
+// Shell commands (a query is everything up to a line ending in '}' or a
+// lone ';'):
+//   .strategy ucq|scq|ecov|gcov|saturation
+//   .prune on|off          data-aware disjunct pruning
+//   .minimize on|off       constraint-aware query minimization
+//   .explain on|off        print the JUCQ plan before the answers
+//   .sql on|off            print the SQL deployment of the JUCQ
+//   .calibrate             fit the cost-model constants on this machine
+//   .stats                 database statistics
+//   .help / .quit
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cost/calibration.h"
+#include "engine/explain.h"
+#include "optimizer/answering.h"
+#include "rdf/ntriples.h"
+#include "reasoner/saturation.h"
+#include "sparql/parser.h"
+#include "sparql/printer.h"
+#include "sparql/sql.h"
+#include "workload/dblp.h"
+#include "workload/lubm.h"
+
+namespace {
+
+using namespace rdfopt;
+
+void PrintAnswers(const Relation& answers, const Query& query,
+                  const Dictionary& dict, size_t limit = 20) {
+  for (size_t i = 0; i < answers.num_rows() && i < limit; ++i) {
+    std::printf("  ");
+    for (size_t c = 0; c < answers.arity(); ++c) {
+      std::printf("%s%s", c > 0 ? "  " : "",
+                  dict.term(answers.at(i, c)).Encoded().c_str());
+    }
+    if (answers.arity() == 0) std::printf("true");
+    std::printf("\n");
+  }
+  if (answers.num_rows() > limit) {
+    std::printf("  ... (%zu rows total)\n", answers.num_rows());
+  }
+  (void)query;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sparql_shell <file.nt> | --lubm <universities> | "
+               "--dblp <publications>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Graph graph;
+  std::string preamble;  // PREFIX declarations prepended to every query.
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "--lubm") == 0) {
+    LubmOptions options;
+    options.num_universities =
+        argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 1;
+    GenerateLubm(options, &graph);
+    preamble = "PREFIX ub: <http://lubm.example.org/univ#>\n";
+    std::printf("Generated LUBM-style data "
+                "(prefix ub: predeclared).\n");
+  } else if (std::strcmp(argv[1], "--dblp") == 0) {
+    DblpOptions options;
+    if (argc > 2) {
+      options.num_publications = static_cast<size_t>(std::atoi(argv[2]));
+    }
+    GenerateDblp(options, &graph);
+    preamble = "PREFIX bib: <http://dblp.example.org/bib#>\n";
+    std::printf("Generated DBLP-style data "
+                "(prefix bib: predeclared).\n");
+  } else {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Status st = ParseNTriples(buffer.str(), &graph);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  graph.FinalizeSchema();
+
+  TripleStore store = TripleStore::Build(graph.data_triples());
+  SaturationResult sat = Saturate(store, graph.schema(), graph.vocab());
+  Statistics stats = Statistics::Compute(store);
+  EngineProfile profile = PostgresLikeProfile();
+  QueryAnswerer answerer(&store, &sat.store, &graph.schema(), &graph.vocab(),
+                         &stats, &profile);
+  std::printf("%zu data triples, %zu schema constraints. Strategy: GCov. "
+              "Type .help for commands.\n",
+              store.size(), graph.schema().num_constraints());
+
+  AnswerOptions options;
+  bool explain = false;
+  bool emit_sql = false;
+  CardinalityEstimator estimator(&store, &stats);
+  std::string pending;
+  std::string line;
+  while (std::printf("rdfopt> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (pending.empty() && !line.empty() && line[0] == '.') {
+      std::istringstream cmd(line);
+      std::string op, arg;
+      cmd >> op >> arg;
+      if (op == ".quit" || op == ".exit") break;
+      if (op == ".help") {
+        std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
+                    "| .subsume on|off | .minimize on|off | .explain on|off "
+                    "| .sql on|off | .calibrate | .stats | .quit\n");
+      } else if (op == ".strategy") {
+        if (arg == "ucq") options.strategy = Strategy::kUcq;
+        else if (arg == "scq") options.strategy = Strategy::kScq;
+        else if (arg == "ecov") options.strategy = Strategy::kEcov;
+        else if (arg == "gcov") options.strategy = Strategy::kGcov;
+        else if (arg == "saturation") options.strategy = Strategy::kSaturation;
+        else { std::printf("unknown strategy '%s'\n", arg.c_str()); continue; }
+        std::printf("strategy = %s\n",
+                    std::string(StrategyName(options.strategy)).c_str());
+      } else if (op == ".prune") {
+        options.prune_empty_disjuncts = (arg == "on");
+        std::printf("prune = %s\n", arg == "on" ? "on" : "off");
+      } else if (op == ".minimize") {
+        options.minimize_query = (arg == "on");
+        std::printf("minimize = %s\n", arg == "on" ? "on" : "off");
+      } else if (op == ".subsume") {
+        options.prune_subsumed_disjuncts = (arg == "on");
+        std::printf("subsume = %s\n", arg == "on" ? "on" : "off");
+      } else if (op == ".explain") {
+        explain = (arg == "on");
+        options.keep_reformulation = explain || emit_sql;
+        std::printf("explain = %s\n", explain ? "on" : "off");
+      } else if (op == ".sql") {
+        emit_sql = (arg == "on");
+        options.keep_reformulation = explain || emit_sql;
+        std::printf("sql = %s\n", emit_sql ? "on" : "off");
+      } else if (op == ".calibrate") {
+        std::printf("running calibration sweeps on %s...\n",
+                    profile.name.c_str());
+        CalibrationReport report = CalibrateProfile(profile);
+        profile.cost = report.fitted;
+        std::printf("fitted: c_db=%.1f c_t=%.3f c_j=%.3f c_m=%.3f c_l=%.3f "
+                    "c_union_term=%.1f (cost units ~ microseconds)\n",
+                    profile.cost.c_db, profile.cost.c_t, profile.cost.c_j,
+                    profile.cost.c_m, profile.cost.c_l,
+                    profile.cost.c_union_term);
+      } else if (op == ".stats") {
+        std::printf("triples=%zu subjects=%zu properties=%zu objects=%zu "
+                    "classes=%zu constrained-properties=%zu saturated=%zu\n",
+                    stats.total_triples(), stats.distinct_subjects(),
+                    stats.distinct_properties(), stats.distinct_objects(),
+                    graph.schema().AllClasses().size(),
+                    graph.schema().AllProperties().size(), sat.store.size());
+      } else {
+        std::printf("unknown command %s (.help)\n", op.c_str());
+      }
+      continue;
+    }
+
+    pending += line;
+    pending += '\n';
+    // A query is complete when a line ends with '}' or a lone ';'.
+    std::string trimmed = line;
+    while (!trimmed.empty() && std::isspace(
+               static_cast<unsigned char>(trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty() ||
+        (trimmed.back() != '}' && trimmed != ";")) {
+      continue;
+    }
+    std::string text = std::move(pending);
+    pending.clear();
+    if (text.find_first_not_of(" \t\n;") == std::string::npos) continue;
+
+    // Queries may declare their own prefixes; the preamble only helps when
+    // the text does not start with PREFIX.
+    if (text.find("PREFIX") == std::string::npos &&
+        text.find("prefix") == std::string::npos) {
+      text = preamble + text;
+    }
+    Result<Query> query = ParseQuery(text, &graph.dict());
+    if (!query.ok()) {
+      std::printf("parse error: %s\n", query.status().ToString().c_str());
+      continue;
+    }
+    Result<AnswerOutcome> outcome = answerer.Answer(query.ValueOrDie(),
+                                                    options);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      continue;
+    }
+    const AnswerOutcome& o = outcome.ValueOrDie();
+    if (o.jucq.has_value()) {
+      if (explain) {
+        std::printf("%s", ExplainJucqPlan(*o.jucq, *o.jucq_vars,
+                                          graph.dict(), estimator, profile)
+                              .c_str());
+      }
+      if (emit_sql) {
+        std::printf("-- SQL deployment over Triples(s,p,o)/Dict(id,value):\n"
+                    "%s;\n",
+                    ToSql(*o.jucq, *o.jucq_vars, SqlOptions{}).c_str());
+      }
+    }
+    PrintAnswers(o.answers, query.ValueOrDie(), graph.dict());
+    std::printf("%zu answer(s) in %.2f ms [%s: %zu union terms, "
+                "%zu component(s)%s%s]\n",
+                o.answers.num_rows(), o.total_ms(),
+                std::string(StrategyName(options.strategy)).c_str(),
+                o.union_terms, o.num_components,
+                o.pruned_union_terms > 0 ? ", pruned" : "",
+                o.minimized_atoms > 0 ? ", minimized" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+#ifndef RDFOPT_COMMON_STATUS_H_
+#define RDFOPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rdfopt {
+
+/// Error category for a failed operation.
+///
+/// The engine never throws: every fallible operation returns a `Status` or a
+/// `Result<T>`. Codes mirror the failure modes the paper observes when an
+/// RDBMS is handed an oversized reformulation (resource exhaustion, timeouts)
+/// plus the usual parse/lookup errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kParseError,
+  /// The query shape exceeds a hard engine limit (e.g. too many union terms);
+  /// models DB2's "stack depth limit exceeded" on huge UCQs (paper, fn. 1).
+  kQueryTooComplex,
+  /// A materialized intermediate result exceeded the engine memory budget;
+  /// models the I/O exceptions the paper reports for large-reformulation
+  /// queries.
+  kResourceExhausted,
+  /// Evaluation or search exceeded its time budget (paper: 2h query timeout,
+  /// ECov timeout on the 10-atom DBLP query).
+  kTimeout,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a context message.
+///
+/// Cheap to copy in the OK case (empty message). Follows the Arrow/RocksDB
+/// idiom: construct via the named factories, test with `ok()`, propagate with
+/// `RDFOPT_RETURN_NOT_OK`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status QueryTooComplex(std::string msg) {
+    return Status(StatusCode::kQueryTooComplex, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. `ValueOrDie()` asserts in
+/// debug builds; callers on fallible paths should test `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error: allows `return Status::...;`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the value out; the Result must hold a value.
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define RDFOPT_RETURN_NOT_OK(expr)      \
+  do {                                  \
+    ::rdfopt::Status _st = (expr);      \
+    if (!_st.ok()) return _st;          \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define RDFOPT_ASSIGN_OR_RETURN(lhs, expr)       \
+  RDFOPT_ASSIGN_OR_RETURN_IMPL(                  \
+      RDFOPT_STATUS_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define RDFOPT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = tmp.TakeValue();
+
+#define RDFOPT_STATUS_CONCAT_IMPL(a, b) a##b
+#define RDFOPT_STATUS_CONCAT(a, b) RDFOPT_STATUS_CONCAT_IMPL(a, b)
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_COMMON_STATUS_H_

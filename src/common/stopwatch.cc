@@ -1,0 +1,15 @@
+#include "common/stopwatch.h"
+
+namespace rdfopt {
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+int64_t Stopwatch::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               start_)
+      .count();
+}
+
+}  // namespace rdfopt

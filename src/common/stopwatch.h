@@ -1,0 +1,29 @@
+#ifndef RDFOPT_COMMON_STOPWATCH_H_
+#define RDFOPT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rdfopt {
+
+/// Monotonic wall-clock stopwatch used for benchmark timing, the optimizer
+/// time budgets (GCov/ECov timeouts) and the engine query timeout.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const;
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_COMMON_STOPWATCH_H_

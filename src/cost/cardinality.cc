@@ -1,0 +1,154 @@
+#include "cost/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace rdfopt {
+
+namespace {
+
+ValueId BoundOrAny(const PatternTerm& t) {
+  return t.is_var() ? kAnyValue : t.value();
+}
+
+}  // namespace
+
+double CardinalityEstimator::EstimateAtom(const TriplePattern& atom) const {
+  return static_cast<double>(store_->CountMatches(
+      BoundOrAny(atom.s), BoundOrAny(atom.p), BoundOrAny(atom.o)));
+}
+
+double CardinalityEstimator::EstimateDistinct(const TriplePattern& atom,
+                                              VarId v) const {
+  const double card = EstimateAtom(atom);
+  double distinct = card;
+  const bool in_s = atom.s.is_var() && atom.s.var() == v;
+  const bool in_p = atom.p.is_var() && atom.p.var() == v;
+  const bool in_o = atom.o.is_var() && atom.o.var() == v;
+  if (!in_s && !in_p && !in_o) return 1.0;
+
+  if (!atom.p.is_var()) {
+    const PropertyStats ps = stats_->ForProperty(atom.p.value());
+    if (in_s && !atom.o.is_var()) {
+      // (?v, p, o): each row has a distinct subject bound to o's group; the
+      // scan size itself is the best bound.
+      distinct = card;
+    } else if (in_s) {
+      distinct = static_cast<double>(ps.distinct_subjects);
+    } else if (in_o) {
+      distinct = static_cast<double>(ps.distinct_objects);
+    }
+  } else {
+    if (in_p) {
+      distinct = static_cast<double>(stats_->distinct_properties());
+    } else if (in_s) {
+      distinct = static_cast<double>(stats_->distinct_subjects());
+    } else {
+      distinct = static_cast<double>(stats_->distinct_objects());
+    }
+  }
+  return std::max(1.0, std::min(distinct, card));
+}
+
+double CardinalityEstimator::EstimateCQ(const ConjunctiveQuery& cq) const {
+  double product = 1.0;
+  // var -> (occurrence count, max distinct across occurrences).
+  std::unordered_map<VarId, std::pair<int, double>> vars;
+  for (const TriplePattern& atom : cq.atoms) {
+    product *= EstimateAtom(atom);
+    std::vector<VarId> atom_vars;
+    atom.AppendVariables(&atom_vars);
+    std::sort(atom_vars.begin(), atom_vars.end());
+    atom_vars.erase(std::unique(atom_vars.begin(), atom_vars.end()),
+                    atom_vars.end());
+    for (VarId v : atom_vars) {
+      double d = EstimateDistinct(atom, v);
+      auto& [count, max_d] = vars[v];
+      ++count;
+      max_d = std::max(max_d, d);
+    }
+  }
+  if (product == 0.0) return 0.0;
+  for (const auto& [v, info] : vars) {
+    const auto& [count, max_d] = info;
+    for (int i = 1; i < count; ++i) product /= std::max(1.0, max_d);
+  }
+  return product;
+}
+
+double CardinalityEstimator::EstimateUCQ(const UnionQuery& ucq) const {
+  double sum = 0.0;
+  for (const ConjunctiveQuery& cq : ucq.disjuncts) sum += EstimateCQ(cq);
+  return sum;
+}
+
+double CardinalityEstimator::EstimateCqPlanWork(
+    const ConjunctiveQuery& cq) const {
+  if (cq.atoms.empty()) return 0.0;
+  // Greedy order mirroring Evaluator::JoinOrder: cheapest scan first, then
+  // connected atoms by ascending scan size.
+  const size_t n = cq.atoms.size();
+  std::vector<double> cards(n);
+  for (size_t i = 0; i < n; ++i) cards[i] = EstimateAtom(cq.atoms[i]);
+
+  std::vector<bool> used(n, false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  while (order.size() < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = order.empty();
+      for (size_t j : order) {
+        connected = connected || cq.atoms[i].SharesVariableWith(cq.atoms[j]);
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           cards[i] < cards[static_cast<size_t>(best)])) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    order.push_back(static_cast<size_t>(best));
+  }
+
+  double work = cards[order[0]];
+  double inter = cards[order[0]];
+  ConjunctiveQuery prefix;
+  prefix.atoms.push_back(cq.atoms[order[0]]);
+  for (size_t step = 1; step < n; ++step) {
+    prefix.atoms.push_back(cq.atoms[order[step]]);
+    double out = EstimateCQ(prefix);
+    // Probing: each intermediate row drives one index lookup; the rows
+    // produced flow onward. Count both sides.
+    work += inter + out;
+    inter = out;
+  }
+  return work;
+}
+
+double CardinalityEstimator::EstimateJoin(
+    const std::vector<std::pair<double, std::vector<VarId>>>& inputs) const {
+  double product = 1.0;
+  std::unordered_map<VarId, std::pair<int, double>> vars;
+  for (const auto& [rows, columns] : inputs) {
+    product *= rows;
+    for (VarId v : columns) {
+      auto& [count, max_d] = vars[v];
+      ++count;
+      // Distinct values of v in this input are at most its row count.
+      max_d = std::max(max_d, rows);
+    }
+  }
+  if (product == 0.0) return 0.0;
+  for (const auto& [v, info] : vars) {
+    const auto& [count, max_d] = info;
+    for (int i = 1; i < count; ++i) product /= std::max(1.0, max_d);
+  }
+  return product;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,338 @@
+#include "engine/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "engine/operators.h"
+
+namespace rdfopt {
+
+Status Evaluator::CheckTimeout(const Exec& exec) const {
+  if (exec.timer.ElapsedSeconds() > profile_->timeout_seconds) {
+    return Status::Timeout("query exceeded the " +
+                           std::to_string(profile_->timeout_seconds) +
+                           "s timeout on " + profile_->name);
+  }
+  return Status::OK();
+}
+
+void Evaluator::SpinFor(double micros) {
+  if (micros <= 0.0) return;
+  Stopwatch sw;
+  while (sw.ElapsedMicros() < static_cast<int64_t>(micros)) {
+    // Busy wait: emulated fixed plan overhead must consume real time.
+  }
+}
+
+Status Evaluator::ChargeMaterialization(const Relation& rel,
+                                        Exec* exec) const {
+  exec->metrics->rows_materialized += rel.num_rows();
+  exec->materialized_cells += rel.num_cells();
+  if (exec->materialized_cells > profile_->max_materialized_cells) {
+    return Status::ResourceExhausted(
+        "materialized intermediates exceed the memory budget of " +
+        std::to_string(profile_->max_materialized_cells) + " cells on " +
+        profile_->name);
+  }
+  // Physical emulation of engines that spool intermediates (see
+  // EngineProfile::materialization_us_per_row).
+  SpinFor(profile_->materialization_us_per_row *
+          static_cast<double>(rel.num_rows()));
+  return Status::OK();
+}
+
+std::vector<size_t> Evaluator::JoinOrder(const ConjunctiveQuery& cq) const {
+  const size_t n = cq.atoms.size();
+  std::vector<size_t> sizes(n);
+  for (size_t i = 0; i < n; ++i) {
+    sizes[i] = ScanAtomInputSize(*store_, cq.atoms[i]);
+  }
+  std::vector<bool> used(n, false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  while (order.size() < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (size_t j : order) {
+        connected |= cq.atoms[i].SharesVariableWith(cq.atoms[j]);
+      }
+      if (order.empty()) connected = true;
+      // Prefer connected atoms; among equals, the smallest scan.
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           sizes[i] < sizes[static_cast<size_t>(best)])) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    order.push_back(static_cast<size_t>(best));
+  }
+  return order;
+}
+
+Result<Relation> Evaluator::RunCQ(const ConjunctiveQuery& cq,
+                                  Exec* exec) const {
+  RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+
+  // All-constant atoms act as boolean filters.
+  bool filtered_out = false;
+  std::vector<const TriplePattern*> var_atoms;
+  for (const TriplePattern& atom : cq.atoms) {
+    if (!atom.s.is_var() && !atom.p.is_var() && !atom.o.is_var()) {
+      if (store_->CountMatches(atom.s.value(), atom.p.value(),
+                               atom.o.value()) == 0) {
+        filtered_out = true;
+      }
+    } else {
+      var_atoms.push_back(&atom);
+    }
+  }
+
+  ConjunctiveQuery body;
+  body.atoms.reserve(var_atoms.size());
+  for (const TriplePattern* a : var_atoms) body.atoms.push_back(*a);
+
+  if (filtered_out || body.atoms.empty()) {
+    // Either a failed filter, or a fully-constant CQ: when all filters pass
+    // and there is no variable atom, the result is one empty (true) row.
+    Relation out{body.atoms.empty() && !filtered_out
+                     ? std::vector<VarId>{}
+                     : body.AllVariables()};
+    if (!filtered_out && body.atoms.empty()) out.AppendEmptyRow();
+    return out;
+  }
+
+  std::vector<size_t> order = JoinOrder(body);
+  Relation acc{std::vector<VarId>{}};
+  bool first = true;
+  for (size_t idx : order) {
+    RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+    const TriplePattern& atom = body.atoms[idx];
+    if (first) {
+      size_t scan_size = ScanAtomInputSize(*store_, atom);
+      exec->metrics->rows_scanned += scan_size;
+      SpinFor(profile_->tuple_us_per_row * static_cast<double>(scan_size));
+      acc = ScanAtom(*store_, atom);
+      first = false;
+    } else {
+      // Join strategy: index nested loop when the accumulated side is much
+      // smaller than the atom's scan and binds at least one of its
+      // variables; hash join over a full index scan otherwise.
+      size_t scan_size = ScanAtomInputSize(*store_, atom);
+      bool binds_position =
+          (atom.s.is_var() && acc.ColumnIndex(atom.s.var()) >= 0) ||
+          (atom.p.is_var() && acc.ColumnIndex(atom.p.var()) >= 0) ||
+          (atom.o.is_var() && acc.ColumnIndex(atom.o.var()) >= 0);
+      if (binds_position && acc.num_rows() * 8 < scan_size) {
+        size_t probed = 0;
+        size_t driving = acc.num_rows();
+        acc = IndexJoinAtom(*store_, acc, atom, &probed);
+        exec->metrics->join_input_rows += driving + probed;
+        SpinFor(profile_->tuple_us_per_row *
+                static_cast<double>(driving + probed));
+      } else {
+        exec->metrics->rows_scanned += scan_size;
+        Relation scanned = ScanAtom(*store_, atom);
+        exec->metrics->join_input_rows += acc.num_rows() + scanned.num_rows();
+        SpinFor(profile_->tuple_us_per_row *
+                static_cast<double>(acc.num_rows() + scanned.num_rows()));
+        acc = HashJoin(acc, scanned);
+      }
+    }
+    if (acc.num_rows() == 0) break;
+  }
+  if (acc.num_rows() == 0) {
+    // Normalize: an empty result still exposes every variable as a column so
+    // downstream projection finds its sources.
+    return Relation{body.AllVariables()};
+  }
+  return acc;
+}
+
+Result<Relation> Evaluator::RunUCQ(const UnionQuery& ucq, Exec* exec) const {
+  if (ucq.disjuncts.size() > profile_->max_union_terms) {
+    return Status::QueryTooComplex(
+        "UCQ has " + std::to_string(ucq.disjuncts.size()) +
+        " union terms, over the per-query plan limit of " +
+        std::to_string(profile_->max_union_terms) + " on " + profile_->name);
+  }
+  exec->metrics->union_terms += ucq.disjuncts.size();
+  // Per-union-term plan setup overhead (profile emulation), charged upfront.
+  SpinFor(profile_->union_term_overhead_us *
+          static_cast<double>(ucq.disjuncts.size()));
+
+  Relation acc{std::vector<VarId>(ucq.head)};
+  for (const ConjunctiveQuery& disjunct : ucq.disjuncts) {
+    RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+    RDFOPT_ASSIGN_OR_RETURN(Relation rel, RunCQ(disjunct, exec));
+    // Per-tuple executor overhead for rows appended to the union.
+    SpinFor(profile_->tuple_us_per_row *
+            static_cast<double>(rel.num_rows()));
+    UnionInto(&acc, rel, disjunct.head_bindings);
+  }
+  exec->metrics->duplicates_removed += acc.Deduplicate();
+  return acc;
+}
+
+Result<Relation> Evaluator::EvaluateCQ(const ConjunctiveQuery& cq,
+                                       EvalMetrics* metrics) const {
+  EvalMetrics scratch;
+  Exec exec;
+  exec.metrics = metrics != nullptr ? metrics : &scratch;
+  RDFOPT_ASSIGN_OR_RETURN(Relation full, RunCQ(cq, &exec));
+  Relation out = ProjectWithBindings(full, cq.head, cq.head_bindings);
+  exec.metrics->duplicates_removed += out.Deduplicate();
+  exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  return out;
+}
+
+Result<Relation> Evaluator::EvaluateUCQ(const UnionQuery& ucq,
+                                        EvalMetrics* metrics) const {
+  EvalMetrics scratch;
+  Exec exec;
+  exec.metrics = metrics != nullptr ? metrics : &scratch;
+  RDFOPT_ASSIGN_OR_RETURN(Relation out, RunUCQ(ucq, &exec));
+  exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  return out;
+}
+
+Result<Relation> Evaluator::EvaluateJUCQ(const JoinOfUnions& jucq,
+                                         EvalMetrics* metrics) const {
+  EvalMetrics scratch;
+  Exec exec;
+  exec.metrics = metrics != nullptr ? metrics : &scratch;
+
+  std::vector<Relation> components;
+  components.reserve(jucq.components.size());
+  for (const UnionQuery& ucq : jucq.components) {
+    RDFOPT_ASSIGN_OR_RETURN(Relation rel, RunUCQ(ucq, &exec));
+    components.push_back(std::move(rel));
+  }
+
+  // The largest component result is pipelined; all others are materialized
+  // (paper §4.1(v)).
+  if (components.size() > 1) {
+    size_t largest = 0;
+    for (size_t i = 1; i < components.size(); ++i) {
+      if (components[i].num_rows() > components[largest].num_rows()) {
+        largest = i;
+      }
+    }
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (i == largest) continue;
+      RDFOPT_RETURN_NOT_OK(ChargeMaterialization(components[i], &exec));
+    }
+  }
+
+  // Greedy join order over components: smallest first, then smallest
+  // sharing a column with the accumulated result.
+  std::vector<bool> used(components.size(), false);
+  auto pick = [&](const Relation* acc) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = acc == nullptr;
+      if (acc != nullptr) {
+        for (VarId v : components[i].columns()) {
+          connected |= acc->ColumnIndex(v) >= 0;
+        }
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           components[i].num_rows() <
+               components[static_cast<size_t>(best)].num_rows())) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    return static_cast<size_t>(best);
+  };
+
+  size_t first = pick(nullptr);
+  used[first] = true;
+  Relation acc = std::move(components[first]);
+  for (size_t step = 1; step < components.size(); ++step) {
+    RDFOPT_RETURN_NOT_OK(CheckTimeout(exec));
+    size_t next = pick(&acc);
+    used[next] = true;
+    size_t inputs = acc.num_rows() + components[next].num_rows();
+    exec.metrics->join_input_rows += inputs;
+    SpinFor(profile_->tuple_us_per_row * static_cast<double>(inputs));
+    acc = HashJoin(acc, components[next]);
+  }
+
+  Relation out = ProjectWithBindings(acc, jucq.head, {});
+  exec.metrics->duplicates_removed += out.Deduplicate();
+  exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  return out;
+}
+
+double Evaluator::ExplainCost(const JoinOfUnions& jucq,
+                              const CardinalityEstimator& estimator) const {
+  const CostConstants& k = profile_->cost;
+  double total = k.c_db;
+  std::vector<std::pair<double, std::vector<VarId>>> component_sizes;
+
+  for (const UnionQuery& ucq : jucq.components) {
+    if (ucq.disjuncts.size() > profile_->max_union_terms) {
+      return std::numeric_limits<double>::infinity();
+    }
+    double ucq_cost = k.c_union_term * static_cast<double>(ucq.size());
+    for (const ConjunctiveQuery& cq : ucq.disjuncts) {
+      // Walk the greedy join plan, costing every step from estimated
+      // intermediate cardinalities (this is what distinguishes the engine's
+      // model from the paper's input-linear §4.1 formulas).
+      std::vector<size_t> order = JoinOrder(cq);
+      double inter = 0.0;
+      ConjunctiveQuery prefix;
+      for (size_t step = 0; step < order.size(); ++step) {
+        const TriplePattern& atom = cq.atoms[order[step]];
+        double scanned = estimator.EstimateAtom(atom);
+        prefix.atoms.push_back(atom);
+        if (step == 0) {
+          ucq_cost += k.c_t * scanned;
+          inter = scanned;
+          continue;
+        }
+        double out = estimator.EstimateCQ(prefix);
+        // The planner picks the cheaper of a hash join over a full scan and
+        // an index nested-loop probe driven by the intermediate.
+        double hash_cost = k.c_t * scanned + k.c_j * (inter + scanned);
+        double inl_cost = (k.c_t + k.c_j) * inter + k.c_j * out;
+        ucq_cost += std::min(hash_cost, inl_cost);
+        inter = out;
+      }
+    }
+    double rows = estimator.EstimateUCQ(ucq);
+    ucq_cost += k.c_l * rows;  // Dedup of the component result.
+    total += ucq_cost;
+    component_sizes.emplace_back(
+        rows, std::vector<VarId>(ucq.head.begin(), ucq.head.end()));
+  }
+
+  if (component_sizes.size() > 1) {
+    // Materialize all but the largest; join linearly in the inputs.
+    size_t largest = 0;
+    double join_inputs = 0.0;
+    for (size_t i = 0; i < component_sizes.size(); ++i) {
+      join_inputs += component_sizes[i].first;
+      if (component_sizes[i].first > component_sizes[largest].first) {
+        largest = i;
+      }
+    }
+    for (size_t i = 0; i < component_sizes.size(); ++i) {
+      if (i != largest) total += k.c_m * component_sizes[i].first;
+    }
+    total += k.c_j * join_inputs;
+  }
+  total += k.c_l * estimator.EstimateJoin(component_sizes);
+  return total;
+}
+
+}  // namespace rdfopt

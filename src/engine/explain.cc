@@ -1,0 +1,140 @@
+#include "engine/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sparql/printer.h"
+
+namespace rdfopt {
+
+namespace {
+
+std::string FormatRows(double rows) {
+  char buf[32];
+  if (rows >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", rows / 1e6);
+  } else if (rows >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", rows / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", rows);
+  }
+  return buf;
+}
+
+// Greedy join order used by the evaluator (duplicated here in its
+// descriptive form: cheapest scan first, then cheapest connected atom).
+std::vector<size_t> PlanOrder(const ConjunctiveQuery& cq,
+                              const CardinalityEstimator& estimator) {
+  const size_t n = cq.atoms.size();
+  std::vector<double> cards(n);
+  for (size_t i = 0; i < n; ++i) cards[i] = estimator.EstimateAtom(cq.atoms[i]);
+  std::vector<bool> used(n, false);
+  std::vector<size_t> order;
+  while (order.size() < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = order.empty();
+      for (size_t j : order) {
+        connected = connected || cq.atoms[i].SharesVariableWith(cq.atoms[j]);
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           cards[i] < cards[static_cast<size_t>(best)])) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    order.push_back(static_cast<size_t>(best));
+  }
+  return order;
+}
+
+void ExplainDisjunct(const ConjunctiveQuery& cq, const VarTable& vars,
+                     const Dictionary& dict,
+                     const CardinalityEstimator& estimator,
+                     std::string* out) {
+  std::vector<size_t> order = PlanOrder(cq, estimator);
+  ConjunctiveQuery prefix;
+  double inter = 0.0;
+  for (size_t step = 0; step < order.size(); ++step) {
+    const TriplePattern& atom = cq.atoms[order[step]];
+    double scanned = estimator.EstimateAtom(atom);
+    prefix.atoms.push_back(atom);
+    *out += "      ";
+    if (step == 0) {
+      *out += "scan   " + ToString(atom, vars, dict) + "  [~" +
+              FormatRows(scanned) + " rows]\n";
+      inter = scanned;
+      continue;
+    }
+    double rows_out = estimator.EstimateCQ(prefix);
+    // Mirror the evaluator's heuristic: probe when the intermediate is much
+    // smaller than the scan.
+    const bool probe = inter * 8.0 < scanned;
+    *out += std::string(probe ? "probe  " : "hash   ") +
+            ToString(atom, vars, dict) + "  [" +
+            (probe ? "index nested loop, ~" + FormatRows(inter) + " probes"
+                   : "scan ~" + FormatRows(scanned) + " + hash join") +
+            " -> ~" + FormatRows(rows_out) + " rows]\n";
+    inter = rows_out;
+  }
+}
+
+}  // namespace
+
+std::string ExplainJucqPlan(const JoinOfUnions& jucq, const VarTable& vars,
+                            const Dictionary& dict,
+                            const CardinalityEstimator& estimator,
+                            const EngineProfile& profile,
+                            size_t max_disjuncts_shown) {
+  std::string out = "JUCQ plan (" + std::to_string(jucq.components.size()) +
+                    " component(s)) on " + profile.name + "\n";
+
+  // Component result estimates determine pipelining.
+  std::vector<double> est(jucq.components.size());
+  size_t largest = 0;
+  for (size_t c = 0; c < jucq.components.size(); ++c) {
+    est[c] = estimator.EstimateUCQ(jucq.components[c]);
+    if (est[c] > est[largest]) largest = c;
+  }
+
+  for (size_t c = 0; c < jucq.components.size(); ++c) {
+    const UnionQuery& component = jucq.components[c];
+    out += "  component " + std::to_string(c) + ": UNION of " +
+           std::to_string(component.size()) + " term(s), ~" +
+           FormatRows(est[c]) + " rows";
+    if (jucq.components.size() > 1) {
+      out += (c == largest) ? " [pipelined]" : " [materialized]";
+    }
+    if (component.size() > profile.max_union_terms) {
+      out += "  ** exceeds the plan limit of " +
+             std::to_string(profile.max_union_terms) + " terms **";
+    }
+    out += "\n";
+    size_t shown = std::min<size_t>(max_disjuncts_shown,
+                                    component.disjuncts.size());
+    for (size_t d = 0; d < shown; ++d) {
+      out += "    term " + std::to_string(d) + ": " +
+             ToString(component.disjuncts[d], vars, dict) + "\n";
+      ExplainDisjunct(component.disjuncts[d], vars, dict, estimator, &out);
+    }
+    if (component.disjuncts.size() > shown) {
+      out += "    ... " + std::to_string(component.disjuncts.size() - shown) +
+             " more term(s)\n";
+    }
+  }
+  if (jucq.components.size() > 1) {
+    out += "  final: hash join of the component results, project to q(";
+    for (size_t i = 0; i < jucq.head.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "?" + vars.name(jucq.head[i]);
+    }
+    out += "), duplicate elimination\n";
+  }
+  return out;
+}
+
+}  // namespace rdfopt

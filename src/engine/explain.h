@@ -1,0 +1,31 @@
+#ifndef RDFOPT_ENGINE_EXPLAIN_H_
+#define RDFOPT_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "cost/cardinality.h"
+#include "engine/engine_profile.h"
+#include "rdf/dictionary.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// Human-readable plan explanation of a JUCQ, mirroring what the evaluator
+/// will do: per component, the number of union terms and estimated rows;
+/// per (sampled) disjunct, the greedy join order with scan/probe choices
+/// and estimated intermediate cardinalities; at the top, the component join
+/// order, which component is pipelined and which are materialized. Think
+/// `EXPLAIN` for the embedded engine — used by the SPARQL shell and by
+/// debugging sessions around the cost model.
+///
+/// `max_disjuncts_shown` bounds the per-component detail (a 2000-term UCQ
+/// prints two sampled disjuncts plus a summary line).
+std::string ExplainJucqPlan(const JoinOfUnions& jucq, const VarTable& vars,
+                            const Dictionary& dict,
+                            const CardinalityEstimator& estimator,
+                            const EngineProfile& profile,
+                            size_t max_disjuncts_shown = 3);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_ENGINE_EXPLAIN_H_

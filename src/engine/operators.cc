@@ -1,0 +1,254 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace rdfopt {
+
+namespace {
+
+// The distinct variables of `atom` in first-occurrence s,p,o order, plus for
+// each of the three positions the output column it maps to (-1 = constant).
+struct AtomShape {
+  std::vector<VarId> columns;
+  int pos_to_col[3] = {-1, -1, -1};
+};
+
+AtomShape ShapeOf(const TriplePattern& atom) {
+  AtomShape shape;
+  const PatternTerm* terms[3] = {&atom.s, &atom.p, &atom.o};
+  for (int i = 0; i < 3; ++i) {
+    if (!terms[i]->is_var()) continue;
+    VarId v = terms[i]->var();
+    int existing = -1;
+    for (size_t c = 0; c < shape.columns.size(); ++c) {
+      if (shape.columns[c] == v) existing = static_cast<int>(c);
+    }
+    if (existing < 0) {
+      shape.columns.push_back(v);
+      existing = static_cast<int>(shape.columns.size()) - 1;
+    }
+    shape.pos_to_col[i] = existing;
+  }
+  return shape;
+}
+
+ValueId BoundOrAny(const PatternTerm& t) {
+  return t.is_var() ? kAnyValue : t.value();
+}
+
+}  // namespace
+
+size_t ScanAtomInputSize(const TripleStore& store, const TriplePattern& atom) {
+  return store.CountMatches(BoundOrAny(atom.s), BoundOrAny(atom.p),
+                            BoundOrAny(atom.o));
+}
+
+Relation ScanAtom(const TripleStore& store, const TriplePattern& atom) {
+  AtomShape shape = ShapeOf(atom);
+  std::span<const Triple> matches = store.Match(
+      BoundOrAny(atom.s), BoundOrAny(atom.p), BoundOrAny(atom.o));
+  Relation out(shape.columns);
+  out.Reserve(matches.size());
+  std::vector<ValueId> row(shape.columns.size());
+  for (const Triple& t : matches) {
+    const ValueId values[3] = {t.s, t.p, t.o};
+    bool consistent = true;
+    // First write wins; later positions mapping to the same column must
+    // agree (repeated-variable filter).
+    for (size_t c = 0; c < row.size(); ++c) row[c] = kInvalidValueId;
+    for (int i = 0; i < 3 && consistent; ++i) {
+      int col = shape.pos_to_col[i];
+      if (col < 0) continue;
+      if (row[col] == kInvalidValueId) {
+        row[col] = values[i];
+      } else if (row[col] != values[i]) {
+        consistent = false;
+      }
+    }
+    if (consistent) out.AppendRow(row);
+  }
+  return out;
+}
+
+Relation HashJoin(const Relation& left, const Relation& right) {
+  // Shared columns and the right-only tail of the output schema.
+  std::vector<std::pair<int, int>> shared;  // (left col, right col)
+  std::vector<int> right_only;
+  for (size_t rc = 0; rc < right.columns().size(); ++rc) {
+    int lc = left.ColumnIndex(right.columns()[rc]);
+    if (lc >= 0) {
+      shared.emplace_back(lc, static_cast<int>(rc));
+    } else {
+      right_only.push_back(static_cast<int>(rc));
+    }
+  }
+  std::vector<VarId> out_columns = left.columns();
+  for (int rc : right_only) out_columns.push_back(right.columns()[rc]);
+  Relation out(std::move(out_columns));
+
+  std::vector<ValueId> row(out.arity());
+  auto emit = [&](size_t li, size_t ri) {
+    for (size_t c = 0; c < left.arity(); ++c) row[c] = left.at(li, c);
+    for (size_t k = 0; k < right_only.size(); ++k) {
+      row[left.arity() + k] = right.at(ri, right_only[k]);
+    }
+    out.AppendRow(row);
+  };
+
+  if (shared.empty()) {
+    // Cartesian product (cover queries never need this; plain CQs may).
+    for (size_t li = 0; li < left.num_rows(); ++li) {
+      for (size_t ri = 0; ri < right.num_rows(); ++ri) emit(li, ri);
+    }
+    return out;
+  }
+
+  // Build on the smaller side; swap roles virtually by probing accordingly.
+  const bool build_left = left.num_rows() <= right.num_rows();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+
+  auto key_of = [&](const Relation& rel, size_t i, bool is_left,
+                    std::vector<ValueId>* key) {
+    key->clear();
+    for (const auto& [lc, rc] : shared) {
+      key->push_back(rel.at(i, is_left ? lc : rc));
+    }
+  };
+
+  struct VecHash {
+    size_t operator()(const std::vector<ValueId>& v) const {
+      return HashRow({v.data(), v.size()});
+    }
+  };
+  std::unordered_map<std::vector<ValueId>, std::vector<size_t>, VecHash> table;
+  table.reserve(build.num_rows());
+  std::vector<ValueId> key;
+  for (size_t i = 0; i < build.num_rows(); ++i) {
+    key_of(build, i, build_left, &key);
+    table[key].push_back(i);
+  }
+  for (size_t i = 0; i < probe.num_rows(); ++i) {
+    key_of(probe, i, !build_left, &key);
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (size_t bi : it->second) {
+      size_t li = build_left ? bi : i;
+      size_t ri = build_left ? i : bi;
+      emit(li, ri);
+    }
+  }
+  return out;
+}
+
+Relation IndexJoinAtom(const TripleStore& store, const Relation& left,
+                       const TriplePattern& atom, size_t* rows_probed) {
+  // Classify the atom's positions: bound by a left column, a fresh output
+  // variable, or a constant.
+  const PatternTerm* terms[3] = {&atom.s, &atom.p, &atom.o};
+  int left_col[3] = {-1, -1, -1};   // Column of `left` binding position i.
+  int out_col[3] = {-1, -1, -1};    // Output column the position fills.
+  std::vector<VarId> new_vars;
+  for (int i = 0; i < 3; ++i) {
+    if (!terms[i]->is_var()) continue;
+    VarId v = terms[i]->var();
+    left_col[i] = left.ColumnIndex(v);
+    if (left_col[i] >= 0) continue;
+    int existing = -1;
+    for (size_t c = 0; c < new_vars.size(); ++c) {
+      if (new_vars[c] == v) existing = static_cast<int>(c);
+    }
+    if (existing < 0) {
+      new_vars.push_back(v);
+      existing = static_cast<int>(new_vars.size()) - 1;
+    }
+    out_col[i] = existing;
+  }
+
+  std::vector<VarId> columns = left.columns();
+  columns.insert(columns.end(), new_vars.begin(), new_vars.end());
+  Relation out(std::move(columns));
+
+  size_t probed = 0;
+  std::vector<ValueId> row(out.arity());
+  std::vector<ValueId> new_values(new_vars.size());
+  for (size_t r = 0; r < left.num_rows(); ++r) {
+    ValueId bound[3];
+    for (int i = 0; i < 3; ++i) {
+      if (!terms[i]->is_var()) {
+        bound[i] = terms[i]->value();
+      } else if (left_col[i] >= 0) {
+        bound[i] = left.at(r, static_cast<size_t>(left_col[i]));
+      } else {
+        bound[i] = kAnyValue;
+      }
+    }
+    std::span<const Triple> matches = store.Match(bound[0], bound[1],
+                                                  bound[2]);
+    probed += matches.size();
+    for (const Triple& t : matches) {
+      const ValueId values[3] = {t.s, t.p, t.o};
+      bool consistent = true;
+      for (size_t c = 0; c < new_values.size(); ++c) {
+        new_values[c] = kInvalidValueId;
+      }
+      for (int i = 0; i < 3 && consistent; ++i) {
+        if (out_col[i] < 0) continue;
+        ValueId& slot = new_values[static_cast<size_t>(out_col[i])];
+        if (slot == kInvalidValueId) {
+          slot = values[i];
+        } else if (slot != values[i]) {
+          consistent = false;  // Repeated fresh variable mismatch.
+        }
+      }
+      if (!consistent) continue;
+      for (size_t c = 0; c < left.arity(); ++c) row[c] = left.at(r, c);
+      for (size_t c = 0; c < new_values.size(); ++c) {
+        row[left.arity() + c] = new_values[c];
+      }
+      out.AppendRow(row);
+    }
+  }
+  if (rows_probed != nullptr) *rows_probed += probed;
+  return out;
+}
+
+Relation ProjectWithBindings(
+    const Relation& input, const std::vector<VarId>& head,
+    const std::vector<std::pair<VarId, ValueId>>& bindings) {
+  Relation out{std::vector<VarId>(head)};
+  // For each head position: a source column, or a constant from bindings.
+  std::vector<int> source(head.size(), -1);
+  std::vector<ValueId> constant(head.size(), kInvalidValueId);
+  for (size_t i = 0; i < head.size(); ++i) {
+    source[i] = input.ColumnIndex(head[i]);
+    if (source[i] < 0) {
+      for (const auto& [v, c] : bindings) {
+        if (v == head[i]) constant[i] = c;
+      }
+      assert(constant[i] != kInvalidValueId &&
+             "head variable neither bound by the relation nor by bindings");
+    }
+  }
+  out.Reserve(input.num_rows());
+  std::vector<ValueId> row(head.size());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t i = 0; i < head.size(); ++i) {
+      row[i] = source[i] >= 0 ? input.at(r, source[i]) : constant[i];
+    }
+    out.AppendRow(row);  // Zero-arity head: appends an empty (boolean) row.
+  }
+  return out;
+}
+
+void UnionInto(Relation* acc, const Relation& input,
+               const std::vector<std::pair<VarId, ValueId>>& bindings) {
+  Relation projected = ProjectWithBindings(input, acc->columns(), bindings);
+  for (size_t r = 0; r < projected.num_rows(); ++r) {
+    acc->AppendRow(projected.row(r));
+  }
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,89 @@
+#include "engine/relation.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace rdfopt {
+
+int Relation::ColumnIndex(VarId v) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == v) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Relation::AppendRow(std::span<const ValueId> row) {
+  assert(row.size() == columns_.size());
+  if (columns_.empty()) {
+    ++scalar_rows_;
+    return;
+  }
+  cells_.insert(cells_.end(), row.begin(), row.end());
+}
+
+void Relation::AppendEmptyRow() {
+  assert(columns_.empty());
+  ++scalar_rows_;
+}
+
+size_t HashRow(std::span<const ValueId> row) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (ValueId v : row) {
+    h ^= v;
+    h *= 0x100000001B3ull;  // FNV-1a step.
+    h ^= h >> 29;
+  }
+  return static_cast<size_t>(h);
+}
+
+size_t Relation::Deduplicate() {
+  if (columns_.empty()) {
+    size_t removed = scalar_rows_ > 1 ? scalar_rows_ - 1 : 0;
+    scalar_rows_ = scalar_rows_ > 0 ? 1 : 0;
+    return removed;
+  }
+  const size_t arity = columns_.size();
+  const size_t rows = num_rows();
+
+  struct RowRef {
+    const std::vector<ValueId>* cells;
+    size_t arity;
+    size_t index;
+  };
+  struct RowRefHash {
+    size_t operator()(const RowRef& r) const {
+      return HashRow({r.cells->data() + r.index * r.arity, r.arity});
+    }
+  };
+  struct RowRefEq {
+    bool operator()(const RowRef& a, const RowRef& b) const {
+      const ValueId* pa = a.cells->data() + a.index * a.arity;
+      const ValueId* pb = b.cells->data() + b.index * b.arity;
+      for (size_t i = 0; i < a.arity; ++i) {
+        if (pa[i] != pb[i]) return false;
+      }
+      return true;
+    }
+  };
+
+  std::unordered_set<RowRef, RowRefHash, RowRefEq> seen;
+  seen.reserve(rows);
+  size_t write = 0;
+  for (size_t read = 0; read < rows; ++read) {
+    // Tentatively move row `read` into slot `write`, then keep it only if it
+    // is new. Copy first so the hash set always references compacted slots.
+    if (write != read) {
+      for (size_t c = 0; c < arity; ++c) {
+        cells_[write * arity + c] = cells_[read * arity + c];
+      }
+    }
+    if (seen.insert(RowRef{&cells_, arity, write}).second) {
+      ++write;
+    }
+  }
+  size_t removed = rows - write;
+  cells_.resize(write * arity);
+  return removed;
+}
+
+}  // namespace rdfopt

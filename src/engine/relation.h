@@ -1,0 +1,70 @@
+#ifndef RDFOPT_ENGINE_RELATION_H_
+#define RDFOPT_ENGINE_RELATION_H_
+
+#include <span>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// A materialized relation: a bag of rows over columns named by query
+/// variables. Rows are stored flattened (row-major) for locality; set
+/// semantics is obtained by calling Deduplicate().
+class Relation {
+ public:
+  /// Column order is significant; a variable may appear at most once.
+  explicit Relation(std::vector<VarId> columns)
+      : columns_(std::move(columns)) {}
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
+  const std::vector<VarId>& columns() const { return columns_; }
+  size_t arity() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? scalar_rows_ : cells_.size() / columns_.size();
+  }
+
+  /// Index of variable `v` among the columns, or -1.
+  int ColumnIndex(VarId v) const;
+
+  /// Appends one row; `row.size()` must equal arity().
+  void AppendRow(std::span<const ValueId> row);
+
+  /// For zero-arity (boolean) relations: appends an empty row, making the
+  /// relation non-empty ("true").
+  void AppendEmptyRow();
+
+  std::span<const ValueId> row(size_t i) const {
+    return {cells_.data() + i * columns_.size(), columns_.size()};
+  }
+  ValueId at(size_t row_index, size_t col) const {
+    return cells_[row_index * columns_.size() + col];
+  }
+
+  /// Removes duplicate rows (hash-based); returns the number removed.
+  size_t Deduplicate();
+
+  /// Total number of cells; proxy for the relation's memory footprint used
+  /// by the engine's resource accounting.
+  size_t num_cells() const { return cells_.size(); }
+
+  void Reserve(size_t rows) { cells_.reserve(rows * columns_.size()); }
+
+ private:
+  std::vector<VarId> columns_;
+  std::vector<ValueId> cells_;
+  size_t scalar_rows_ = 0;  // Row count for zero-arity relations.
+};
+
+/// Hash/equality over rows of a fixed-arity flattened buffer; shared by
+/// deduplication and the hash-join build side.
+size_t HashRow(std::span<const ValueId> row);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_ENGINE_RELATION_H_

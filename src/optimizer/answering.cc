@@ -1,0 +1,301 @@
+#include "optimizer/answering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "optimizer/gcov.h"
+#include "reformulation/minimize.h"
+#include "reformulation/subsumption.h"
+
+namespace rdfopt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::string_view StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kUcq:
+      return "UCQ";
+    case Strategy::kScq:
+      return "SCQ";
+    case Strategy::kEcov:
+      return "ECov";
+    case Strategy::kGcov:
+      return "GCov";
+    case Strategy::kSaturation:
+      return "Saturation";
+  }
+  return "Unknown";
+}
+
+CachingCoverCostOracle::CachingCoverCostOracle(
+    const ConjunctiveQuery& cq, const VarTable& vars,
+    const Reformulator* reformulator, const CardinalityEstimator* estimator,
+    const Evaluator* evaluator, const AnswerOptions& options)
+    : cq_(cq),
+      scratch_vars_(vars),
+      reformulator_(reformulator),
+      estimator_(estimator),
+      evaluator_(evaluator),
+      options_(options),
+      // Fragments whose reformulation exceeds the engine's plan limit can
+      // never be evaluated, so they are never materialized either (their
+      // cost is +inf and assembling them fails with kQueryTooComplex, which
+      // is also what the engine itself would report).
+      effective_disjunct_cap_(
+          std::min(options.max_reformulation_disjuncts,
+                   evaluator->profile().max_union_terms)) {}
+
+const CachingCoverCostOracle::FragmentEntry&
+CachingCoverCostOracle::GetFragment(const std::vector<int>& fragment) {
+  FragmentKey key = 0;
+  for (int atom : fragment) key |= uint64_t{1} << atom;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  FragmentEntry entry;
+  // Cache with the widest head (every original variable of the fragment);
+  // cover-specific heads are subsets applied at assembly time.
+  ConjunctiveQuery fragment_cq;
+  for (int atom : fragment) {
+    fragment_cq.atoms.push_back(cq_.atoms[static_cast<size_t>(atom)]);
+  }
+  fragment_cq.head = fragment_cq.AllVariables();
+
+  size_t estimate =
+      reformulator_->EstimateDisjuncts(fragment_cq, scratch_vars_);
+  if (estimate <= effective_disjunct_cap_) {
+    Result<UnionQuery> ucq = reformulator_->ReformulateCQ(
+        fragment_cq, &scratch_vars_, effective_disjunct_cap_);
+    if (ucq.ok()) {
+      entry.ucq = ucq.TakeValue();
+      entry.inputs =
+          options_.literal_scan_sums
+              ? ComputeUcqCostInputsLiteral(entry.ucq, *estimator_)
+              : ComputeUcqCostInputs(entry.ucq, *estimator_);
+      entry.feasible = true;
+    }
+  }
+  return cache_.emplace(key, std::move(entry)).first->second;
+}
+
+double CachingCoverCostOracle::FragmentCost(const std::vector<int>& fragment) {
+  const FragmentEntry& entry = GetFragment(fragment);
+  if (!entry.feasible ||
+      entry.inputs.num_disjuncts > evaluator_->profile().max_union_terms) {
+    return kInf;
+  }
+  PaperCostModel model(evaluator_->profile().cost);
+  return model.UcqCost(entry.inputs);
+}
+
+double CachingCoverCostOracle::CoverCost(const Cover& cover) {
+  std::vector<UcqCostInputs> components;
+  std::vector<std::pair<double, std::vector<VarId>>> join_inputs;
+  components.reserve(cover.fragments.size());
+  for (size_t i = 0; i < cover.fragments.size(); ++i) {
+    const FragmentEntry& entry = GetFragment(cover.fragments[i]);
+    if (!entry.feasible ||
+        entry.inputs.num_disjuncts > evaluator_->profile().max_union_terms) {
+      return kInf;
+    }
+    components.push_back(entry.inputs);
+    ConjunctiveQuery cover_query = BuildCoverQuery(cq_, cover, i);
+    join_inputs.emplace_back(entry.inputs.est_result,
+                             std::move(cover_query.head));
+  }
+
+  if (options_.use_engine_cost_model) {
+    VarTable ignored;
+    Result<JoinOfUnions> jucq = AssembleJucq(cover, &ignored);
+    if (!jucq.ok()) return kInf;
+    return evaluator_->ExplainCost(jucq.ValueOrDie(), *estimator_);
+  }
+
+  PaperCostModel model(evaluator_->profile().cost);
+  double est_final = estimator_->EstimateJoin(join_inputs);
+  return model.JucqCost(components, est_final);
+}
+
+Result<JoinOfUnions> CachingCoverCostOracle::AssembleJucq(const Cover& cover,
+                                                          VarTable* vars,
+                                                          size_t* pruned) {
+  JoinOfUnions jucq;
+  jucq.head = cq_.head;
+  for (size_t i = 0; i < cover.fragments.size(); ++i) {
+    const FragmentEntry& entry = GetFragment(cover.fragments[i]);
+    if (!entry.feasible) {
+      return Status::QueryTooComplex(
+          "fragment reformulation exceeds the materialization cap of " +
+          std::to_string(effective_disjunct_cap_) + " disjuncts");
+    }
+    ConjunctiveQuery cover_query = BuildCoverQuery(cq_, cover, i);
+    UnionQuery component;
+    component.head = cover_query.head;
+    component.disjuncts.reserve(entry.ucq.disjuncts.size());
+    for (const ConjunctiveQuery& cached : entry.ucq.disjuncts) {
+      if (options_.prune_empty_disjuncts && DisjunctIsEmpty(cached)) {
+        if (pruned != nullptr) ++*pruned;
+        continue;
+      }
+      ConjunctiveQuery disjunct = cached;
+      disjunct.head = cover_query.head;
+      // head_bindings cached for the widest head remain valid: projection
+      // only consults bindings of variables in the (narrower) head.
+      component.disjuncts.push_back(std::move(disjunct));
+    }
+    if (options_.prune_subsumed_disjuncts &&
+        component.disjuncts.size() <= options_.subsumption_pruning_limit) {
+      size_t dropped = PruneSubsumedDisjuncts(&component);
+      if (pruned != nullptr) *pruned += dropped;
+    }
+    jucq.components.push_back(std::move(component));
+  }
+  *vars = scratch_vars_;
+  return jucq;
+}
+
+bool CachingCoverCostOracle::DisjunctIsEmpty(
+    const ConjunctiveQuery& disjunct) const {
+  const TripleStore& store = evaluator_->store();
+  for (const TriplePattern& atom : disjunct.atoms) {
+    ValueId s = atom.s.is_var() ? kAnyValue : atom.s.value();
+    ValueId p = atom.p.is_var() ? kAnyValue : atom.p.value();
+    ValueId o = atom.o.is_var() ? kAnyValue : atom.o.value();
+    if (store.CountMatches(s, p, o) == 0) return true;
+  }
+  return false;
+}
+
+QueryAnswerer::QueryAnswerer(const TripleStore* data,
+                             const TripleStore* saturated,
+                             const Schema* schema, const Vocabulary* vocab,
+                             const Statistics* statistics,
+                             const EngineProfile* profile)
+    : data_(data),
+      saturated_(saturated),
+      schema_(schema),
+      vocab_(vocab),
+      reformulator_(schema, vocab),
+      estimator_(data, statistics),
+      evaluator_(data, profile),
+      saturated_evaluator_(saturated, profile) {}
+
+Result<AnswerOutcome> QueryAnswerer::AnswerBySaturation(
+    const Query& query) const {
+  if (saturated_ == nullptr) {
+    return Status::InvalidArgument(
+        "saturation strategy requested but no saturated store was provided");
+  }
+  AnswerOutcome outcome;
+  Stopwatch timer;
+  RDFOPT_ASSIGN_OR_RETURN(
+      outcome.answers, saturated_evaluator_.EvaluateCQ(query.cq,
+                                                       &outcome.eval));
+  outcome.evaluate_ms = timer.ElapsedMillis();
+  outcome.union_terms = 1;
+  outcome.num_components = 1;
+  return outcome;
+}
+
+Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
+    const Query& query, const Cover& cover, CachingCoverCostOracle* oracle,
+    AnswerOutcome outcome) const {
+  RDFOPT_RETURN_NOT_OK(ValidateCover(query.cq, cover));
+  outcome.chosen_cover = cover;
+
+  Stopwatch reformulate_timer;
+  VarTable vars;
+  RDFOPT_ASSIGN_OR_RETURN(
+      JoinOfUnions jucq,
+      oracle->AssembleJucq(cover, &vars, &outcome.pruned_union_terms));
+  outcome.reformulate_ms = reformulate_timer.ElapsedMillis();
+  outcome.num_components = jucq.components.size();
+  for (const UnionQuery& component : jucq.components) {
+    outcome.union_terms += component.size();
+  }
+
+  Stopwatch evaluate_timer;
+  RDFOPT_ASSIGN_OR_RETURN(outcome.answers,
+                          evaluator_.EvaluateJUCQ(jucq, &outcome.eval));
+  outcome.evaluate_ms = evaluate_timer.ElapsedMillis();
+  if (oracle->options().keep_reformulation) {
+    outcome.jucq = std::move(jucq);
+    outcome.jucq_vars = std::move(vars);
+  }
+  return outcome;
+}
+
+Result<AnswerOutcome> QueryAnswerer::Answer(
+    const Query& query, const AnswerOptions& options) const {
+  if (query.cq.atoms.empty()) {
+    return Status::InvalidArgument("query has no atoms");
+  }
+  if (options.strategy == Strategy::kSaturation) {
+    return AnswerBySaturation(query);
+  }
+
+  // Optional constraint-aware minimization (paper footnote 3).
+  Query minimized;
+  const Query* effective = &query;
+  size_t minimized_atoms = 0;
+  if (options.minimize_query) {
+    MinimizationResult m = MinimizeQuery(query.cq, *schema_, *vocab_);
+    if (!m.removed_atoms.empty()) {
+      minimized.vars = query.vars;
+      minimized.cq = std::move(m.query);
+      minimized_atoms = m.removed_atoms.size();
+      effective = &minimized;
+    }
+  }
+
+  if (!effective->cq.IsConnected()) {
+    return Status::InvalidArgument(
+        "cover-based strategies require a variable-connected BGP");
+  }
+
+  CachingCoverCostOracle oracle(effective->cq, effective->vars,
+                                &reformulator_, &estimator_, &evaluator_,
+                                options);
+  const size_t n = effective->cq.atoms.size();
+  AnswerOutcome base;
+  base.minimized_atoms = minimized_atoms;
+
+  switch (options.strategy) {
+    case Strategy::kUcq:
+      return AnswerByCover(*effective, UcqCover(n), &oracle, std::move(base));
+    case Strategy::kScq:
+      return AnswerByCover(*effective, ScqCover(n), &oracle, std::move(base));
+    case Strategy::kEcov:
+    case Strategy::kGcov: {
+      CoverSearchResult search =
+          options.strategy == Strategy::kEcov
+              ? ExhaustiveCoverSearch(effective->cq, &oracle,
+                                      options.optimizer_time_budget_s)
+              : GreedyCoverSearch(effective->cq, &oracle,
+                                  options.optimizer_time_budget_s);
+      if (search.best_cover.fragments.empty()) {
+        return Status::Timeout("cover search produced no cover within " +
+                               std::to_string(
+                                   options.optimizer_time_budget_s) +
+                               "s");
+      }
+      if (search.best_cost == kInf) {
+        return Status::QueryTooComplex(
+            "every examined cover is infeasible on this engine profile");
+      }
+      base.optimize_ms = search.elapsed_ms;
+      base.covers_examined = search.covers_examined;
+      base.optimizer_timed_out = search.timed_out;
+      return AnswerByCover(*effective, search.best_cover, &oracle,
+                           std::move(base));
+    }
+    case Strategy::kSaturation:
+      break;  // Handled above.
+  }
+  return Status::Internal("unreachable strategy dispatch");
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,177 @@
+#ifndef RDFOPT_OPTIMIZER_ANSWERING_H_
+#define RDFOPT_OPTIMIZER_ANSWERING_H_
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "cost/cost_model.h"
+#include "engine/evaluator.h"
+#include "optimizer/cover.h"
+#include "optimizer/ecov.h"
+#include "reasoner/saturation.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// The query answering strategies compared throughout the paper's
+/// evaluation (§5): the two fixed reformulations, the two cost-based cover
+/// searches, and the saturation baseline.
+enum class Strategy {
+  kUcq,         ///< Single-fragment cover: the classic UCQ reformulation.
+  kScq,         ///< Singleton cover: the SCQ reformulation of [13].
+  kEcov,        ///< JUCQ chosen by exhaustive cover search.
+  kGcov,        ///< JUCQ chosen by the greedy Algorithm 1.
+  kSaturation,  ///< Direct evaluation against the saturated store.
+};
+
+std::string_view StrategyName(Strategy strategy);
+
+struct AnswerOptions {
+  Strategy strategy = Strategy::kGcov;
+  /// Budget for ECov/GCov search (the paper's anytime stop condition).
+  double optimizer_time_budget_s = 30.0;
+  /// Hard cap on disjuncts materialized per fragment; fragments estimated
+  /// above min(cap, engine plan limit) are treated as infeasible without
+  /// being materialized.
+  size_t max_reformulation_disjuncts = 2'000'000;
+  /// Fig 9 alternative: rank covers with the engine's internal EXPLAIN
+  /// estimate instead of the §4.1 model.
+  bool use_engine_cost_model = false;
+  /// Hybrid optimization in the spirit of [11] (paper §1): before shipping a
+  /// JUCQ to the engine, drop disjuncts containing an atom whose constant
+  /// positions match nothing in the current store — they contribute no
+  /// answers on this database. Reduces plan size at the price of a
+  /// data-dependent reformulation (must be redone after updates).
+  bool prune_empty_disjuncts = false;
+  /// Ablation: cost fragments with the literal eq. (2) per-triple
+  /// cardinality sums instead of the plan-aware work measure (see
+  /// cost_model.h). Exists to quantify the design choice.
+  bool literal_scan_sums = false;
+  /// Ablation: apply MinimizeQuery before reformulating (removes atoms
+  /// redundant w.r.t. the constraints, paper footnote 3).
+  bool minimize_query = false;
+  /// Keep the evaluated JUCQ in the outcome (for EXPLAIN/SQL export; it can
+  /// be large, so off by default).
+  bool keep_reformulation = false;
+  /// Drop disjuncts subsumed by other disjuncts of the same component
+  /// (classic CQ-containment pruning; data-independent, unlike
+  /// prune_empty_disjuncts). Quadratic, so applied only to components of at
+  /// most `subsumption_pruning_limit` disjuncts.
+  bool prune_subsumed_disjuncts = false;
+  size_t subsumption_pruning_limit = 4096;
+};
+
+/// Everything measured about answering one query; the raw material of every
+/// experiment table/figure.
+struct AnswerOutcome {
+  Relation answers{std::vector<VarId>{}};
+  EvalMetrics eval;
+  /// Cover selected (for kUcq/kScq: the corresponding fixed cover).
+  Cover chosen_cover;
+  double optimize_ms = 0.0;     ///< Cover search (zero for fixed strategies).
+  double reformulate_ms = 0.0;  ///< Building the final JUCQ's UCQs.
+  double evaluate_ms = 0.0;     ///< Engine evaluation.
+  size_t covers_examined = 0;
+  bool optimizer_timed_out = false;
+  /// Total union terms across the evaluated JUCQ's components.
+  size_t union_terms = 0;
+  /// Disjuncts dropped by data-aware pruning (prune_empty_disjuncts).
+  size_t pruned_union_terms = 0;
+  /// Atoms dropped by query minimization (minimize_query).
+  size_t minimized_atoms = 0;
+  size_t num_components = 0;
+  /// The evaluated JUCQ and the variable table covering its fresh
+  /// variables; populated only with AnswerOptions::keep_reformulation.
+  std::optional<JoinOfUnions> jucq;
+  std::optional<VarTable> jucq_vars;
+
+  double total_ms() const {
+    return optimize_ms + reformulate_ms + evaluate_ms;
+  }
+};
+
+/// Cost oracle over the §4.1 model (or the engine's EXPLAIN), with
+/// per-fragment caching of reformulations and aggregates: the paper's
+/// optimizer time is dominated by "intensive calls to the reformulation and
+/// cardinality estimation algorithms", which the cache bounds to one per
+/// distinct fragment.
+class CachingCoverCostOracle : public CoverCostOracle {
+ public:
+  CachingCoverCostOracle(const ConjunctiveQuery& cq, const VarTable& vars,
+                         const Reformulator* reformulator,
+                         const CardinalityEstimator* estimator,
+                         const Evaluator* evaluator,
+                         const AnswerOptions& options);
+
+  double CoverCost(const Cover& cover) override;
+  double FragmentCost(const std::vector<int>& fragment) override;
+
+  const AnswerOptions& options() const { return options_; }
+
+  /// Reuses the cache to produce the executable JUCQ of `cover` (fragment
+  /// UCQs with proper cover-query heads). `vars` receives fresh variables.
+  /// When the options enable data-aware pruning, empty-on-this-store
+  /// disjuncts are dropped and counted into `*pruned`, if non-null.
+  Result<JoinOfUnions> AssembleJucq(const Cover& cover, VarTable* vars,
+                                    size_t* pruned = nullptr);
+
+ private:
+  struct FragmentEntry {
+    bool feasible = false;
+    UnionQuery ucq;  // Head = all original variables of the fragment.
+    UcqCostInputs inputs;
+  };
+  using FragmentKey = uint64_t;  // Atom-index bitmask.
+
+  const FragmentEntry& GetFragment(const std::vector<int>& fragment);
+  /// True iff some atom of the disjunct matches nothing in the store.
+  bool DisjunctIsEmpty(const ConjunctiveQuery& disjunct) const;
+
+  const ConjunctiveQuery& cq_;
+  VarTable scratch_vars_;
+  const Reformulator* reformulator_;
+  const CardinalityEstimator* estimator_;
+  const Evaluator* evaluator_;
+  AnswerOptions options_;
+  size_t effective_disjunct_cap_;
+  std::unordered_map<FragmentKey, FragmentEntry> cache_;
+};
+
+/// The query answering front end of Figure 1: reformulation algorithm +
+/// cover optimizer + evaluation engine behind one call.
+class QueryAnswerer {
+ public:
+  /// `saturated` may be null if kSaturation is never requested. All pointees
+  /// must outlive the answerer. `schema` must be finalized.
+  QueryAnswerer(const TripleStore* data, const TripleStore* saturated,
+                const Schema* schema, const Vocabulary* vocab,
+                const Statistics* statistics, const EngineProfile* profile);
+
+  Result<AnswerOutcome> Answer(const Query& query,
+                               const AnswerOptions& options) const;
+
+  const Evaluator& evaluator() const { return evaluator_; }
+  const Reformulator& reformulator() const { return reformulator_; }
+  const CardinalityEstimator& estimator() const { return estimator_; }
+
+ private:
+  Result<AnswerOutcome> AnswerBySaturation(const Query& query) const;
+  Result<AnswerOutcome> AnswerByCover(const Query& query, const Cover& cover,
+                                      CachingCoverCostOracle* oracle,
+                                      AnswerOutcome outcome) const;
+
+  const TripleStore* data_;
+  const TripleStore* saturated_;
+  const Schema* schema_;
+  const Vocabulary* vocab_;
+  Reformulator reformulator_;
+  CardinalityEstimator estimator_;
+  Evaluator evaluator_;
+  Evaluator saturated_evaluator_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_OPTIMIZER_ANSWERING_H_

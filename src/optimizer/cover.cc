@@ -1,0 +1,268 @@
+#include "optimizer/cover.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace rdfopt {
+
+void Cover::Canonicalize() {
+  for (std::vector<int>& fragment : fragments) {
+    std::sort(fragment.begin(), fragment.end());
+  }
+  std::sort(fragments.begin(), fragments.end());
+}
+
+std::string Cover::Key() const {
+  std::string key;
+  for (const std::vector<int>& fragment : fragments) {
+    for (int atom : fragment) {
+      key += std::to_string(atom);
+      key += ',';
+    }
+    key += '|';
+  }
+  return key;
+}
+
+Cover UcqCover(size_t num_atoms) {
+  Cover cover;
+  cover.fragments.emplace_back(num_atoms);
+  std::iota(cover.fragments.back().begin(), cover.fragments.back().end(), 0);
+  return cover;
+}
+
+Cover ScqCover(size_t num_atoms) {
+  Cover cover;
+  for (size_t i = 0; i < num_atoms; ++i) {
+    cover.fragments.push_back({static_cast<int>(i)});
+  }
+  return cover;
+}
+
+std::vector<std::vector<bool>> AtomAdjacency(const ConjunctiveQuery& cq) {
+  const size_t n = cq.atoms.size();
+  std::vector<std::vector<bool>> adjacency(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (cq.atoms[i].SharesVariableWith(cq.atoms[j])) {
+        adjacency[i][j] = adjacency[j][i] = true;
+      }
+    }
+  }
+  return adjacency;
+}
+
+bool FragmentConnected(const std::vector<int>& fragment,
+                       const std::vector<std::vector<bool>>& adjacency) {
+  if (fragment.size() <= 1) return !fragment.empty();
+  std::vector<bool> reached(fragment.size(), false);
+  std::vector<size_t> stack = {0};
+  reached[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    size_t at = stack.back();
+    stack.pop_back();
+    for (size_t j = 0; j < fragment.size(); ++j) {
+      if (!reached[j] &&
+          adjacency[static_cast<size_t>(fragment[at])]
+                   [static_cast<size_t>(fragment[j])]) {
+        reached[j] = true;
+        ++count;
+        stack.push_back(j);
+      }
+    }
+  }
+  return count == fragment.size();
+}
+
+namespace {
+
+// Do two fragments share a query variable?
+bool FragmentsJoin(const ConjunctiveQuery& cq, const std::vector<int>& a,
+                   const std::vector<int>& b) {
+  for (int i : a) {
+    for (int j : b) {
+      if (cq.atoms[static_cast<size_t>(i)].SharesVariableWith(
+              cq.atoms[static_cast<size_t>(j)])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool IsSubset(const std::vector<int>& a, const std::vector<int>& b) {
+  // Both sorted.
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+Status ValidateCover(const ConjunctiveQuery& cq, const Cover& cover) {
+  const size_t n = cq.atoms.size();
+  if (cover.fragments.empty()) {
+    return Status::InvalidArgument("cover has no fragments");
+  }
+  std::vector<bool> covered(n, false);
+  for (const std::vector<int>& fragment : cover.fragments) {
+    if (fragment.empty()) {
+      return Status::InvalidArgument("cover contains an empty fragment");
+    }
+    if (!std::is_sorted(fragment.begin(), fragment.end()) ||
+        std::adjacent_find(fragment.begin(), fragment.end()) !=
+            fragment.end()) {
+      return Status::InvalidArgument("fragment not sorted/unique");
+    }
+    for (int atom : fragment) {
+      if (atom < 0 || static_cast<size_t>(atom) >= n) {
+        return Status::InvalidArgument("fragment references atom " +
+                                       std::to_string(atom) +
+                                       " outside the query");
+      }
+      covered[static_cast<size_t>(atom)] = true;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!covered[i]) {
+      return Status::InvalidArgument("atom " + std::to_string(i) +
+                                     " not covered");
+    }
+  }
+  for (size_t i = 0; i < cover.fragments.size(); ++i) {
+    for (size_t j = 0; j < cover.fragments.size(); ++j) {
+      if (i != j && IsSubset(cover.fragments[i], cover.fragments[j])) {
+        return Status::InvalidArgument("fragment " + std::to_string(i) +
+                                       " included in fragment " +
+                                       std::to_string(j));
+      }
+    }
+  }
+  std::vector<std::vector<bool>> adjacency = AtomAdjacency(cq);
+  for (size_t i = 0; i < cover.fragments.size(); ++i) {
+    if (!FragmentConnected(cover.fragments[i], adjacency)) {
+      return Status::InvalidArgument("fragment " + std::to_string(i) +
+                                     " is not variable-connected");
+    }
+    if (cover.fragments.size() > 1) {
+      bool joins = false;
+      for (size_t j = 0; j < cover.fragments.size() && !joins; ++j) {
+        if (i != j) {
+          joins = FragmentsJoin(cq, cover.fragments[i], cover.fragments[j]);
+        }
+      }
+      if (!joins) {
+        return Status::InvalidArgument(
+            "fragment " + std::to_string(i) +
+            " does not join with any other fragment");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ConjunctiveQuery BuildCoverQuery(const ConjunctiveQuery& cq,
+                                 const Cover& cover, size_t fragment_index) {
+  const std::vector<int>& fragment = cover.fragments[fragment_index];
+  ConjunctiveQuery out;
+  out.atoms.reserve(fragment.size());
+  for (int atom : fragment) {
+    out.atoms.push_back(cq.atoms[static_cast<size_t>(atom)]);
+  }
+
+  std::vector<VarId> fragment_vars = out.AllVariables();
+  auto in_fragment = [&](VarId v) {
+    return std::binary_search(fragment_vars.begin(), fragment_vars.end(), v);
+  };
+
+  // Distinguished variables of q occurring in the fragment, in head order.
+  for (VarId v : cq.head) {
+    if (in_fragment(v) &&
+        std::find(out.head.begin(), out.head.end(), v) == out.head.end()) {
+      out.head.push_back(v);
+    }
+  }
+  // Variables shared with another fragment (the join variables).
+  std::set<VarId> other_vars;
+  for (size_t j = 0; j < cover.fragments.size(); ++j) {
+    if (j == fragment_index) continue;
+    for (int atom : cover.fragments[j]) {
+      std::vector<VarId> vars;
+      cq.atoms[static_cast<size_t>(atom)].AppendVariables(&vars);
+      other_vars.insert(vars.begin(), vars.end());
+    }
+  }
+  for (VarId v : fragment_vars) {
+    if (other_vars.count(v) > 0 &&
+        std::find(out.head.begin(), out.head.end(), v) == out.head.end()) {
+      out.head.push_back(v);
+    }
+  }
+  return out;
+}
+
+void RemoveRedundantFragments(const ConjunctiveQuery& cq, Cover* cover,
+                              std::vector<double> fragment_costs) {
+  if (cover->fragments.size() <= 1) return;
+  // Examination order: by decreasing cost, or by decreasing size if no costs.
+  std::vector<size_t> order(cover->fragments.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (fragment_costs.size() == cover->fragments.size()) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return fragment_costs[a] > fragment_costs[b];
+    });
+  } else {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cover->fragments[a].size() > cover->fragments[b].size();
+    });
+  }
+
+  std::vector<bool> removed(cover->fragments.size(), false);
+  for (size_t idx : order) {
+    // Union of the atoms of all other (surviving) fragments.
+    std::set<int> others;
+    for (size_t j = 0; j < cover->fragments.size(); ++j) {
+      if (j == idx || removed[j]) continue;
+      others.insert(cover->fragments[j].begin(), cover->fragments[j].end());
+    }
+    bool redundant = true;
+    for (int atom : cover->fragments[idx]) {
+      redundant &= others.count(atom) > 0;
+    }
+    if (!redundant) continue;
+    // Tentatively remove; keep the removal only if the cover stays valid.
+    Cover candidate;
+    for (size_t j = 0; j < cover->fragments.size(); ++j) {
+      if (j != idx && !removed[j]) candidate.fragments.push_back(
+          cover->fragments[j]);
+    }
+    candidate.Canonicalize();
+    if (ValidateCover(cq, candidate).ok()) removed[idx] = true;
+  }
+
+  Cover out;
+  for (size_t j = 0; j < cover->fragments.size(); ++j) {
+    if (!removed[j]) out.fragments.push_back(std::move(cover->fragments[j]));
+  }
+  out.Canonicalize();
+  *cover = std::move(out);
+}
+
+Result<JoinOfUnions> CoverBasedReformulation(
+    const ConjunctiveQuery& cq, const Cover& cover,
+    const Reformulator& reformulator, VarTable* vars,
+    size_t max_disjuncts_per_fragment) {
+  JoinOfUnions jucq;
+  jucq.head = cq.head;
+  for (size_t i = 0; i < cover.fragments.size(); ++i) {
+    ConjunctiveQuery cover_query = BuildCoverQuery(cq, cover, i);
+    RDFOPT_ASSIGN_OR_RETURN(
+        UnionQuery component,
+        reformulator.ReformulateCQ(cover_query, vars,
+                                   max_disjuncts_per_fragment));
+    jucq.components.push_back(std::move(component));
+  }
+  return jucq;
+}
+
+}  // namespace rdfopt

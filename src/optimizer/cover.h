@@ -1,0 +1,93 @@
+#ifndef RDFOPT_OPTIMIZER_COVER_H_
+#define RDFOPT_OPTIMIZER_COVER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "reformulation/reformulator.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// A cover of a BGP query (paper Def. 3.3): a set of fragments — non-empty
+/// subsets of the query's atom indices — whose union is all atoms, with no
+/// fragment included in another, and (for multi-fragment covers) every
+/// fragment sharing a variable with some other fragment. We additionally
+/// require each fragment to be variable-connected internally, "so that cover
+/// queries ... do not feature cartesian products" (§3).
+struct Cover {
+  /// Each fragment is a sorted list of atom indices; fragments are kept in
+  /// lexicographic order (canonical form).
+  std::vector<std::vector<int>> fragments;
+
+  /// Restores canonical form after mutation.
+  void Canonicalize();
+
+  /// Canonical identity key (fragments must be canonicalized).
+  std::string Key() const;
+
+  bool operator==(const Cover& other) const = default;
+};
+
+/// The UCQ extreme point: one fragment holding every atom.
+Cover UcqCover(size_t num_atoms);
+/// The SCQ extreme point: one singleton fragment per atom (paper [13]).
+Cover ScqCover(size_t num_atoms);
+
+/// Atom-level join graph: adjacency[i][j] iff atoms i and j share a variable.
+std::vector<std::vector<bool>> AtomAdjacency(const ConjunctiveQuery& cq);
+
+/// True iff the fragment's atoms form one connected component of the join
+/// graph.
+bool FragmentConnected(const std::vector<int>& fragment,
+                       const std::vector<std::vector<bool>>& adjacency);
+
+/// Checks all Def. 3.3 conditions plus internal fragment connectivity.
+Status ValidateCover(const ConjunctiveQuery& cq, const Cover& cover);
+
+/// The cover query of fragment `fragment_index` (paper Def. 3.4): its body
+/// is the fragment's atoms; its head is the query's distinguished variables
+/// occurring in the fragment plus the variables shared with any other
+/// fragment.
+ConjunctiveQuery BuildCoverQuery(const ConjunctiveQuery& cq,
+                                 const Cover& cover, size_t fragment_index);
+
+/// Drops fragments contained in the union of the other fragments, examining
+/// candidates in decreasing `fragment_costs` order (GCov keeps "fragments
+/// sorted in the decreasing order of their cost" and removes redundant ones,
+/// §4.3). Removal is skipped when it would break cover validity. Costs
+/// align with `cover->fragments` by index; pass an empty vector to order by
+/// descending fragment size instead.
+void RemoveRedundantFragments(const ConjunctiveQuery& cq, Cover* cover,
+                              std::vector<double> fragment_costs);
+
+/// Theorem 3.1: the cover-based JUCQ reformulation — one component per
+/// fragment, each the CQ-to-UCQ reformulation of its cover query. Fresh
+/// variables extend `vars`. Fails (kQueryTooComplex) if any fragment's
+/// reformulation exceeds `max_disjuncts_per_fragment`.
+Result<JoinOfUnions> CoverBasedReformulation(const ConjunctiveQuery& cq,
+                                             const Cover& cover,
+                                             const Reformulator& reformulator,
+                                             VarTable* vars,
+                                             size_t max_disjuncts_per_fragment);
+
+/// Cost oracle the cover-search algorithms query; implemented by the
+/// answering layer on top of the §4.1 model or the engine's EXPLAIN.
+/// Infeasible covers (reformulation or plan over engine limits) cost
+/// +infinity.
+class CoverCostOracle {
+ public:
+  virtual ~CoverCostOracle() = default;
+
+  /// Estimated evaluation cost of the cover-based reformulation of `cover`.
+  virtual double CoverCost(const Cover& cover) = 0;
+
+  /// Estimated evaluation cost of one fragment's reformulated UCQ (used to
+  /// order redundancy elimination).
+  virtual double FragmentCost(const std::vector<int>& fragment) = 0;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_OPTIMIZER_COVER_H_

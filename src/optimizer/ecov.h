@@ -1,0 +1,41 @@
+#ifndef RDFOPT_OPTIMIZER_ECOV_H_
+#define RDFOPT_OPTIMIZER_ECOV_H_
+
+#include <vector>
+
+#include "optimizer/cover.h"
+
+namespace rdfopt {
+
+/// Outcome of a cover-space search (ECov or GCov).
+struct CoverSearchResult {
+  Cover best_cover;
+  double best_cost = 0.0;
+  /// Number of covers whose cost the search estimated (the paper's
+  /// "#covers explored", Figs 7-8).
+  size_t covers_examined = 0;
+  double elapsed_ms = 0.0;
+  /// True when the time budget expired before the space was exhausted
+  /// (paper: ECov on the 10-atom DBLP Q10).
+  bool timed_out = false;
+};
+
+/// Enumerates the minimal covers of `cq` (every fragment owns at least one
+/// atom no other fragment has — the space whose size the paper bounds by the
+/// minimal-set-cover counts 1, 49, 462, 6424 for n = 1, 4, 5, 6), subject to
+/// Def. 3.3 and fragment connectivity. Stops early when the time budget or
+/// `max_covers` is hit, setting `*timed_out`.
+std::vector<Cover> EnumerateCovers(const ConjunctiveQuery& cq,
+                                   double time_budget_seconds,
+                                   size_t max_covers, bool* timed_out);
+
+/// ECov (paper §4.2): exhaustively estimates the cost of every enumerated
+/// cover and returns a cheapest one — the "golden standard" GCov is compared
+/// against. `best_cost` is +infinity if every cover is infeasible.
+CoverSearchResult ExhaustiveCoverSearch(const ConjunctiveQuery& cq,
+                                        CoverCostOracle* oracle,
+                                        double time_budget_seconds);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_OPTIMIZER_ECOV_H_

@@ -1,0 +1,110 @@
+#include "optimizer/gcov.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+
+namespace rdfopt {
+
+namespace {
+
+// A developed move: the cover resulting from applying it, with its cost.
+struct PendingMove {
+  Cover cover;
+  double cost;
+};
+
+// Applies the move "add atom t to fragment f of `cover`": grows the
+// fragment, removes redundant fragments (most expensive first, per the
+// paper) and canonicalizes. Returns false if the result is not a valid
+// cover (e.g. the grown fragment swallowed the whole cover illegally).
+bool ApplyMove(const ConjunctiveQuery& cq, const Cover& cover,
+               size_t fragment_index, int atom, CoverCostOracle* oracle,
+               Cover* out) {
+  *out = cover;
+  std::vector<int>& fragment = out->fragments[fragment_index];
+  fragment.push_back(atom);
+  std::sort(fragment.begin(), fragment.end());
+
+  std::vector<double> costs;
+  costs.reserve(out->fragments.size());
+  for (const std::vector<int>& f : out->fragments) {
+    costs.push_back(oracle->FragmentCost(f));
+  }
+  RemoveRedundantFragments(cq, out, std::move(costs));
+  return ValidateCover(cq, *out).ok();
+}
+
+}  // namespace
+
+CoverSearchResult GreedyCoverSearch(const ConjunctiveQuery& cq,
+                                    CoverCostOracle* oracle,
+                                    double time_budget_seconds) {
+  Stopwatch timer;
+  CoverSearchResult result;
+  const size_t n = cq.atoms.size();
+  std::vector<std::vector<bool>> adjacency = AtomAdjacency(cq);
+
+  Cover best = ScqCover(n);
+  double best_cost = oracle->CoverCost(best);
+  result.covers_examined = 1;
+
+  // Moves sorted by increasing estimated cost (multimap = the paper's
+  // sorted `moves` list; head() = begin()).
+  std::multimap<double, Cover> moves;
+  std::unordered_set<std::string> analysed;
+  analysed.insert(best.Key());
+
+  // Develops every move applicable to `cover`; `threshold_strict` selects
+  // between the <= of line 6 (initial cover) and the < of line 15.
+  auto develop = [&](const Cover& cover, bool threshold_strict) {
+    for (size_t fi = 0; fi < cover.fragments.size(); ++fi) {
+      const std::vector<int>& fragment = cover.fragments[fi];
+      for (int t = 0; t < static_cast<int>(n); ++t) {
+        if (std::binary_search(fragment.begin(), fragment.end(), t)) continue;
+        bool connected = false;
+        for (int f_atom : fragment) {
+          connected |= adjacency[static_cast<size_t>(f_atom)]
+                                [static_cast<size_t>(t)];
+        }
+        if (!connected) continue;
+        Cover next;
+        if (!ApplyMove(cq, cover, fi, t, oracle, &next)) continue;
+        if (!analysed.insert(next.Key()).second) continue;
+        double cost = oracle->CoverCost(next);
+        ++result.covers_examined;
+        bool promising =
+            threshold_strict ? cost < best_cost : cost <= best_cost;
+        if (promising) moves.emplace(cost, std::move(next));
+      }
+    }
+  };
+
+  develop(best, /*threshold_strict=*/false);
+
+  while (!moves.empty()) {
+    if (timer.ElapsedSeconds() > time_budget_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    auto head = moves.begin();
+    double cost = head->first;
+    Cover cover = std::move(head->second);
+    moves.erase(head);
+    if (cost <= best_cost) {
+      best_cost = cost;
+      best = cover;
+    }
+    develop(cover, /*threshold_strict=*/true);
+  }
+
+  result.best_cover = std::move(best);
+  result.best_cost = best_cost;
+  result.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace rdfopt

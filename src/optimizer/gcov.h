@@ -1,0 +1,29 @@
+#ifndef RDFOPT_OPTIMIZER_GCOV_H_
+#define RDFOPT_OPTIMIZER_GCOV_H_
+
+#include "optimizer/cover.h"
+#include "optimizer/ecov.h"
+
+namespace rdfopt {
+
+/// GCov (paper Algorithm 1): the greedy, anytime query-cover search.
+///
+/// Starts from the one-atom-per-fragment cover C0 (the SCQ point). A *move*
+/// adds to one fragment an extra atom connected to it by a join variable,
+/// then drops fragments made redundant by the addition. Moves whose
+/// resulting cover does not cost more than the best cover so far are kept in
+/// a list sorted by increasing estimated cost; the search repeatedly applies
+/// the most promising move, updates the best cover, and develops the new
+/// cover's moves — a breadth-first greedy exploration of a small part of the
+/// cover space.
+///
+/// Stops when no promising move remains or the time budget expires
+/// (`timed_out`); either way the best cover found so far is returned
+/// (anytime behaviour, §4.3).
+CoverSearchResult GreedyCoverSearch(const ConjunctiveQuery& cq,
+                                    CoverCostOracle* oracle,
+                                    double time_budget_seconds);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_OPTIMIZER_GCOV_H_

@@ -1,0 +1,34 @@
+#include "rdf/dictionary.h"
+
+#include <cassert>
+
+namespace rdfopt {
+
+ValueId Dictionary::Intern(const Term& term) {
+  std::string key = term.Encoded();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+ValueId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term.Encoded());
+  return it == index_.end() ? kInvalidValueId : it->second;
+}
+
+ValueId Dictionary::LookupIri(std::string_view iri) const {
+  return Lookup(Term::Iri(std::string(iri)));
+}
+
+ValueId Dictionary::FreshBlank() {
+  // Loop in case a user already interned a blank node with a colliding label.
+  for (;;) {
+    Term candidate = Term::Blank("g" + std::to_string(next_blank_++));
+    if (Lookup(candidate) == kInvalidValueId) return Intern(candidate);
+  }
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,67 @@
+#ifndef RDFOPT_RDF_DICTIONARY_H_
+#define RDFOPT_RDF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfopt {
+
+/// Two-way mapping between RDF values and dense integer ids.
+///
+/// Mirrors the paper's setup (§5.1): "the Triples(s,p,o) table's data are
+/// dictionary-encoded, using a unique integer for each distinct value. The
+/// dictionary is stored as a separate table, indexed both by the code and by
+/// the encoded value." Here the code->value index is a vector and the
+/// value->code index a hash map over the canonical term encoding.
+class Dictionary {
+ public:
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `term`, inserting it if absent. Ids are dense and
+  /// assigned in first-seen order.
+  ValueId Intern(const Term& term);
+
+  /// Shorthand interners for the common kinds.
+  ValueId InternIri(std::string_view iri) {
+    return Intern(Term::Iri(std::string(iri)));
+  }
+  ValueId InternLiteral(std::string_view value) {
+    return Intern(Term::Literal(std::string(value)));
+  }
+  ValueId InternBlank(std::string_view label) {
+    return Intern(Term::Blank(std::string(label)));
+  }
+
+  /// Returns the id of `term`, or kInvalidValueId if it was never interned.
+  ValueId Lookup(const Term& term) const;
+  ValueId LookupIri(std::string_view iri) const;
+
+  /// Decodes an id. Asserts on out-of-range ids in debug builds.
+  const Term& term(ValueId id) const { return terms_[id]; }
+
+  bool Contains(ValueId id) const { return id < terms_.size(); }
+  size_t size() const { return terms_.size(); }
+
+  /// Allocates a fresh blank node, guaranteed distinct from all existing
+  /// values; used by the saturation reasoner and tests.
+  ValueId FreshBlank();
+
+ private:
+  std::vector<Term> terms_;
+  // Keyed by Term::Encoded(); owns its key strings.
+  std::unordered_map<std::string, ValueId> index_;
+  uint64_t next_blank_ = 0;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_RDF_DICTIONARY_H_

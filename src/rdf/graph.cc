@@ -1,0 +1,31 @@
+#include "rdf/graph.h"
+
+namespace rdfopt {
+
+void Graph::Add(const Term& s, const Term& p, const Term& o) {
+  AddEncoded(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void Graph::AddIri(std::string_view s, std::string_view p,
+                   std::string_view o) {
+  AddEncoded(dict_.InternIri(s), dict_.InternIri(p), dict_.InternIri(o));
+}
+
+void Graph::AddEncoded(ValueId s, ValueId p, ValueId o) {
+  if (vocab_.IsSchemaProperty(p)) {
+    schema_triples_.push_back(Triple{s, p, o});
+    if (p == vocab_.rdfs_subclassof) {
+      schema_.AddSubClass(s, o);
+    } else if (p == vocab_.rdfs_subpropertyof) {
+      schema_.AddSubProperty(s, o);
+    } else if (p == vocab_.rdfs_domain) {
+      schema_.AddDomain(s, o);
+    } else {
+      schema_.AddRange(s, o);
+    }
+    return;
+  }
+  data_.push_back(Triple{s, p, o});
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,65 @@
+#ifndef RDFOPT_RDF_GRAPH_H_
+#define RDFOPT_RDF_GRAPH_H_
+
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/vocabulary.h"
+#include "schema/schema.h"
+
+namespace rdfopt {
+
+/// An RDF database in the sense of the paper's DB fragment (§2.3): a set of
+/// data triples plus RDFS constraints, sharing one dictionary.
+///
+/// Insertion routes triples by property: the four RDFS constraint properties
+/// go to the in-memory `Schema`, everything else (including `rdf:type`
+/// assertions) is a data triple destined for the Triples(s,p,o) table.
+/// The graph is an append log; duplicate elimination happens when a
+/// `TripleStore` is built from it.
+class Graph {
+ public:
+  Graph() : vocab_(Vocabulary::InternInto(&dict_)) {}
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  /// Interns the terms and adds the triple.
+  void Add(const Term& s, const Term& p, const Term& o);
+
+  /// Adds a triple of already-interned ids.
+  void AddEncoded(ValueId s, ValueId p, ValueId o);
+
+  /// Convenience for tests and generators: all three terms are IRIs.
+  void AddIri(std::string_view s, std::string_view p, std::string_view o);
+
+  const std::vector<Triple>& data_triples() const { return data_; }
+  const std::vector<Triple>& schema_triples() const { return schema_triples_; }
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Finalizes the schema closures; call once loading is done.
+  void FinalizeSchema() { schema_.Finalize(); }
+
+  size_t num_data_triples() const { return data_.size(); }
+  size_t num_schema_triples() const { return schema_triples_.size(); }
+
+ private:
+  Dictionary dict_;
+  Vocabulary vocab_;
+  Schema schema_;
+  std::vector<Triple> data_;
+  std::vector<Triple> schema_triples_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_RDF_GRAPH_H_

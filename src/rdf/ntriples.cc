@@ -1,0 +1,206 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <vector>
+
+namespace rdfopt {
+
+namespace {
+
+// Cursor over one line. Methods return false / error on malformed input.
+class LineScanner {
+ public:
+  LineScanner(std::string_view line, size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  void SkipWs() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEndOrComment() {
+    SkipWs();
+    return pos_ >= line_.size() || line_[pos_] == '#';
+  }
+
+  Result<Term> ReadTerm() {
+    SkipWs();
+    if (pos_ >= line_.size()) return Error("expected term, found end of line");
+    char c = line_[pos_];
+    if (c == '<') {
+      size_t end = line_.find('>', pos_);
+      if (end == std::string_view::npos) return Error("unterminated IRI");
+      Term t = Term::Iri(std::string(line_.substr(pos_ + 1, end - pos_ - 1)));
+      pos_ = end + 1;
+      return t;
+    }
+    if (c == '"') {
+      std::string value;
+      size_t at = pos_ + 1;
+      for (;;) {
+        if (at >= line_.size()) return Error("unterminated literal");
+        char ch = line_[at];
+        if (ch == '"') break;
+        if (ch == '\\') {
+          if (at + 1 >= line_.size()) {
+            return Error("dangling escape in literal");
+          }
+          char esc = line_[at + 1];
+          switch (esc) {
+            case '\\':
+              value += '\\';
+              break;
+            case '"':
+              value += '"';
+              break;
+            case 'n':
+              value += '\n';
+              break;
+            case 't':
+              value += '\t';
+              break;
+            case 'r':
+              value += '\r';
+              break;
+            default:
+              return Error(std::string("unknown escape '\\") + esc +
+                           "' in literal");
+          }
+          at += 2;
+          continue;
+        }
+        value += ch;
+        ++at;
+      }
+      pos_ = at + 1;
+      return Term::Literal(std::move(value));
+    }
+    if (c == '_' && pos_ + 1 < line_.size() && line_[pos_ + 1] == ':') {
+      size_t end = pos_ + 2;
+      while (end < line_.size() &&
+             !std::isspace(static_cast<unsigned char>(line_[end])) &&
+             line_[end] != '.') {
+        ++end;
+      }
+      if (end == pos_ + 2) return Error("empty blank node label");
+      Term t = Term::Blank(std::string(line_.substr(pos_ + 2, end - pos_ - 2)));
+      pos_ = end;
+      return t;
+    }
+    return Error(std::string("unexpected character '") + c + "' in term");
+  }
+
+  Status ExpectDot() {
+    SkipWs();
+    if (pos_ >= line_.size() || line_[pos_] != '.') {
+      return Error("expected '.' terminating triple").status();
+    }
+    ++pos_;
+    if (!AtEndOrComment()) {
+      return Error("trailing content after '.'").status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<Term> Error(std::string msg) const {
+    return Status::ParseError("line " + std::to_string(line_no_) + ": " +
+                              std::move(msg));
+  }
+
+  std::string_view line_;
+  size_t line_no_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ParseNTriples(std::string_view text, Graph* graph) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    start = end + 1;
+
+    LineScanner scanner(line, line_no);
+    if (scanner.AtEndOrComment()) {
+      if (end == text.size()) break;
+      continue;
+    }
+    Result<Term> s = scanner.ReadTerm();
+    if (!s.ok()) return s.status();
+    Result<Term> p = scanner.ReadTerm();
+    if (!p.ok()) return p.status();
+    Result<Term> o = scanner.ReadTerm();
+    if (!o.ok()) return o.status();
+    RDFOPT_RETURN_NOT_OK(scanner.ExpectDot());
+    graph->Add(s.ValueOrDie(), p.ValueOrDie(), o.ValueOrDie());
+    if (end == text.size()) break;
+  }
+  return Status::OK();
+}
+
+std::string EscapeNTriplesLiteral(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Term::Encoded() is the raw dictionary key; serialization additionally
+// escapes literal contents so the output re-parses.
+std::string SerializeTerm(const Term& term) {
+  if (term.kind == TermKind::kLiteral) {
+    return "\"" + EscapeNTriplesLiteral(term.lexical) + "\"";
+  }
+  return term.Encoded();
+}
+
+}  // namespace
+
+std::string SerializeNTriples(const Graph& graph) {
+  std::string out;
+  const Dictionary& dict = graph.dict();
+  auto append = [&](const std::vector<Triple>& triples) {
+    for (const Triple& t : triples) {
+      out += SerializeTerm(dict.term(t.s));
+      out += ' ';
+      out += SerializeTerm(dict.term(t.p));
+      out += ' ';
+      out += SerializeTerm(dict.term(t.o));
+      out += " .\n";
+    }
+  };
+  append(graph.schema_triples());
+  append(graph.data_triples());
+  return out;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,36 @@
+#ifndef RDFOPT_RDF_NTRIPLES_H_
+#define RDFOPT_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace rdfopt {
+
+/// Parses an N-Triples-style document into `graph`.
+///
+/// Supported line grammar (a pragmatic subset of W3C N-Triples, enough for
+/// the synthetic workloads and tests):
+///
+///   line    := ws* (triple)? comment? '\n'
+///   triple  := term ws+ term ws+ term ws* '.'
+///   term    := '<' iri '>' | '"' chars '"' | '_:' label
+///   comment := '#' anything
+///
+/// Literals support the W3C escape sequences \\ \" \n \t \r (decoded on
+/// parse, re-encoded on serialization); no datatype/lang tags.
+Status ParseNTriples(std::string_view text, Graph* graph);
+
+/// Escapes a literal value for serialization (backslash, quote, newline,
+/// tab, carriage return); exposed for tests.
+std::string EscapeNTriplesLiteral(std::string_view value);
+
+/// Serializes the graph (schema triples first, then data triples) in the same
+/// format. Inverse of ParseNTriples up to triple ordering and duplicates.
+std::string SerializeNTriples(const Graph& graph);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_RDF_NTRIPLES_H_

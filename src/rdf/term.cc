@@ -1,0 +1,41 @@
+#include "rdf/term.h"
+
+namespace rdfopt {
+
+std::string Term::Encoded() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kLiteral:
+      return "\"" + lexical + "\"";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+  }
+  return lexical;
+}
+
+Result<Term> Term::FromEncoded(std::string_view encoded) {
+  if (encoded.empty()) {
+    return Status::ParseError("empty term encoding");
+  }
+  if (encoded.front() == '<') {
+    if (encoded.size() < 2 || encoded.back() != '>') {
+      return Status::ParseError("unterminated IRI: " + std::string(encoded));
+    }
+    return Term::Iri(std::string(encoded.substr(1, encoded.size() - 2)));
+  }
+  if (encoded.front() == '"') {
+    if (encoded.size() < 2 || encoded.back() != '"') {
+      return Status::ParseError("unterminated literal: " +
+                                std::string(encoded));
+    }
+    return Term::Literal(std::string(encoded.substr(1, encoded.size() - 2)));
+  }
+  if (encoded.size() >= 2 && encoded[0] == '_' && encoded[1] == ':') {
+    return Term::Blank(std::string(encoded.substr(2)));
+  }
+  return Status::ParseError("unrecognized term encoding: " +
+                            std::string(encoded));
+}
+
+}  // namespace rdfopt

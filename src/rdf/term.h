@@ -1,0 +1,59 @@
+#ifndef RDFOPT_RDF_TERM_H_
+#define RDFOPT_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rdfopt {
+
+/// Kind of an RDF value (paper §2.1: URIs, literals, blank nodes).
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// A decoded RDF value: an IRI, a literal, or a blank node.
+///
+/// `lexical` holds the IRI text (without angle brackets), the literal value
+/// (without quotes) or the blank-node label (without the `_:` prefix). Terms
+/// are value types; the dictionary-encoded `ValueId` is what circulates in
+/// the storage and evaluation layers.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;
+
+  static Term Iri(std::string iri) {
+    return Term{TermKind::kIri, std::move(iri)};
+  }
+  static Term Literal(std::string value) {
+    return Term{TermKind::kLiteral, std::move(value)};
+  }
+  static Term Blank(std::string label) {
+    return Term{TermKind::kBlank, std::move(label)};
+  }
+
+  bool operator==(const Term& other) const = default;
+
+  /// Canonical single-string encoding used as the dictionary key:
+  /// `<iri>`, `"literal"`, `_:label`. Unambiguous because the first character
+  /// determines the kind.
+  std::string Encoded() const;
+
+  /// Parses the canonical encoding produced by `Encoded()`.
+  static Result<Term> FromEncoded(std::string_view encoded);
+};
+
+/// Dictionary-encoded identifier of an RDF value (paper §5.1: the Triples
+/// table is dictionary-encoded with a unique integer per distinct value).
+using ValueId = uint32_t;
+
+/// Sentinel for "no value" / lookup miss.
+inline constexpr ValueId kInvalidValueId = 0xFFFFFFFFu;
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_RDF_TERM_H_

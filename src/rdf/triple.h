@@ -1,0 +1,60 @@
+#ifndef RDFOPT_RDF_TRIPLE_H_
+#define RDFOPT_RDF_TRIPLE_H_
+
+#include <cstddef>
+#include <functional>
+#include <tuple>
+
+#include "rdf/term.h"
+
+namespace rdfopt {
+
+/// A dictionary-encoded RDF triple `s p o` (paper Fig. 2, top).
+struct Triple {
+  ValueId s = kInvalidValueId;
+  ValueId p = kInvalidValueId;
+  ValueId o = kInvalidValueId;
+
+  bool operator==(const Triple& other) const = default;
+};
+
+/// Sort orders used by the storage indexes. Lexicographic comparators over
+/// the named component permutation.
+struct OrderSpo {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  }
+};
+struct OrderPso {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.s, a.o) < std::tie(b.p, b.s, b.o);
+  }
+};
+struct OrderPos {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+  }
+};
+struct OrderOsp {
+  bool operator()(const Triple& a, const Triple& b) const {
+    return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    // 64-bit mix of the three 32-bit components (splitmix64-style).
+    uint64_t h = (static_cast<uint64_t>(t.s) << 32) | t.p;
+    h ^= static_cast<uint64_t>(t.o) * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_RDF_TRIPLE_H_

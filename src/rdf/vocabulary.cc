@@ -1,0 +1,31 @@
+#include "rdf/vocabulary.h"
+
+#include <string>
+
+namespace rdfopt {
+
+Vocabulary Vocabulary::InternInto(Dictionary* dict) {
+  Vocabulary v;
+  v.rdf_type = dict->InternIri(kRdfType);
+  v.rdfs_subclassof = dict->InternIri(kRdfsSubClassOf);
+  v.rdfs_subpropertyof = dict->InternIri(kRdfsSubPropertyOf);
+  v.rdfs_domain = dict->InternIri(kRdfsDomain);
+  v.rdfs_range = dict->InternIri(kRdfsRange);
+  return v;
+}
+
+std::string ExpandWellKnownPrefix(std::string_view qname) {
+  constexpr std::string_view kRdfPrefix = "rdf:";
+  constexpr std::string_view kRdfsPrefix = "rdfs:";
+  if (qname.substr(0, kRdfPrefix.size()) == kRdfPrefix) {
+    return "http://www.w3.org/1999/02/22-rdf-syntax-ns#" +
+           std::string(qname.substr(kRdfPrefix.size()));
+  }
+  if (qname.substr(0, kRdfsPrefix.size()) == kRdfsPrefix) {
+    return "http://www.w3.org/2000/01/rdf-schema#" +
+           std::string(qname.substr(kRdfsPrefix.size()));
+  }
+  return std::string(qname);
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,53 @@
+#ifndef RDFOPT_RDF_VOCABULARY_H_
+#define RDFOPT_RDF_VOCABULARY_H_
+
+#include <string_view>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfopt {
+
+/// Full IRIs of the RDF/RDFS built-ins the database fragment uses
+/// (paper Fig. 2): the class-membership property and the four schema
+/// constraint properties.
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr std::string_view kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr std::string_view kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+
+/// Ids of the built-ins inside one dictionary. Interned eagerly so that the
+/// hot paths (triple routing, reformulation rules) compare integers, never
+/// strings.
+struct Vocabulary {
+  ValueId rdf_type = kInvalidValueId;
+  ValueId rdfs_subclassof = kInvalidValueId;
+  ValueId rdfs_subpropertyof = kInvalidValueId;
+  ValueId rdfs_domain = kInvalidValueId;
+  ValueId rdfs_range = kInvalidValueId;
+
+  /// Interns the five built-ins into `dict` and records their ids.
+  static Vocabulary InternInto(Dictionary* dict);
+
+  /// True iff `p` is one of the four RDFS constraint properties (Fig. 2,
+  /// bottom), i.e. the triple belongs to the schema, not to the data.
+  bool IsSchemaProperty(ValueId p) const {
+    return p == rdfs_subclassof || p == rdfs_subpropertyof ||
+           p == rdfs_domain || p == rdfs_range;
+  }
+};
+
+/// Expands the conventional prefixes used throughout the code base and the
+/// query parser: `rdf:`, `rdfs:`. Returns the input unchanged when no known
+/// prefix matches.
+std::string ExpandWellKnownPrefix(std::string_view qname);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_RDF_VOCABULARY_H_

@@ -1,0 +1,88 @@
+#include "reasoner/saturation.h"
+
+#include <unordered_set>
+
+namespace rdfopt {
+
+SaturationResult Saturate(const TripleStore& store, const Schema& schema,
+                          const Vocabulary& vocab) {
+  std::vector<Triple> out;
+  out.reserve(store.size() * 2);
+  for (const Triple& t : store.All()) {
+    if (t.p == vocab.rdf_type) {
+      for (ValueId cls : schema.SuperClassesOf(t.o)) {
+        out.push_back(Triple{t.s, vocab.rdf_type, cls});
+      }
+      continue;
+    }
+    for (ValueId q : schema.SuperPropertiesOf(t.p)) {
+      out.push_back(Triple{t.s, q, t.o});
+    }
+    for (ValueId cls : schema.EntailedDomainClasses(t.p)) {
+      out.push_back(Triple{t.s, vocab.rdf_type, cls});
+    }
+    for (ValueId cls : schema.EntailedRangeClasses(t.p)) {
+      out.push_back(Triple{t.o, vocab.rdf_type, cls});
+    }
+  }
+  SaturationResult result;
+  result.input_triples = store.size();
+  result.store = TripleStore::Build(std::move(out));
+  result.output_triples = result.store.size();
+  return result;
+}
+
+SaturationResult SaturateGraph(const Graph& graph) {
+  TripleStore store = TripleStore::Build(graph.data_triples());
+  return Saturate(store, graph.schema(), graph.vocab());
+}
+
+SaturationResult IncrementalSaturate(const TripleStore& saturated,
+                                     const std::vector<Triple>& delta,
+                                     const Schema& schema,
+                                     const Vocabulary& vocab) {
+  SaturationResult delta_result =
+      Saturate(TripleStore::Build(delta), schema, vocab);
+  SaturationResult result;
+  result.input_triples = saturated.size();
+  result.store = TripleStore::Merge(saturated, delta_result.store);
+  result.output_triples = result.store.size();
+  return result;
+}
+
+std::vector<Triple> NaiveFixpointSaturation(std::vector<Triple> triples,
+                                            const std::vector<Triple>& schema,
+                                            const Vocabulary& vocab) {
+  std::unordered_set<Triple, TripleHash> known(triples.begin(), triples.end());
+  auto add = [&](Triple t, std::vector<Triple>* frontier) {
+    if (known.insert(t).second) frontier->push_back(t);
+  };
+
+  std::vector<Triple> frontier(known.begin(), known.end());
+  while (!frontier.empty()) {
+    std::vector<Triple> next;
+    for (const Triple& t : frontier) {
+      for (const Triple& c : schema) {
+        if (c.p == vocab.rdfs_subclassof) {
+          // (s type c1), c1 sc c2 => (s type c2)
+          if (t.p == vocab.rdf_type && t.o == c.s) {
+            add(Triple{t.s, vocab.rdf_type, c.o}, &next);
+          }
+        } else if (c.p == vocab.rdfs_subpropertyof) {
+          // (s p1 o), p1 sp p2 => (s p2 o)
+          if (t.p == c.s) add(Triple{t.s, c.o, t.o}, &next);
+        } else if (c.p == vocab.rdfs_domain) {
+          // (s p o), domain(p)=c1 => (s type c1)
+          if (t.p == c.s) add(Triple{t.s, vocab.rdf_type, c.o}, &next);
+        } else if (c.p == vocab.rdfs_range) {
+          // (s p o), range(p)=c1 => (o type c1)
+          if (t.p == c.s) add(Triple{t.o, vocab.rdf_type, c.o}, &next);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return {known.begin(), known.end()};
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,66 @@
+#ifndef RDFOPT_REASONER_SATURATION_H_
+#define RDFOPT_REASONER_SATURATION_H_
+
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/triple.h"
+#include "rdf/vocabulary.h"
+#include "schema/schema.h"
+#include "storage/triple_store.h"
+
+namespace rdfopt {
+
+/// Outcome of a saturation run; sizes feed the saturation-vs-reformulation
+/// comparison (paper §5.3 / Fig 10).
+struct SaturationResult {
+  TripleStore store;           ///< Explicit plus entailed data triples.
+  size_t input_triples = 0;    ///< Distinct explicit triples.
+  size_t output_triples = 0;   ///< Distinct triples after saturation.
+
+  /// Entailed triples that were not explicit.
+  size_t derived_triples() const { return output_triples - input_triples; }
+};
+
+/// Computes the saturation (closure) of the data triples w.r.t. the RDFS
+/// constraints (paper §2.1): the fixpoint of the immediate-entailment rules
+/// of the database fragment.
+///
+/// Because `Schema::Finalize()` precomputes the reflexive-transitive
+/// subproperty/subclass closures and the *entailed* domain/range class sets,
+/// one pass over the data suffices: RDFS derivations from a non-type triple
+/// are exactly its superproperty copies plus the entailed domain/range type
+/// facts, and derivations from a type fact are exactly its superclass
+/// copies — no derived triple can trigger a rule not already covered by the
+/// closures. (Verified against a naive fixpoint in the test suite.)
+///
+/// `schema` must be finalized.
+SaturationResult Saturate(const TripleStore& store, const Schema& schema,
+                          const Vocabulary& vocab);
+
+/// Convenience: builds a store from the graph's data triples and saturates it
+/// against the graph's (finalized) schema.
+SaturationResult SaturateGraph(const Graph& graph);
+
+/// Incremental maintenance under insertions (paper §1: saturation "must be
+/// recomputed upon updates"; [4] studies the maintenance cost this bounds).
+/// Because the database fragment's instance-level rules each have a single
+/// data-triple premise (once the schema closures are precomputed), the
+/// saturation of (old ∪ delta) equals old-saturation ∪ saturation(delta):
+/// only the delta is reasoned over, then merged. Schema updates still
+/// require full resaturation.
+SaturationResult IncrementalSaturate(const TripleStore& saturated,
+                                     const std::vector<Triple>& delta,
+                                     const Schema& schema,
+                                     const Vocabulary& vocab);
+
+/// Reference implementation: naive fixpoint applying the immediate
+/// entailment rules (Fig 2 semantics) until no new triple appears. Exists to
+/// cross-check `Saturate` in tests; quadratic, do not use on large stores.
+std::vector<Triple> NaiveFixpointSaturation(std::vector<Triple> triples,
+                                            const std::vector<Triple>& schema,
+                                            const Vocabulary& vocab);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_REASONER_SATURATION_H_

@@ -1,0 +1,98 @@
+#include "reformulation/minimize.h"
+
+#include <algorithm>
+
+namespace rdfopt {
+
+namespace {
+
+bool Contains(const std::vector<ValueId>& sorted, ValueId v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+}  // namespace
+
+bool AtomEntails(const TriplePattern& by, const TriplePattern& atom,
+                 const Schema& schema, const Vocabulary& vocab) {
+  if (by == atom) return true;
+
+  const bool atom_is_type =
+      !atom.p.is_var() && atom.p.value() == vocab.rdf_type;
+  const bool by_is_type = !by.p.is_var() && by.p.value() == vocab.rdf_type;
+
+  if (atom_is_type && !atom.o.is_var()) {
+    const ValueId cls = atom.o.value();
+    if (by_is_type && !by.o.is_var() && by.s == atom.s) {
+      // (s type C') with C' <=sc C.
+      return Contains(schema.SuperClassesOf(by.o.value()), cls) &&
+             by.o.value() != cls;
+    }
+    if (!by.p.is_var() && !by_is_type) {
+      const ValueId p = by.p.value();
+      // (s p o): entailed domain includes C.
+      if (by.s == atom.s && Contains(schema.EntailedDomainClasses(p), cls)) {
+        return true;
+      }
+      // (o p s): entailed range includes C.
+      if (by.o == atom.s && Contains(schema.EntailedRangeClasses(p), cls)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  if (!atom.p.is_var() && !by.p.is_var() && !atom_is_type && !by_is_type) {
+    // (s p' o) with p' <=sp p, identical subject/object terms.
+    return by.s == atom.s && by.o == atom.o &&
+           by.p.value() != atom.p.value() &&
+           Contains(schema.SuperPropertiesOf(by.p.value()), atom.p.value());
+  }
+  return false;
+}
+
+MinimizationResult MinimizeQuery(const ConjunctiveQuery& cq,
+                                 const Schema& schema,
+                                 const Vocabulary& vocab) {
+  MinimizationResult result;
+  std::vector<bool> removed(cq.atoms.size(), false);
+
+  for (size_t i = 0; i < cq.atoms.size(); ++i) {
+    const TriplePattern& atom = cq.atoms[i];
+    // Entailed by a surviving atom?
+    bool entailed = false;
+    for (size_t j = 0; j < cq.atoms.size() && !entailed; ++j) {
+      if (j == i || removed[j]) continue;
+      entailed = AtomEntails(cq.atoms[j], atom, schema, vocab);
+    }
+    if (!entailed) continue;
+    // Every variable of the atom must stay bound by surviving atoms.
+    std::vector<VarId> atom_vars;
+    atom.AppendVariables(&atom_vars);
+    bool vars_covered = true;
+    for (VarId v : atom_vars) {
+      bool found = false;
+      for (size_t j = 0; j < cq.atoms.size() && !found; ++j) {
+        if (j == i || removed[j]) continue;
+        std::vector<VarId> other_vars;
+        cq.atoms[j].AppendVariables(&other_vars);
+        found = std::find(other_vars.begin(), other_vars.end(), v) !=
+                other_vars.end();
+      }
+      vars_covered &= found;
+    }
+    if (vars_covered) removed[i] = true;
+  }
+
+  result.query.head = cq.head;
+  result.query.head_bindings = cq.head_bindings;
+  for (size_t i = 0; i < cq.atoms.size(); ++i) {
+    if (removed[i]) {
+      result.removed_atoms.push_back(i);
+    } else {
+      result.query.atoms.push_back(cq.atoms[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,51 @@
+#ifndef RDFOPT_REFORMULATION_MINIMIZE_H_
+#define RDFOPT_REFORMULATION_MINIMIZE_H_
+
+#include <vector>
+
+#include "rdf/vocabulary.h"
+#include "schema/schema.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// Removal of query atoms redundant w.r.t. the RDFS constraints.
+///
+/// Paper, footnote 3: "A query triple is redundant when it can be inferred
+/// from the others based on the RDFS constraints. For instance, when looking
+/// for x such that x is a person and x has a social security number, if we
+/// know that only people have such numbers, the triple 'x is a person' is
+/// redundant." The paper removes such triples from the benchmark queries by
+/// hand; this module does it mechanically, so arbitrary user queries get the
+/// same treatment before reformulation (each redundant atom would otherwise
+/// multiply the UCQ size by its reformulation count).
+///
+/// An atom is removed when another atom *RDFS-entails* it:
+///  * (s rdf:type C) is entailed by (s rdf:type C') with C' ≼sc C, by
+///    (s p o) whose entailed domain includes C, and by (o p s) whose
+///    entailed range includes C;
+///  * (s p o) is entailed by (s p' o) with p' ≼sp p (identical s/o terms).
+///
+/// Only atoms whose variables all remain bound by the surviving atoms are
+/// removed (so head variables and join structure are preserved), and atoms
+/// are considered in order, each checked against the current survivors —
+/// mutual-redundancy pairs keep their first member.
+struct MinimizationResult {
+  ConjunctiveQuery query;
+  /// Indices (into the original atom list) of the removed atoms.
+  std::vector<size_t> removed_atoms;
+};
+
+/// `schema` must be finalized.
+MinimizationResult MinimizeQuery(const ConjunctiveQuery& cq,
+                                 const Schema& schema,
+                                 const Vocabulary& vocab);
+
+/// True iff `by` RDFS-entails `atom` per the rules above (used by the
+/// minimizer; exposed for tests).
+bool AtomEntails(const TriplePattern& by, const TriplePattern& atom,
+                 const Schema& schema, const Vocabulary& vocab);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_REFORMULATION_MINIMIZE_H_

@@ -1,0 +1,250 @@
+#include "reformulation/reformulator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rdfopt {
+
+namespace {
+
+PatternTerm SubstituteTerm(
+    const PatternTerm& term,
+    const std::vector<std::pair<VarId, ValueId>>& substitution) {
+  if (!term.is_var()) return term;
+  for (const auto& [v, c] : substitution) {
+    if (v == term.var()) return PatternTerm::Const(c);
+  }
+  return term;
+}
+
+// Merges two sorted substitutions; returns false on a conflicting binding.
+bool MergeSubstitutions(const std::vector<std::pair<VarId, ValueId>>& a,
+                        const std::vector<std::pair<VarId, ValueId>>& b,
+                        std::vector<std::pair<VarId, ValueId>>* out) {
+  out->clear();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      out->push_back(a[i++]);
+    } else if (b[j].first < a[i].first) {
+      out->push_back(b[j++]);
+    } else {
+      if (a[i].second != b[j].second) return false;
+      out->push_back(a[i++]);
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + i, a.end());
+  out->insert(out->end(), b.begin() + j, b.end());
+  return true;
+}
+
+// Dedup key of an atom reformulation, invariant under renaming of fresh
+// variables (ids >= base).
+std::string AtomKey(const AtomReformulation& ref, size_t base) {
+  ConjunctiveQuery cq;
+  cq.atoms.push_back(ref.atom);
+  std::string key = CanonicalKey(cq, base);
+  for (const auto& [v, c] : ref.substitution) {
+    key += "s" + std::to_string(v) + "=" + std::to_string(c) + ",";
+  }
+  return key;
+}
+
+}  // namespace
+
+TriplePattern ApplySubstitution(
+    const TriplePattern& atom,
+    const std::vector<std::pair<VarId, ValueId>>& substitution) {
+  return TriplePattern{SubstituteTerm(atom.s, substitution),
+                       SubstituteTerm(atom.p, substitution),
+                       SubstituteTerm(atom.o, substitution)};
+}
+
+void Reformulator::ReformulateTypeConstant(
+    const TriplePattern& atom, VarTable* vars,
+    std::vector<AtomReformulation>* out) const {
+  const ValueId cls = atom.o.value();
+  const PatternTerm type = PatternTerm::Const(vocab_->rdf_type);
+  // Identity first (the closure is reflexive but sorted by id).
+  out->push_back({TriplePattern{atom.s, type, PatternTerm::Const(cls)}, {}});
+  for (ValueId sub : schema_->SubClassesOf(cls)) {
+    if (sub == cls) continue;
+    out->push_back(
+        {TriplePattern{atom.s, type, PatternTerm::Const(sub)}, {}});
+  }
+  for (ValueId prop : schema_->PropertiesWithDomainEntailing(cls)) {
+    PatternTerm fresh = PatternTerm::Var(vars->Fresh());
+    out->push_back(
+        {TriplePattern{atom.s, PatternTerm::Const(prop), fresh}, {}});
+  }
+  for (ValueId prop : schema_->PropertiesWithRangeEntailing(cls)) {
+    PatternTerm fresh = PatternTerm::Var(vars->Fresh());
+    out->push_back(
+        {TriplePattern{fresh, PatternTerm::Const(prop), atom.s}, {}});
+  }
+}
+
+std::vector<AtomReformulation> Reformulator::ReformulateAtom(
+    const TriplePattern& atom, VarTable* vars) const {
+  const size_t base = vars->size();
+  std::vector<AtomReformulation> raw;
+
+  if (!atom.p.is_var()) {
+    const ValueId p = atom.p.value();
+    if (p == vocab_->rdf_type) {
+      if (!atom.o.is_var()) {
+        // (s, rdf:type, C): subclasses, then domain/range-entailing
+        // properties. Includes the identity via the reflexive closure.
+        ReformulateTypeConstant(atom, vars, &raw);
+      } else {
+        // (s, rdf:type, Y): the atom itself, plus each schema class
+        // instantiation expanded in turn (paper Example 4).
+        raw.push_back({atom, {}});
+        const VarId y = atom.o.var();
+        for (ValueId cls : schema_->AllClasses()) {
+          std::vector<std::pair<VarId, ValueId>> subst = {{y, cls}};
+          TriplePattern instantiated = ApplySubstitution(atom, subst);
+          std::vector<AtomReformulation> inner;
+          ReformulateTypeConstant(instantiated, vars, &inner);
+          for (AtomReformulation& ref : inner) {
+            ref.substitution = subst;
+            raw.push_back(std::move(ref));
+          }
+        }
+      }
+    } else {
+      // Plain property: subproperty closure, identity first.
+      raw.push_back({atom, {}});
+      for (ValueId sub : schema_->SubPropertiesOf(p)) {
+        if (sub == p) continue;
+        raw.push_back(
+            {TriplePattern{atom.s, PatternTerm::Const(sub), atom.o}, {}});
+      }
+    }
+    // Fall through to dedup below.
+  } else {
+    // (s, P, o) with P a variable: the atom itself, each schema property
+    // instantiation expanded, and the rdf:type instantiation expanded.
+    raw.push_back({atom, {}});
+    const VarId pv = atom.p.var();
+    for (ValueId prop : schema_->AllProperties()) {
+      std::vector<std::pair<VarId, ValueId>> subst = {{pv, prop}};
+      TriplePattern instantiated = ApplySubstitution(atom, subst);
+      for (ValueId sub : schema_->SubPropertiesOf(prop)) {
+        AtomReformulation ref;
+        ref.atom = TriplePattern{instantiated.s, PatternTerm::Const(sub),
+                                 instantiated.o};
+        ref.substitution = subst;
+        raw.push_back(std::move(ref));
+      }
+    }
+    {
+      std::vector<std::pair<VarId, ValueId>> subst = {{pv, vocab_->rdf_type}};
+      TriplePattern instantiated = ApplySubstitution(atom, subst);
+      std::vector<AtomReformulation> inner =
+          ReformulateAtom(instantiated, vars);
+      for (AtomReformulation& ref : inner) {
+        std::vector<std::pair<VarId, ValueId>> merged;
+        if (!MergeSubstitutions(subst, ref.substitution, &merged)) continue;
+        ref.substitution = std::move(merged);
+        raw.push_back(std::move(ref));
+      }
+    }
+  }
+
+  // Dedup, preserving order (identity stays first where present).
+  std::vector<AtomReformulation> out;
+  out.reserve(raw.size());
+  std::unordered_set<std::string> seen;
+  for (AtomReformulation& ref : raw) {
+    if (seen.insert(AtomKey(ref, base)).second) {
+      out.push_back(std::move(ref));
+    }
+  }
+  return out;
+}
+
+size_t Reformulator::CountAtomReformulations(const TriplePattern& atom,
+                                             const VarTable& vars) const {
+  VarTable scratch = vars;
+  return ReformulateAtom(atom, &scratch).size();
+}
+
+size_t Reformulator::EstimateDisjuncts(const ConjunctiveQuery& cq,
+                                       const VarTable& vars) const {
+  size_t product = 1;
+  for (const TriplePattern& atom : cq.atoms) {
+    size_t n = CountAtomReformulations(atom, vars);
+    if (n != 0 && product > SIZE_MAX / n) return SIZE_MAX;  // Saturate.
+    product *= n;
+  }
+  return product;
+}
+
+Result<UnionQuery> Reformulator::ReformulateCQ(const ConjunctiveQuery& cq,
+                                               VarTable* vars,
+                                               size_t max_disjuncts) const {
+  const size_t base = vars->size();
+  std::vector<std::vector<AtomReformulation>> per_atom;
+  per_atom.reserve(cq.atoms.size());
+  size_t product = 1;
+  for (const TriplePattern& atom : cq.atoms) {
+    per_atom.push_back(ReformulateAtom(atom, vars));
+    size_t n = per_atom.back().size();
+    product = (n != 0 && product > SIZE_MAX / n) ? SIZE_MAX : product * n;
+  }
+  if (product > max_disjuncts) {
+    return Status::QueryTooComplex(
+        "UCQ reformulation would have " + std::to_string(product) +
+        " disjuncts, over the limit of " + std::to_string(max_disjuncts));
+  }
+
+  UnionQuery ucq;
+  ucq.head = cq.head;
+  std::unordered_set<uint64_t> seen;
+
+  std::vector<size_t> odometer(cq.atoms.size(), 0);
+  std::vector<std::pair<VarId, ValueId>> merged;
+  std::vector<std::pair<VarId, ValueId>> scratch;
+  for (;;) {
+    // Merge the substitutions of the current combination.
+    merged.clear();
+    bool compatible = true;
+    for (size_t i = 0; i < odometer.size() && compatible; ++i) {
+      const auto& subst = per_atom[i][odometer[i]].substitution;
+      if (subst.empty()) continue;
+      compatible = MergeSubstitutions(merged, subst, &scratch);
+      if (compatible) merged.swap(scratch);
+    }
+    if (compatible) {
+      ConjunctiveQuery disjunct;
+      disjunct.head = cq.head;
+      disjunct.atoms.reserve(cq.atoms.size());
+      for (size_t i = 0; i < odometer.size(); ++i) {
+        disjunct.atoms.push_back(
+            ApplySubstitution(per_atom[i][odometer[i]].atom, merged));
+      }
+      for (const auto& [v, c] : merged) {
+        if (std::find(cq.head.begin(), cq.head.end(), v) != cq.head.end()) {
+          disjunct.head_bindings.emplace_back(v, c);
+        }
+      }
+      if (seen.insert(CanonicalHash(disjunct, base)).second) {
+        ucq.disjuncts.push_back(std::move(disjunct));
+      }
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < odometer.size()) {
+      if (++odometer[pos] < per_atom[pos].size()) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == odometer.size()) break;
+  }
+  return ucq;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,98 @@
+#ifndef RDFOPT_REFORMULATION_REFORMULATOR_H_
+#define RDFOPT_REFORMULATION_REFORMULATOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/vocabulary.h"
+#include "schema/schema.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// One alternative produced by reformulating a single atom: the rewritten
+/// atom plus the substitution of *original query variables* it commits to
+/// (non-empty only when a class-/property-position variable was instantiated
+/// against a schema value, as in paper Example 4 where y is bound to Book).
+struct AtomReformulation {
+  TriplePattern atom;
+  /// Sorted by variable id; disjoint variables only.
+  std::vector<std::pair<VarId, ValueId>> substitution;
+};
+
+/// CQ-to-UCQ query reformulation for the database fragment of RDF
+/// (paper §2.3, the `Reformulate` algorithm of [4]/[23]).
+///
+/// Reformulation is per-atom backward chaining over the finalized schema
+/// closures; a CQ's UCQ reformulation is the substitution-unified cross
+/// product of its atoms' reformulation sets. This matches the paper's
+/// arithmetic: q1's atoms have 188, 4 and 3 reformulations and its UCQ
+/// reformulation has 188 x 4 x 3 = 2256 disjuncts.
+///
+/// Per-atom rules (closures are reflexive-transitive):
+///
+///  * (s, p, o), p a plain property   -> (s, p', o) for p' in SubPropertiesOf(p)
+///  * (s, rdf:type, C), C a constant  -> (s, rdf:type, C') for C' in SubClassesOf(C)
+///                                     | (s, p', fresh)  for p' whose domain entails C
+///                                     | (fresh, p', s)  for p' whose range entails C
+///  * (s, rdf:type, Y), Y a variable  -> the atom itself
+///                                     | every reformulation of (s, rdf:type, C)
+///                                       with substitution {Y -> C}, for each
+///                                       schema class C (Example 4)
+///  * (s, P, o), P a variable         -> the atom itself
+///                                     | every reformulation of (s, p, o) with
+///                                       {P -> p}, for each schema property p
+///                                     | every reformulation of (s, rdf:type, o)
+///                                       with {P -> rdf:type}
+///
+/// Instantiating variables only against *schema* classes/properties is
+/// complete: a reformulation instantiated with a value subject to no
+/// constraint rewrites only to itself, and those answers are already
+/// produced by the uninstantiated atom.
+class Reformulator {
+ public:
+  /// `schema` must be finalized and must outlive the reformulator.
+  Reformulator(const Schema* schema, const Vocabulary* vocab)
+      : schema_(schema), vocab_(vocab) {}
+
+  /// All reformulations of one atom. Fresh non-distinguished variables are
+  /// drawn from `vars`. Exact duplicates (modulo fresh-variable renaming)
+  /// are removed; the identity alternative is always first.
+  std::vector<AtomReformulation> ReformulateAtom(const TriplePattern& atom,
+                                                 VarTable* vars) const;
+
+  /// Size of ReformulateAtom's result without touching the caller's
+  /// VarTable (the paper's per-triple "#reformulations", Tables 1 and 3).
+  size_t CountAtomReformulations(const TriplePattern& atom,
+                                 const VarTable& vars) const;
+
+  /// Upper bound on the number of disjuncts of the CQ's UCQ reformulation:
+  /// the product of the per-atom counts, saturating at SIZE_MAX.
+  size_t EstimateDisjuncts(const ConjunctiveQuery& cq,
+                           const VarTable& vars) const;
+
+  /// The UCQ reformulation of `cq` (paper's q_ref): cross product of the
+  /// per-atom sets with substitution unification, substitutions applied,
+  /// head bindings recorded, duplicates removed. Fails with
+  /// kQueryTooComplex when the (pre-unification) product exceeds
+  /// `max_disjuncts`.
+  Result<UnionQuery> ReformulateCQ(const ConjunctiveQuery& cq, VarTable* vars,
+                                   size_t max_disjuncts = SIZE_MAX) const;
+
+ private:
+  void ReformulateTypeConstant(const TriplePattern& atom, VarTable* vars,
+                               std::vector<AtomReformulation>* out) const;
+
+  const Schema* schema_;
+  const Vocabulary* vocab_;
+};
+
+/// Applies a substitution to every position of an atom.
+TriplePattern ApplySubstitution(
+    const TriplePattern& atom,
+    const std::vector<std::pair<VarId, ValueId>>& substitution);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_REFORMULATION_REFORMULATOR_H_

@@ -1,0 +1,107 @@
+#include "reformulation/subsumption.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace rdfopt {
+
+namespace {
+
+/// Partial homomorphism from the general query's variables to terms of the
+/// specific query, with an undo trail for backtracking.
+struct Homomorphism {
+  std::unordered_map<VarId, PatternTerm> map;
+
+  bool Unify(const PatternTerm& general_term, const PatternTerm& image,
+             std::vector<VarId>* trail) {
+    if (!general_term.is_var()) return general_term == image;
+    auto it = map.find(general_term.var());
+    if (it != map.end()) return it->second == image;
+    map.emplace(general_term.var(), image);
+    trail->push_back(general_term.var());
+    return true;
+  }
+
+  void Undo(const std::vector<VarId>& trail) {
+    for (VarId v : trail) map.erase(v);
+  }
+};
+
+bool Search(const std::vector<TriplePattern>& general_atoms, size_t index,
+            const std::vector<TriplePattern>& specific_atoms,
+            Homomorphism* hom) {
+  if (index == general_atoms.size()) return true;
+  const TriplePattern& atom = general_atoms[index];
+  for (const TriplePattern& target : specific_atoms) {
+    std::vector<VarId> trail;
+    if (hom->Unify(atom.s, target.s, &trail) &&
+        hom->Unify(atom.p, target.p, &trail) &&
+        hom->Unify(atom.o, target.o, &trail)) {
+      if (Search(general_atoms, index + 1, specific_atoms, hom)) return true;
+    }
+    hom->Undo(trail);
+  }
+  return false;
+}
+
+/// Binding of `var` in the query's head_bindings, or kInvalidValueId.
+ValueId BindingOf(const ConjunctiveQuery& cq, VarId var) {
+  for (const auto& [v, c] : cq.head_bindings) {
+    if (v == var) return c;
+  }
+  return kInvalidValueId;
+}
+
+}  // namespace
+
+bool CqSubsumes(const ConjunctiveQuery& general,
+                const ConjunctiveQuery& specific) {
+  if (general.head != specific.head) return false;
+
+  Homomorphism hom;
+  std::vector<VarId> trail;  // Never undone: head constraints are fixed.
+  for (VarId v : general.head) {
+    ValueId general_bound = BindingOf(general, v);
+    ValueId specific_bound = BindingOf(specific, v);
+    if (general_bound != kInvalidValueId) {
+      // The general disjunct outputs a constant for v: it covers the
+      // specific one only if that one outputs the same constant.
+      if (specific_bound != general_bound) return false;
+      continue;  // v occurs in neither body; nothing to map.
+    }
+    PatternTerm image = specific_bound != kInvalidValueId
+                            ? PatternTerm::Const(specific_bound)
+                            : PatternTerm::Var(v);
+    if (!hom.Unify(PatternTerm::Var(v), image, &trail)) return false;
+  }
+  return Search(general.atoms, 0, specific.atoms, &hom);
+}
+
+size_t PruneSubsumedDisjuncts(UnionQuery* ucq) {
+  const size_t n = ucq->disjuncts.size();
+  std::vector<bool> removed(n, false);
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j || removed[j]) continue;
+      if (!CqSubsumes(ucq->disjuncts[j], ucq->disjuncts[i])) continue;
+      // Mutual subsumption (equivalent disjuncts): keep the earlier one.
+      if (CqSubsumes(ucq->disjuncts[i], ucq->disjuncts[j]) && j > i) {
+        continue;
+      }
+      removed[i] = true;
+      ++count;
+      break;
+    }
+  }
+  if (count == 0) return 0;
+  std::vector<ConjunctiveQuery> kept;
+  kept.reserve(n - count);
+  for (size_t i = 0; i < n; ++i) {
+    if (!removed[i]) kept.push_back(std::move(ucq->disjuncts[i]));
+  }
+  ucq->disjuncts = std::move(kept);
+  return count;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,40 @@
+#ifndef RDFOPT_REFORMULATION_SUBSUMPTION_H_
+#define RDFOPT_REFORMULATION_SUBSUMPTION_H_
+
+#include <cstddef>
+
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// Conjunctive-query containment and subsumption pruning of UCQ disjuncts.
+///
+/// State-of-the-art reformulations "may contain redundant CQs" (paper §1,
+/// discussing [11]'s hybrid approach); e.g. the Example 4 reformulation
+/// contains q(x, Book) :- x rdf:type Book, every answer of which the
+/// generic disjunct q(x, y) :- x rdf:type y also returns. Dropping such
+/// subsumed disjuncts shrinks the union the engine must evaluate without
+/// changing the answer set (set semantics).
+///
+/// Containment is decided by the classic homomorphism criterion: `general`
+/// contains `specific` iff there is a homomorphism from `general`'s body
+/// into `specific`'s body that maps every answer of `specific` to itself —
+/// head variables map to themselves, or to the constant `specific`'s
+/// head_bindings fix them to. NP-hard in general; the backtracking search
+/// is exponential only in the (tiny) atom count of `general`.
+
+/// True iff every answer of `specific` is an answer of `general` on every
+/// database (no reasoning: plain CQ containment). Both queries must have
+/// the same head variable list.
+bool CqSubsumes(const ConjunctiveQuery& general,
+                const ConjunctiveQuery& specific);
+
+/// Removes from `ucq` every disjunct subsumed by another disjunct (keeping
+/// the subsumer; for mutually subsuming pairs the earlier disjunct wins).
+/// Returns the number removed. Quadratic with a homomorphism test per pair:
+/// intended for UCQs up to a few thousand disjuncts (callers gate on size).
+size_t PruneSubsumedDisjuncts(UnionQuery* ucq);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_REFORMULATION_SUBSUMPTION_H_

@@ -1,0 +1,253 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "rdf/vocabulary.h"
+
+namespace rdfopt {
+
+namespace {
+
+bool IsNameStart(char c) { return std::isalpha(static_cast<unsigned char>(c)); }
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+// ASCII-case-insensitive keyword comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Propagates an error Status into any Result<T> return type.
+#define PARSER_RETURN_NOT_OK(expr)        \
+  do {                                    \
+    ::rdfopt::Status _st = (expr);        \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+// Unpacks a Result expression or propagates its error Status.
+#define PARSER_ASSIGN_OR_RETURN(lhs, expr) \
+  {                                        \
+    auto _res = (expr);                    \
+    if (!_res.ok()) return _res.status();  \
+    lhs = _res.TakeValue();                \
+  }
+
+class Parser {
+ public:
+  Parser(std::string_view text, Dictionary* dict) : text_(text), dict_(dict) {
+    prefixes_["rdf"] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    prefixes_["rdfs"] = "http://www.w3.org/2000/01/rdf-schema#";
+  }
+
+  Result<Query> Parse() {
+    Query query;
+    PARSER_RETURN_NOT_OK(ParsePrefixes());
+    SkipWs();
+    bool is_ask = false;
+    if (TryKeyword("ASK")) {
+      is_ask = true;
+    } else if (!TryKeyword("SELECT")) {
+      return Error("expected SELECT or ASK");
+    }
+    if (!is_ask) {
+      for (;;) {
+        SkipWs();
+        if (Peek() != '?') break;
+        std::string name;
+        PARSER_RETURN_NOT_OK(ReadVarName(&name));
+        query.cq.head.push_back(query.vars.GetOrCreate(name));
+      }
+      if (query.cq.head.empty()) {
+        return Error(
+            "SELECT requires at least one variable (use ASK for boolean "
+            "queries)");
+      }
+    }
+    if (!TryKeyword("WHERE")) return Error("expected WHERE");
+    SkipWs();
+    if (!TryConsume('{')) return Error("expected '{'");
+    for (;;) {
+      SkipWs();
+      if (TryConsume('}')) break;
+      TriplePattern atom{PatternTerm::Const(0), PatternTerm::Const(0),
+                         PatternTerm::Const(0)};
+      PARSER_ASSIGN_OR_RETURN(atom.s, ParsePatternTerm(&query, false));
+      PARSER_ASSIGN_OR_RETURN(atom.p, ParsePatternTerm(&query, true));
+      PARSER_ASSIGN_OR_RETURN(atom.o, ParsePatternTerm(&query, false));
+      query.cq.atoms.push_back(atom);
+      SkipWs();
+      if (TryConsume('.')) continue;
+      SkipWs();
+      if (TryConsume('}')) break;
+      return Error("expected '.' or '}' after triple pattern");
+    }
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing content after query");
+    if (query.cq.atoms.empty()) return Error("empty BGP");
+
+    // Every head variable must be bound by some atom.
+    std::vector<VarId> body_vars = query.cq.AllVariables();
+    for (VarId v : query.cq.head) {
+      bool found = false;
+      for (VarId w : body_vars) found |= (w == v);
+      if (!found) {
+        return Error("head variable ?" + query.vars.name(v) +
+                     " does not occur in the BGP");
+      }
+    }
+    return query;
+  }
+
+ private:
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool TryConsume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool TryKeyword(std::string_view kw) {
+    SkipWs();
+    if (pos_ + kw.size() > text_.size()) return false;
+    std::string_view candidate = text_.substr(pos_, kw.size());
+    if (!EqualsIgnoreCase(candidate, kw)) return false;
+    size_t after = pos_ + kw.size();
+    if (after < text_.size() && IsNameChar(text_[after])) return false;
+    pos_ = after;
+    return true;
+  }
+
+  Status ReadVarName(std::string* out) {
+    if (Peek() != '?') return Error("expected '?'");
+    ++pos_;
+    if (!IsNameStart(Peek())) {
+      return Error("variable name must start with a letter");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status ParsePrefixes() {
+    for (;;) {
+      if (!TryKeyword("PREFIX")) return Status::OK();
+      SkipWs();
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+      std::string pname(text_.substr(start, pos_ - start));
+      if (pname.empty() || !TryConsume(':')) {
+        return Error("malformed PREFIX declaration");
+      }
+      SkipWs();
+      if (!TryConsume('<')) return Error("expected '<' after prefix");
+      size_t iri_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+      if (pos_ == text_.size()) return Error("unterminated IRI");
+      prefixes_[pname] = std::string(text_.substr(iri_start, pos_ - iri_start));
+      ++pos_;  // '>'
+    }
+  }
+
+  Result<PatternTerm> ParsePatternTerm(Query* query, bool property_position) {
+    SkipWs();
+    char c = Peek();
+    if (c == '?') {
+      std::string name;
+      PARSER_RETURN_NOT_OK(ReadVarName(&name));
+      return PatternTerm::Var(query->vars.GetOrCreate(name));
+    }
+    if (c == '<') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+      if (pos_ == text_.size()) return Result<PatternTerm>(
+          Error("unterminated IRI"));
+      std::string iri(text_.substr(start, pos_ - start));
+      ++pos_;
+      return PatternTerm::Const(dict_->InternIri(iri));
+    }
+    if (c == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ == text_.size()) return Result<PatternTerm>(
+          Error("unterminated literal"));
+      std::string lit(text_.substr(start, pos_ - start));
+      ++pos_;
+      return PatternTerm::Const(dict_->InternLiteral(lit));
+    }
+    if (IsNameStart(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+      std::string name(text_.substr(start, pos_ - start));
+      if (Peek() == ':') {
+        ++pos_;
+        size_t lstart = pos_;
+        while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+        std::string local(text_.substr(lstart, pos_ - lstart));
+        auto it = prefixes_.find(name);
+        if (it == prefixes_.end()) {
+          return Result<PatternTerm>(Error("undeclared prefix '" + name +
+                                           ":'"));
+        }
+        return PatternTerm::Const(dict_->InternIri(it->second + local));
+      }
+      if (property_position && name == "a") {
+        return PatternTerm::Const(
+            dict_->InternIri(std::string(kRdfType)));
+      }
+      return Result<PatternTerm>(
+          Error("bare name '" + name + "' is not a valid term"));
+    }
+    return Result<PatternTerm>(
+        Error(std::string("unexpected character '") + c + "'"));
+  }
+
+  Status Error(std::string msg) const {
+    return Status::ParseError("query position " + std::to_string(pos_) + ": " +
+                              std::move(msg));
+  }
+
+  std::string_view text_;
+  Dictionary* dict_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+#undef PARSER_RETURN_NOT_OK
+#undef PARSER_ASSIGN_OR_RETURN
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, Dictionary* dict) {
+  Parser parser(text, dict);
+  return parser.Parse();
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,35 @@
+#ifndef RDFOPT_SPARQL_PARSER_H_
+#define RDFOPT_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// Parses the BGP (conjunctive) subset of SPARQL the paper targets (§2.2).
+///
+/// Grammar (keywords case-insensitive):
+///
+///   query    := prefix* (select | ask)
+///   prefix   := 'PREFIX' pname ':' '<' iri '>'
+///   select   := 'SELECT' var+ 'WHERE' '{' patterns '}'
+///   ask      := 'ASK' 'WHERE' '{' patterns '}'          (boolean query)
+///   patterns := pattern ('.' pattern)* '.'?
+///   pattern  := pterm pterm pterm
+///   pterm    := var | '<' iri '>' | pname ':' local | '"' chars '"'
+///             | 'a'                                     (= rdf:type)
+///   var      := '?' [A-Za-z][A-Za-z0-9_]*
+///
+/// The `rdf:` and `rdfs:` prefixes are predeclared. Constants are interned
+/// into `dict` (a constant absent from the data simply matches nothing).
+/// Every head variable must occur in some pattern. Blank nodes in queries are
+/// not accepted; per the paper they are equivalent to fresh
+/// non-distinguished variables, so use a variable instead.
+Result<Query> ParseQuery(std::string_view text, Dictionary* dict);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_SPARQL_PARSER_H_

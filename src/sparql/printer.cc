@@ -1,0 +1,78 @@
+#include "sparql/printer.h"
+
+namespace rdfopt {
+
+std::string ToString(const PatternTerm& term, const VarTable& vars,
+                     const Dictionary& dict) {
+  if (term.is_var()) return "?" + vars.name(term.var());
+  return dict.term(term.value()).Encoded();
+}
+
+std::string ToString(const TriplePattern& atom, const VarTable& vars,
+                     const Dictionary& dict) {
+  return ToString(atom.s, vars, dict) + " " + ToString(atom.p, vars, dict) +
+         " " + ToString(atom.o, vars, dict);
+}
+
+namespace {
+
+std::string HeadToString(const std::vector<VarId>& head,
+                         const VarTable& vars) {
+  std::string out = "q(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "?" + vars.name(head[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const ConjunctiveQuery& cq, const VarTable& vars,
+                     const Dictionary& dict) {
+  std::string out = HeadToString(cq.head, vars) + " :- ";
+  for (size_t i = 0; i < cq.atoms.size(); ++i) {
+    if (i > 0) out += " . ";
+    out += ToString(cq.atoms[i], vars, dict);
+  }
+  return out;
+}
+
+std::string ToString(const UnionQuery& ucq, const VarTable& vars,
+                     const Dictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < ucq.disjuncts.size(); ++i) {
+    if (i > 0) out += "\nUNION ";
+    out += ToString(ucq.disjuncts[i], vars, dict);
+  }
+  return out;
+}
+
+std::string ToString(const JoinOfUnions& jucq, const VarTable& vars,
+                     const Dictionary& dict) {
+  constexpr size_t kFullListingLimit = 8;
+  std::string out = "JUCQ " + HeadToString(jucq.head, vars) + " = JOIN of " +
+                    std::to_string(jucq.components.size()) + " UCQ(s):\n";
+  for (size_t i = 0; i < jucq.components.size(); ++i) {
+    const UnionQuery& component = jucq.components[i];
+    out += "  [" + std::to_string(i) + "] " +
+           HeadToString(component.head, vars) + ", " +
+           std::to_string(component.size()) + " disjunct(s)";
+    if (component.size() <= kFullListingLimit) {
+      out += ":\n";
+      for (const ConjunctiveQuery& cq : component.disjuncts) {
+        out += "      " + ToString(cq, vars, dict) + "\n";
+      }
+    } else {
+      out += " (listing elided)\n";
+    }
+  }
+  return out;
+}
+
+std::string ToString(const Query& query, const Dictionary& dict) {
+  return ToString(query.cq, query.vars, dict);
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,38 @@
+#ifndef RDFOPT_SPARQL_PRINTER_H_
+#define RDFOPT_SPARQL_PRINTER_H_
+
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// Human-readable renderings of queries, used by examples, diagnostics and
+/// test failure messages. Variables print as `?name`, constants in their
+/// canonical N-Triples encoding.
+
+std::string ToString(const PatternTerm& term, const VarTable& vars,
+                     const Dictionary& dict);
+
+std::string ToString(const TriplePattern& atom, const VarTable& vars,
+                     const Dictionary& dict);
+
+/// `q(?x, ?y) :- ?x <p> ?y . ?y a <C> .`
+std::string ToString(const ConjunctiveQuery& cq, const VarTable& vars,
+                     const Dictionary& dict);
+
+/// One disjunct per line, prefixed by `UNION`.
+std::string ToString(const UnionQuery& ucq, const VarTable& vars,
+                     const Dictionary& dict);
+
+/// Structural summary: heads and per-component disjunct counts; full CQ
+/// listings for small components.
+std::string ToString(const JoinOfUnions& jucq, const VarTable& vars,
+                     const Dictionary& dict);
+
+std::string ToString(const Query& query, const Dictionary& dict);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_SPARQL_PRINTER_H_

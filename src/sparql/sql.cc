@@ -1,0 +1,222 @@
+#include "sparql/sql.h"
+
+#include <cassert>
+#include <cctype>
+#include <vector>
+
+namespace rdfopt {
+
+namespace {
+
+const char* Sep(const SqlOptions& options) {
+  return options.pretty ? "\n" : " ";
+}
+
+// Occurrence of a variable: atom index + position (0=s, 1=p, 2=o).
+struct Occurrence {
+  int atom = -1;
+  int pos = -1;
+  bool valid() const { return atom >= 0; }
+};
+
+const char* kPosColumn[3] = {"s", "p", "o"};
+
+Occurrence FirstOccurrence(const ConjunctiveQuery& cq, VarId var) {
+  for (size_t a = 0; a < cq.atoms.size(); ++a) {
+    const PatternTerm* terms[3] = {&cq.atoms[a].s, &cq.atoms[a].p,
+                                   &cq.atoms[a].o};
+    for (int p = 0; p < 3; ++p) {
+      if (terms[p]->is_var() && terms[p]->var() == var) {
+        return Occurrence{static_cast<int>(a), p};
+      }
+    }
+  }
+  return Occurrence{};
+}
+
+std::string Ref(const Occurrence& occ) {
+  return "t" + std::to_string(occ.atom) + "." + kPosColumn[occ.pos];
+}
+
+}  // namespace
+
+std::string SqlColumnName(VarId var, const VarTable& vars) {
+  std::string name = vars.name(var);
+  std::string out;
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out = "v" + out;
+  }
+  return out;
+}
+
+std::string ToSql(const ConjunctiveQuery& cq, const VarTable& vars,
+                  const SqlOptions& options) {
+  assert(!cq.atoms.empty());
+  const char* sep = Sep(options);
+
+  std::string select = "SELECT DISTINCT ";
+  if (cq.head.empty()) {
+    select += "1 AS ask";
+  }
+  for (size_t i = 0; i < cq.head.size(); ++i) {
+    if (i > 0) select += ", ";
+    VarId var = cq.head[i];
+    Occurrence occ = FirstOccurrence(cq, var);
+    if (occ.valid()) {
+      select += Ref(occ);
+    } else {
+      // Bound by reformulation-time instantiation.
+      ValueId value = kInvalidValueId;
+      for (const auto& [v, c] : cq.head_bindings) {
+        if (v == var) value = c;
+      }
+      assert(value != kInvalidValueId && "unbound head variable");
+      select += std::to_string(value);
+    }
+    select += " AS " + SqlColumnName(var, vars);
+  }
+
+  std::string from = "FROM ";
+  for (size_t a = 0; a < cq.atoms.size(); ++a) {
+    if (a > 0) from += ", ";
+    from += options.triples_table + " t" + std::to_string(a);
+  }
+
+  std::vector<std::string> predicates;
+  for (size_t a = 0; a < cq.atoms.size(); ++a) {
+    const PatternTerm* terms[3] = {&cq.atoms[a].s, &cq.atoms[a].p,
+                                   &cq.atoms[a].o};
+    for (int p = 0; p < 3; ++p) {
+      std::string lhs = "t" + std::to_string(a) + "." + kPosColumn[p];
+      if (!terms[p]->is_var()) {
+        predicates.push_back(lhs + " = " + std::to_string(terms[p]->value()));
+        continue;
+      }
+      VarId var = terms[p]->var();
+      Occurrence first = FirstOccurrence(cq, var);
+      if (first.atom == static_cast<int>(a) && first.pos == p) {
+        continue;  // Defining occurrence.
+      }
+      predicates.push_back(lhs + " = " + Ref(first));
+    }
+  }
+
+  std::string sql = select + sep + from;
+  if (!predicates.empty()) {
+    sql += sep;
+    sql += "WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += predicates[i];
+    }
+  }
+  return sql;
+}
+
+std::string ToSql(const UnionQuery& ucq, const VarTable& vars,
+                  const SqlOptions& options) {
+  assert(!ucq.disjuncts.empty());
+  const char* sep = Sep(options);
+  std::string sql;
+  for (size_t i = 0; i < ucq.disjuncts.size(); ++i) {
+    if (i > 0) {
+      sql += sep;
+      sql += "UNION";  // Set semantics, as the paper requires.
+      sql += sep;
+    }
+    sql += ToSql(ucq.disjuncts[i], vars, options);
+  }
+  return sql;
+}
+
+std::string ToSql(const JoinOfUnions& jucq, const VarTable& vars,
+                  const SqlOptions& options) {
+  assert(!jucq.components.empty());
+  const char* sep = Sep(options);
+
+  // Which component first exposes each variable?
+  auto component_of = [&](VarId var) -> int {
+    for (size_t c = 0; c < jucq.components.size(); ++c) {
+      for (VarId v : jucq.components[c].head) {
+        if (v == var) return static_cast<int>(c);
+      }
+    }
+    return -1;
+  };
+
+  std::string select = "SELECT DISTINCT ";
+  if (jucq.head.empty()) select += "1 AS ask";
+  for (size_t i = 0; i < jucq.head.size(); ++i) {
+    if (i > 0) select += ", ";
+    int c = component_of(jucq.head[i]);
+    assert(c >= 0 && "JUCQ head variable not exposed by any component");
+    std::string column = SqlColumnName(jucq.head[i], vars);
+    select += "f" + std::to_string(c) + "." + column + " AS " + column;
+  }
+
+  std::string from = "FROM ";
+  for (size_t c = 0; c < jucq.components.size(); ++c) {
+    if (c > 0) from += ", ";
+    from += "(";
+    from += Sep(options);
+    from += ToSql(jucq.components[c], vars, options);
+    from += Sep(options);
+    from += ") f" + std::to_string(c);
+  }
+
+  // Join predicates: every later exposure of a variable equals its first.
+  std::vector<std::string> predicates;
+  for (size_t c = 1; c < jucq.components.size(); ++c) {
+    for (VarId v : jucq.components[c].head) {
+      int first = component_of(v);
+      if (first >= 0 && first < static_cast<int>(c)) {
+        std::string column = SqlColumnName(v, vars);
+        predicates.push_back("f" + std::to_string(c) + "." + column + " = f" +
+                             std::to_string(first) + "." + column);
+      }
+    }
+  }
+
+  std::string sql = select + sep + from;
+  if (!predicates.empty()) {
+    sql += sep;
+    sql += "WHERE ";
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (i > 0) sql += " AND ";
+      sql += predicates[i];
+    }
+  }
+
+  if (options.decode_values) {
+    // Wrap: join each output column against the dictionary.
+    std::string outer = "SELECT ";
+    for (size_t i = 0; i < jucq.head.size(); ++i) {
+      if (i > 0) outer += ", ";
+      std::string column = SqlColumnName(jucq.head[i], vars);
+      outer += "d_" + column + ".value AS " + column;
+    }
+    if (jucq.head.empty()) outer += "q.ask AS ask";
+    outer += sep;
+    outer += "FROM (" + std::string(sep) + sql + sep + ") q";
+    for (VarId v : jucq.head) {
+      std::string column = SqlColumnName(v, vars);
+      outer += ", " + options.dict_table + " d_" + column;
+    }
+    if (!jucq.head.empty()) {
+      outer += sep;
+      outer += "WHERE ";
+      for (size_t i = 0; i < jucq.head.size(); ++i) {
+        if (i > 0) outer += " AND ";
+        std::string column = SqlColumnName(jucq.head[i], vars);
+        outer += "d_" + column + ".id = q." + column;
+      }
+    }
+    return outer;
+  }
+  return sql;
+}
+
+}  // namespace rdfopt

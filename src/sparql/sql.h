@@ -1,0 +1,48 @@
+#ifndef RDFOPT_SPARQL_SQL_H_
+#define RDFOPT_SPARQL_SQL_H_
+
+#include <string>
+
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// SQL generation over the paper's relational encoding (§5.1): a
+/// dictionary-encoded table `Triples(s, p, o)` (integers) plus a dictionary
+/// table `Dict(id, value)`. This is how the paper deploys reformulations on
+/// PostgreSQL/DB2/MySQL; downstream users with a real RDBMS can ship the
+/// JUCQ chosen by GCov as one SQL statement.
+///
+/// Shapes produced:
+///  * CQ    -> SELECT DISTINCT ... FROM triples t0, triples t1 WHERE ...
+///  * UCQ   -> SELECT ... UNION SELECT ... (set semantics = UNION)
+///  * JUCQ  -> SELECT DISTINCT ... FROM (<ucq>) f0, (<ucq>) f1
+///             WHERE f0.x = f1.x ...
+///
+/// Head variables bound to constants by reformulation (head_bindings) become
+/// literal select items, exactly like the q(x, Book) disjuncts of Example 4.
+struct SqlOptions {
+  std::string triples_table = "triples";
+  std::string dict_table = "dict";
+  /// Wrap the query in a final join against the dictionary, returning
+  /// lexical values instead of integer ids.
+  bool decode_values = false;
+  /// Pretty-print with newlines between clauses/terms.
+  bool pretty = true;
+};
+
+/// Column-safe identifier for a query variable ("x", "v_1", ...).
+std::string SqlColumnName(VarId var, const VarTable& vars);
+
+std::string ToSql(const ConjunctiveQuery& cq, const VarTable& vars,
+                  const SqlOptions& options = {});
+
+std::string ToSql(const UnionQuery& ucq, const VarTable& vars,
+                  const SqlOptions& options = {});
+
+std::string ToSql(const JoinOfUnions& jucq, const VarTable& vars,
+                  const SqlOptions& options = {});
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_SPARQL_SQL_H_

@@ -1,0 +1,47 @@
+#include "storage/statistics.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rdfopt {
+
+Statistics Statistics::Compute(const TripleStore& store) {
+  Statistics stats;
+  stats.total_triples_ = store.size();
+
+  // Distinct subjects: contiguous in the SPO-ordered full scan.
+  ValueId prev_s = kInvalidValueId;
+  for (const Triple& t : store.All()) {
+    if (t.s != prev_s) {
+      ++stats.distinct_subjects_;
+      prev_s = t.s;
+    }
+  }
+
+  // Distinct objects: via a sorted copy (the store's OSP index is private to
+  // Match(); one extra sort at statistics time is acceptable).
+  {
+    std::vector<ValueId> objects;
+    objects.reserve(store.size());
+    for (const Triple& t : store.All()) objects.push_back(t.o);
+    std::sort(objects.begin(), objects.end());
+    stats.distinct_objects_ = static_cast<size_t>(
+        std::unique(objects.begin(), objects.end()) - objects.begin());
+  }
+
+  for (ValueId p : store.properties()) {
+    PropertyStats ps;
+    ps.count = store.CountMatches(kAnyValue, p, kAnyValue);
+    ps.distinct_subjects = store.CountDistinctSubjectsOfProperty(p);
+    ps.distinct_objects = store.CountDistinctObjectsOfProperty(p);
+    stats.per_property_.emplace(p, ps);
+  }
+  return stats;
+}
+
+PropertyStats Statistics::ForProperty(ValueId p) const {
+  auto it = per_property_.find(p);
+  return it == per_property_.end() ? PropertyStats{} : it->second;
+}
+
+}  // namespace rdfopt

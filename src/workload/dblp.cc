@@ -1,0 +1,232 @@
+#include "workload/dblp.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "workload/lubm.h"  // WorkloadRng.
+
+namespace rdfopt {
+
+const char kDblpNs[] = "http://dblp.example.org/bib#";
+const char kDblpData[] = "http://dblp.example.org/rec/";
+
+namespace {
+
+struct DblpVocab {
+  // Classes.
+  ValueId work, publication, article, journal_article, conference_paper,
+      editorial, book, monograph, proceedings, thesis, phd_thesis,
+      masters_thesis, web_document;
+  ValueId agent, person, author_cls, editor_cls;
+  ValueId venue, journal, conference, workshop;
+  // Constrained properties.
+  ValueId contributor, creator, authored_by, edited_by, published_in,
+      presented_at, part_of, cites;
+  // Plain properties.
+  ValueId year, title;
+
+  ValueId rdf_type, subclassof, subpropertyof, domain, range;
+};
+
+DblpVocab InternVocab(Graph* graph) {
+  Dictionary& d = graph->dict();
+  auto id = [&](const char* local) {
+    return d.InternIri(std::string(kDblpNs) + local);
+  };
+  DblpVocab v;
+  v.work = id("Work");
+  v.publication = id("Publication");
+  v.article = id("Article");
+  v.journal_article = id("JournalArticle");
+  v.conference_paper = id("ConferencePaper");
+  v.editorial = id("Editorial");
+  v.book = id("Book");
+  v.monograph = id("Monograph");
+  v.proceedings = id("Proceedings");
+  v.thesis = id("Thesis");
+  v.phd_thesis = id("PhdThesis");
+  v.masters_thesis = id("MastersThesis");
+  v.web_document = id("WebDocument");
+  v.agent = id("Agent");
+  v.person = id("Person");
+  v.author_cls = id("Author");
+  v.editor_cls = id("Editor");
+  v.venue = id("Venue");
+  v.journal = id("Journal");
+  v.conference = id("Conference");
+  v.workshop = id("Workshop");
+
+  v.contributor = id("contributor");
+  v.creator = id("creator");
+  v.authored_by = id("authoredBy");
+  v.edited_by = id("editedBy");
+  v.published_in = id("publishedIn");
+  v.presented_at = id("presentedAt");
+  v.part_of = id("partOf");
+  v.cites = id("cites");
+  v.year = id("year");
+  v.title = id("title");
+
+  v.rdf_type = graph->vocab().rdf_type;
+  v.subclassof = graph->vocab().rdfs_subclassof;
+  v.subpropertyof = graph->vocab().rdfs_subpropertyof;
+  v.domain = graph->vocab().rdfs_domain;
+  v.range = graph->vocab().rdfs_range;
+  return v;
+}
+
+void EmitSchema(const DblpVocab& v, Graph* g) {
+  auto sc = [&](ValueId sub, ValueId super) {
+    g->AddEncoded(sub, v.subclassof, super);
+  };
+  auto sp = [&](ValueId sub, ValueId super) {
+    g->AddEncoded(sub, v.subpropertyof, super);
+  };
+  auto dom = [&](ValueId p, ValueId c) { g->AddEncoded(p, v.domain, c); };
+  auto rng = [&](ValueId p, ValueId c) { g->AddEncoded(p, v.range, c); };
+
+  sc(v.publication, v.work);
+  sc(v.article, v.publication);
+  sc(v.journal_article, v.article);
+  sc(v.conference_paper, v.article);
+  sc(v.editorial, v.article);
+  sc(v.book, v.publication);
+  sc(v.monograph, v.book);
+  sc(v.proceedings, v.book);
+  sc(v.thesis, v.publication);
+  sc(v.phd_thesis, v.thesis);
+  sc(v.masters_thesis, v.thesis);
+  sc(v.web_document, v.publication);
+  sc(v.person, v.agent);
+  sc(v.author_cls, v.person);
+  sc(v.editor_cls, v.person);
+  sc(v.journal, v.venue);
+  sc(v.conference, v.venue);
+  sc(v.workshop, v.conference);
+
+  dom(v.contributor, v.work);
+  rng(v.contributor, v.person);
+  sp(v.creator, v.contributor);
+  sp(v.authored_by, v.creator);
+  dom(v.authored_by, v.publication);
+  rng(v.authored_by, v.author_cls);
+  sp(v.edited_by, v.contributor);
+  rng(v.edited_by, v.editor_cls);
+  dom(v.published_in, v.article);
+  rng(v.published_in, v.venue);
+  sp(v.presented_at, v.published_in);
+  dom(v.presented_at, v.conference_paper);
+  rng(v.presented_at, v.conference);
+  dom(v.part_of, v.publication);
+  rng(v.part_of, v.proceedings);
+  dom(v.cites, v.publication);
+  rng(v.cites, v.publication);
+}
+
+}  // namespace
+
+size_t GenerateDblp(const DblpOptions& options, Graph* graph) {
+  DblpVocab v = InternVocab(graph);
+  EmitSchema(v, graph);
+  WorkloadRng rng(options.seed);
+  Dictionary& d = graph->dict();
+  size_t emitted = 0;
+  auto add = [&](ValueId s, ValueId p, ValueId o) {
+    graph->AddEncoded(s, p, o);
+    ++emitted;
+  };
+
+  const size_t num_pubs = options.num_publications;
+  const size_t num_authors = std::max<size_t>(10, num_pubs / 3);
+  const size_t num_venues = std::max<size_t>(4, num_pubs / 600);
+
+  std::vector<ValueId> authors(num_authors);
+  for (size_t i = 0; i < num_authors; ++i) {
+    authors[i] =
+        d.InternIri(std::string(kDblpData) + "author" + std::to_string(i));
+    // Only a fraction carries an explicit type assertion (the rest is
+    // derivable from authoredBy's range) — reformulation has real work.
+    if (i % 7 == 0) add(authors[i], v.rdf_type, v.author_cls);
+  }
+  std::vector<ValueId> venues(num_venues);
+  std::vector<bool> venue_is_conf(num_venues);
+  for (size_t i = 0; i < num_venues; ++i) {
+    venues[i] =
+        d.InternIri(std::string(kDblpData) + "venue" + std::to_string(i));
+    venue_is_conf[i] = (i % 2 == 1);
+    add(venues[i], v.rdf_type, venue_is_conf[i] ? v.conference : v.journal);
+  }
+  std::vector<ValueId> proceedings;
+  for (size_t i = 0; i < num_venues; ++i) {
+    if (!venue_is_conf[i]) continue;
+    ValueId proc =
+        d.InternIri(std::string(kDblpData) + "proc" + std::to_string(i));
+    add(proc, v.rdf_type, v.proceedings);
+    proceedings.push_back(proc);
+  }
+
+  std::vector<ValueId> pubs(num_pubs);
+  for (size_t i = 0; i < num_pubs; ++i) {
+    std::string iri = std::string(kDblpData) + "pub" + std::to_string(i);
+    ValueId pub = d.InternIri(iri);
+    pubs[i] = pub;
+
+    const uint64_t kind = rng.Uniform(100);
+    if (kind < 42) {
+      // Conference paper: presented at a conference, in its proceedings.
+      add(pub, v.rdf_type, v.conference_paper);
+      size_t venue = 2 * rng.Uniform(num_venues / 2) + 1;  // Odd = conf.
+      add(pub, v.presented_at, venues[venue]);
+      if (!proceedings.empty() && rng.Chance(0.8)) {
+        add(pub, v.part_of,
+            proceedings[rng.Uniform(proceedings.size())]);
+      }
+    } else if (kind < 80) {
+      add(pub, v.rdf_type, v.journal_article);
+      size_t venue = 2 * rng.Uniform((num_venues + 1) / 2);  // Even.
+      add(pub, v.published_in, venues[venue]);
+    } else if (kind < 86) {
+      add(pub, v.rdf_type, v.editorial);
+      add(pub, v.published_in, venues[rng.Uniform(num_venues)]);
+    } else if (kind < 92) {
+      add(pub, v.rdf_type, rng.Chance(0.5) ? v.monograph : v.book);
+    } else if (kind < 97) {
+      add(pub, v.rdf_type,
+          rng.Chance(0.6) ? v.phd_thesis : v.masters_thesis);
+    } else {
+      add(pub, v.rdf_type, v.web_document);
+    }
+
+    const size_t nauthors = 1 + rng.Uniform(4);
+    for (size_t a = 0; a < nauthors; ++a) {
+      add(pub, v.authored_by, authors[rng.Uniform(num_authors)]);
+    }
+    if (rng.Chance(0.15)) {
+      add(pub, v.edited_by, authors[rng.Uniform(num_authors)]);
+    }
+    // Citations to earlier publications.
+    if (i > 0) {
+      const size_t ncites = rng.Uniform(5);
+      for (size_t c = 0; c < ncites; ++c) {
+        add(pub, v.cites, pubs[rng.Uniform(i)]);
+      }
+    }
+    add(pub, v.year,
+        d.InternLiteral(std::to_string(1980 + rng.Uniform(45))));
+    if (rng.Chance(0.5)) {
+      add(pub, v.title, d.InternLiteral("title-" + std::to_string(i)));
+    }
+  }
+  return emitted;
+}
+
+DblpOptions DblpOptionsForTripleTarget(size_t target_triples) {
+  // Roughly 8.6 triples per publication with the mix above.
+  DblpOptions options;
+  options.num_publications = std::max<size_t>(
+      100, static_cast<size_t>(static_cast<double>(target_triples) / 8.6));
+  return options;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,34 @@
+#ifndef RDFOPT_WORKLOAD_DBLP_H_
+#define RDFOPT_WORKLOAD_DBLP_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rdfopt {
+
+/// DBLP-style bibliographic workload (paper §5.1 uses the 8M-triple DBLP
+/// dataset [29]): a publication/author/venue ontology — 21 classes, 8
+/// constrained properties — and a scalable synthetic generator.
+///
+/// IRIs: <http://dblp.example.org/bib#Class> for the vocabulary and
+/// <http://dblp.example.org/rec/...> for instances; venue0 and author0 exist
+/// at every scale for the benchmark queries.
+struct DblpOptions {
+  size_t num_publications = 60000;
+  uint64_t seed = 8646;  // INRIA RR number of the paper.
+};
+
+/// Adds schema and data to `graph`; returns the number of data triples.
+/// Call graph->FinalizeSchema() afterwards.
+size_t GenerateDblp(const DblpOptions& options, Graph* graph);
+
+/// Publication count that yields roughly `target_triples` data triples.
+DblpOptions DblpOptionsForTripleTarget(size_t target_triples);
+
+extern const char kDblpNs[];    ///< "http://dblp.example.org/bib#"
+extern const char kDblpData[];  ///< "http://dblp.example.org/rec/"
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_WORKLOAD_DBLP_H_

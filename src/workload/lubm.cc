@@ -1,0 +1,420 @@
+#include "workload/lubm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "rdf/vocabulary.h"
+
+namespace rdfopt {
+
+const char kLubmNs[] = "http://lubm.example.org/univ#";
+const char kLubmData[] = "http://lubm.example.org/data/";
+
+uint64_t WorkloadRng::Next() {
+  // splitmix64.
+  state_ += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t WorkloadRng::Uniform(uint64_t bound) { return Next() % bound; }
+
+uint64_t WorkloadRng::Between(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+bool WorkloadRng::Chance(double p) {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+}
+
+namespace {
+
+/// Interned ids of the LUBM-style vocabulary, plus schema emission.
+struct LubmVocab {
+  // Classes.
+  ValueId organization, university, department, research_group, program,
+      institute, college;
+  ValueId person, employee, faculty, professor, full_professor,
+      associate_professor, assistant_professor, visiting_professor, chair,
+      dean, lecturer, post_doc, administrative_staff, clerical_staff,
+      systems_staff;
+  ValueId student, undergraduate_student, graduate_student,
+      teaching_assistant, research_assistant;
+  ValueId work, course, graduate_course, research, publication, article,
+      journal_article, conference_paper, technical_report, book, manual_cls,
+      software;
+  // Constrained properties.
+  ValueId member_of, works_for, head_of, sub_organization_of, degree_from,
+      undergraduate_degree_from, masters_degree_from, doctoral_degree_from,
+      teacher_of, takes_course, teaching_assistant_of, advisor,
+      publication_author, research_project;
+  // Unconstrained (plain) properties.
+  ValueId name, email, telephone;
+
+  ValueId rdf_type;
+  ValueId subclassof, subpropertyof, domain, range;
+};
+
+LubmVocab InternVocab(Graph* graph) {
+  Dictionary& d = graph->dict();
+  auto cls = [&](const char* local) {
+    return d.InternIri(std::string(kLubmNs) + local);
+  };
+  LubmVocab v;
+  v.organization = cls("Organization");
+  v.university = cls("University");
+  v.department = cls("Department");
+  v.research_group = cls("ResearchGroup");
+  v.program = cls("Program");
+  v.institute = cls("Institute");
+  v.college = cls("College");
+  v.person = cls("Person");
+  v.employee = cls("Employee");
+  v.faculty = cls("Faculty");
+  v.professor = cls("Professor");
+  v.full_professor = cls("FullProfessor");
+  v.associate_professor = cls("AssociateProfessor");
+  v.assistant_professor = cls("AssistantProfessor");
+  v.visiting_professor = cls("VisitingProfessor");
+  v.chair = cls("Chair");
+  v.dean = cls("Dean");
+  v.lecturer = cls("Lecturer");
+  v.post_doc = cls("PostDoc");
+  v.administrative_staff = cls("AdministrativeStaff");
+  v.clerical_staff = cls("ClericalStaff");
+  v.systems_staff = cls("SystemsStaff");
+  v.student = cls("Student");
+  v.undergraduate_student = cls("UndergraduateStudent");
+  v.graduate_student = cls("GraduateStudent");
+  v.teaching_assistant = cls("TeachingAssistant");
+  v.research_assistant = cls("ResearchAssistant");
+  v.work = cls("Work");
+  v.course = cls("Course");
+  v.graduate_course = cls("GraduateCourse");
+  v.research = cls("Research");
+  v.publication = cls("Publication");
+  v.article = cls("Article");
+  v.journal_article = cls("JournalArticle");
+  v.conference_paper = cls("ConferencePaper");
+  v.technical_report = cls("TechnicalReport");
+  v.book = cls("Book");
+  v.manual_cls = cls("Manual");
+  v.software = cls("Software");
+
+  v.member_of = cls("memberOf");
+  v.works_for = cls("worksFor");
+  v.head_of = cls("headOf");
+  v.sub_organization_of = cls("subOrganizationOf");
+  v.degree_from = cls("degreeFrom");
+  v.undergraduate_degree_from = cls("undergraduateDegreeFrom");
+  v.masters_degree_from = cls("mastersDegreeFrom");
+  v.doctoral_degree_from = cls("doctoralDegreeFrom");
+  v.teacher_of = cls("teacherOf");
+  v.takes_course = cls("takesCourse");
+  v.teaching_assistant_of = cls("teachingAssistantOf");
+  v.advisor = cls("advisor");
+  v.publication_author = cls("publicationAuthor");
+  v.research_project = cls("researchProject");
+  v.name = cls("name");
+  v.email = cls("emailAddress");
+  v.telephone = cls("telephone");
+
+  v.rdf_type = graph->vocab().rdf_type;
+  v.subclassof = graph->vocab().rdfs_subclassof;
+  v.subpropertyof = graph->vocab().rdfs_subpropertyof;
+  v.domain = graph->vocab().rdfs_domain;
+  v.range = graph->vocab().rdfs_range;
+  return v;
+}
+
+void EmitSchema(const LubmVocab& v, Graph* g) {
+  auto sc = [&](ValueId sub, ValueId super) {
+    g->AddEncoded(sub, v.subclassof, super);
+  };
+  auto sp = [&](ValueId sub, ValueId super) {
+    g->AddEncoded(sub, v.subpropertyof, super);
+  };
+  auto dom = [&](ValueId p, ValueId c) { g->AddEncoded(p, v.domain, c); };
+  auto rng = [&](ValueId p, ValueId c) { g->AddEncoded(p, v.range, c); };
+
+  // Organizations.
+  sc(v.university, v.organization);
+  sc(v.department, v.organization);
+  sc(v.research_group, v.organization);
+  sc(v.program, v.organization);
+  sc(v.institute, v.organization);
+  sc(v.college, v.organization);
+  // People.
+  sc(v.employee, v.person);
+  sc(v.faculty, v.employee);
+  sc(v.professor, v.faculty);
+  sc(v.full_professor, v.professor);
+  sc(v.associate_professor, v.professor);
+  sc(v.assistant_professor, v.professor);
+  sc(v.visiting_professor, v.professor);
+  sc(v.chair, v.professor);
+  sc(v.dean, v.professor);
+  sc(v.lecturer, v.faculty);
+  sc(v.post_doc, v.faculty);
+  sc(v.administrative_staff, v.employee);
+  sc(v.clerical_staff, v.administrative_staff);
+  sc(v.systems_staff, v.administrative_staff);
+  sc(v.student, v.person);
+  sc(v.undergraduate_student, v.student);
+  sc(v.graduate_student, v.student);
+  sc(v.teaching_assistant, v.graduate_student);
+  sc(v.research_assistant, v.graduate_student);
+  // Works.
+  sc(v.course, v.work);
+  sc(v.graduate_course, v.course);
+  sc(v.research, v.work);
+  sc(v.publication, v.work);
+  sc(v.article, v.publication);
+  sc(v.journal_article, v.article);
+  sc(v.conference_paper, v.article);
+  sc(v.technical_report, v.article);
+  sc(v.book, v.publication);
+  sc(v.manual_cls, v.publication);
+  sc(v.software, v.publication);
+
+  // Properties.
+  dom(v.member_of, v.person);
+  rng(v.member_of, v.organization);
+  sp(v.works_for, v.member_of);
+  dom(v.works_for, v.employee);
+  sp(v.head_of, v.works_for);
+  dom(v.head_of, v.faculty);
+  dom(v.sub_organization_of, v.organization);
+  rng(v.sub_organization_of, v.organization);
+  dom(v.degree_from, v.person);
+  rng(v.degree_from, v.university);
+  sp(v.undergraduate_degree_from, v.degree_from);
+  sp(v.masters_degree_from, v.degree_from);
+  sp(v.doctoral_degree_from, v.degree_from);
+  dom(v.teacher_of, v.faculty);
+  rng(v.teacher_of, v.course);
+  dom(v.takes_course, v.student);
+  rng(v.takes_course, v.course);
+  dom(v.teaching_assistant_of, v.teaching_assistant);
+  rng(v.teaching_assistant_of, v.course);
+  dom(v.advisor, v.person);
+  rng(v.advisor, v.professor);
+  dom(v.publication_author, v.publication);
+  rng(v.publication_author, v.person);
+  dom(v.research_project, v.research_group);
+  rng(v.research_project, v.research);
+  // name/emailAddress/telephone stay unconstrained on purpose: atoms over
+  // them reformulate only to themselves.
+}
+
+/// Per-university data emission with LUBM-like ratios.
+class UniversityEmitter {
+ public:
+  UniversityEmitter(const LubmVocab& v, Graph* g, WorkloadRng* rng)
+      : v_(v), g_(g), rng_(rng), dict_(g->dict()) {}
+
+  size_t EmitUniversity(size_t u, size_t num_universities) {
+    triples_emitted_ = 0;
+    num_universities_ = num_universities;
+    std::string base = std::string(kLubmData) + "univ" + std::to_string(u);
+    univ_ = dict_.InternIri(base);
+    Type(univ_, v_.university);
+
+    const size_t num_depts = rng_->Between(12, 18);
+    for (size_t dep = 0; dep < num_depts; ++dep) {
+      EmitDepartment(base, dep);
+    }
+    return triples_emitted_;
+  }
+
+ private:
+  void Add(ValueId s, ValueId p, ValueId o) {
+    g_->AddEncoded(s, p, o);
+    ++triples_emitted_;
+  }
+  void Type(ValueId s, ValueId c) { Add(s, v_.rdf_type, c); }
+  ValueId Iri(const std::string& iri) { return dict_.InternIri(iri); }
+  ValueId Lit(const std::string& value) { return dict_.InternLiteral(value); }
+
+  ValueId RandomUniversity() {
+    return Iri(std::string(kLubmData) + "univ" +
+               std::to_string(rng_->Uniform(num_universities_)));
+  }
+
+  void EmitPerson(ValueId person, const std::string& iri) {
+    Add(person, v_.name, Lit("name-of-" + iri.substr(iri.rfind('/') + 1)));
+    if (rng_->Chance(0.8)) {
+      Add(person, v_.email,
+          Lit(iri.substr(iri.rfind('/') + 1) + "@lubm.example.org"));
+    }
+  }
+
+  void EmitDepartment(const std::string& univ_base, size_t dep) {
+    std::string dbase = univ_base + "/dept" + std::to_string(dep);
+    ValueId dept = Iri(dbase);
+    Type(dept, v_.department);
+    Add(dept, v_.sub_organization_of, univ_);
+
+    // Courses first, so teachers/students can reference them.
+    const size_t num_courses = rng_->Between(25, 40);
+    const size_t num_grad_courses = rng_->Between(12, 20);
+    std::vector<ValueId> courses;
+    std::vector<ValueId> grad_courses;
+    for (size_t c = 0; c < num_courses; ++c) {
+      ValueId course = Iri(dbase + "/course" + std::to_string(c));
+      Type(course, v_.course);
+      courses.push_back(course);
+    }
+    for (size_t c = 0; c < num_grad_courses; ++c) {
+      ValueId course = Iri(dbase + "/gradCourse" + std::to_string(c));
+      Type(course, v_.graduate_course);
+      grad_courses.push_back(course);
+    }
+
+    // Research groups.
+    const size_t num_groups = rng_->Between(4, 8);
+    for (size_t gidx = 0; gidx < num_groups; ++gidx) {
+      ValueId group = Iri(dbase + "/group" + std::to_string(gidx));
+      Type(group, v_.research_group);
+      Add(group, v_.sub_organization_of, dept);
+      ValueId project = Iri(dbase + "/project" + std::to_string(gidx));
+      Type(project, v_.research);
+      Add(group, v_.research_project, project);
+    }
+
+    // Faculty.
+    struct Rank {
+      ValueId cls;
+      size_t lo, hi;
+      const char* label;
+    };
+    const Rank ranks[] = {
+        {v_.full_professor, 6, 9, "full"},
+        {v_.associate_professor, 8, 12, "assoc"},
+        {v_.assistant_professor, 6, 10, "assist"},
+        {v_.lecturer, 3, 5, "lect"},
+    };
+    std::vector<ValueId> professors;
+    size_t pub_counter = 0;
+    for (const Rank& rank : ranks) {
+      size_t count = rng_->Between(rank.lo, rank.hi);
+      for (size_t i = 0; i < count; ++i) {
+        std::string piri =
+            dbase + "/" + rank.label + std::to_string(i);
+        ValueId prof = Iri(piri);
+        Type(prof, rank.cls);
+        Add(prof, v_.works_for, dept);
+        Add(prof, v_.undergraduate_degree_from, RandomUniversity());
+        if (rank.cls != v_.lecturer) {
+          Add(prof, v_.masters_degree_from, RandomUniversity());
+          Add(prof, v_.doctoral_degree_from, RandomUniversity());
+          professors.push_back(prof);
+        }
+        EmitPerson(prof, piri);
+        // Teaching.
+        Add(prof, v_.teacher_of,
+            courses[rng_->Uniform(courses.size())]);
+        if (rng_->Chance(0.5)) {
+          Add(prof, v_.teacher_of,
+              grad_courses[rng_->Uniform(grad_courses.size())]);
+        }
+        // Publications.
+        size_t pubs = rng_->Between(4, 10);
+        for (size_t k = 0; k < pubs; ++k) {
+          std::string pub_iri =
+              dbase + "/pub" + std::to_string(pub_counter++);
+          ValueId pub = Iri(pub_iri);
+          const ValueId pub_classes[] = {
+              v_.journal_article, v_.conference_paper, v_.technical_report,
+              v_.book, v_.software};
+          Type(pub, pub_classes[rng_->Uniform(5)]);
+          Add(pub, v_.publication_author, prof);
+        }
+      }
+    }
+    // Department chair: an extra head professor.
+    if (!professors.empty()) {
+      ValueId chair = professors[rng_->Uniform(professors.size())];
+      Add(chair, v_.head_of, dept);
+      Type(chair, v_.chair);
+    }
+
+    // Undergraduate students.
+    const size_t num_ug = rng_->Between(90, 140);
+    for (size_t i = 0; i < num_ug; ++i) {
+      std::string siri = dbase + "/ug" + std::to_string(i);
+      ValueId s = Iri(siri);
+      Type(s, v_.undergraduate_student);
+      Add(s, v_.member_of, dept);
+      size_t taking = rng_->Between(2, 4);
+      for (size_t k = 0; k < taking; ++k) {
+        Add(s, v_.takes_course, courses[rng_->Uniform(courses.size())]);
+      }
+      if (rng_->Chance(0.15)) EmitPerson(s, siri);
+    }
+
+    // Graduate students.
+    const size_t num_grad = rng_->Between(30, 50);
+    for (size_t i = 0; i < num_grad; ++i) {
+      std::string siri = dbase + "/grad" + std::to_string(i);
+      ValueId s = Iri(siri);
+      double roll = rng_->Chance(0.2) ? 1.0 : 0.0;
+      if (roll > 0.0) {
+        Type(s, rng_->Chance(0.5) ? v_.teaching_assistant
+                                  : v_.research_assistant);
+      } else {
+        Type(s, v_.graduate_student);
+      }
+      Add(s, v_.member_of, dept);
+      Add(s, v_.undergraduate_degree_from, RandomUniversity());
+      if (rng_->Chance(0.3)) {
+        Add(s, v_.masters_degree_from, RandomUniversity());
+      }
+      size_t taking = rng_->Between(1, 3);
+      for (size_t k = 0; k < taking; ++k) {
+        Add(s, v_.takes_course,
+            grad_courses[rng_->Uniform(grad_courses.size())]);
+      }
+      if (!professors.empty()) {
+        Add(s, v_.advisor, professors[rng_->Uniform(professors.size())]);
+      }
+      if (rng_->Chance(0.2)) EmitPerson(s, siri);
+    }
+  }
+
+  const LubmVocab& v_;
+  Graph* g_;
+  WorkloadRng* rng_;
+  Dictionary& dict_;
+  ValueId univ_ = kInvalidValueId;
+  size_t num_universities_ = 0;
+  size_t triples_emitted_ = 0;
+};
+
+}  // namespace
+
+size_t GenerateLubm(const LubmOptions& options, Graph* graph) {
+  LubmVocab vocab = InternVocab(graph);
+  EmitSchema(vocab, graph);
+  WorkloadRng rng(options.seed);
+  UniversityEmitter emitter(vocab, graph, &rng);
+  size_t total = 0;
+  for (size_t u = 0; u < options.num_universities; ++u) {
+    total += emitter.EmitUniversity(u, options.num_universities);
+  }
+  return total;
+}
+
+LubmOptions LubmOptionsForTripleTarget(size_t target_triples) {
+  // One university is ~55k data triples with the ratios above.
+  constexpr size_t kTriplesPerUniversity = 55000;
+  LubmOptions options;
+  options.num_universities =
+      std::max<size_t>(1, (target_triples + kTriplesPerUniversity / 2) /
+                              kTriplesPerUniversity);
+  return options;
+}
+
+}  // namespace rdfopt

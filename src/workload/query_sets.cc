@@ -1,0 +1,163 @@
+#include "workload/query_sets.h"
+
+namespace rdfopt {
+
+namespace {
+
+constexpr char kUbPrefix[] =
+    "PREFIX ub: <http://lubm.example.org/univ#>\n";
+constexpr char kBibPrefix[] =
+    "PREFIX bib: <http://dblp.example.org/bib#>\n";
+constexpr char kUniv0[] = "<http://lubm.example.org/data/univ0>";
+constexpr char kDept0[] = "<http://lubm.example.org/data/univ0/dept0>";
+constexpr char kVenue0[] = "<http://dblp.example.org/rec/venue0>";
+
+BenchmarkQuery Lubm(const char* name, const std::string& body) {
+  return {name, std::string(kUbPrefix) + body};
+}
+BenchmarkQuery Dblp(const char* name, const std::string& body) {
+  return {name, std::string(kBibPrefix) + body};
+}
+
+std::vector<BenchmarkQuery> MakeLubmQueries() {
+  std::vector<BenchmarkQuery> qs;
+  // -- Single atoms, increasing reformulation size.
+  qs.push_back(Lubm("Q01",
+      "SELECT ?x WHERE { ?x rdf:type ub:FullProfessor . }"));
+  qs.push_back(Lubm("Q02",
+      "SELECT ?x WHERE { ?x rdf:type ub:Professor . }"));
+  qs.push_back(Lubm("Q03",
+      "SELECT ?x WHERE { ?x rdf:type ub:Person . }"));
+  qs.push_back(Lubm("Q04",
+      "SELECT ?x ?y WHERE { ?x ub:degreeFrom ?y . }"));
+  qs.push_back(Lubm("Q05",
+      "SELECT ?x ?y WHERE { ?x ub:memberOf ?y . }"));
+  qs.push_back(Lubm("Q06",
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . }"));
+  // -- The paper's motivating example q1 (three atoms, one type-variable).
+  qs.push_back(Lubm("Q07",
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . "
+      "?x ub:degreeFrom " + std::string(kUniv0) + " . "
+      "?x ub:memberOf " + std::string(kDept0) + " . }"));
+  // -- Two-to-four atom joins over the hierarchy.
+  qs.push_back(Lubm("Q08",
+      "SELECT ?x ?y WHERE { ?x rdf:type ub:Professor . "
+      "?x ub:degreeFrom ?y . }"));
+  qs.push_back(Lubm("Q09",
+      "SELECT ?x ?p ?c WHERE { ?x rdf:type ub:Student . "
+      "?x ub:advisor ?p . ?p ub:teacherOf ?c . ?x ub:takesCourse ?c . }"));
+  qs.push_back(Lubm("Q10",
+      "SELECT ?x WHERE { ?x ub:worksFor " + std::string(kDept0) + " . "
+      "?x rdf:type ub:Faculty . }"));
+  qs.push_back(Lubm("Q11",
+      "SELECT ?x ?y WHERE { ?x ub:publicationAuthor ?y . "
+      "?x rdf:type ub:Article . }"));
+  qs.push_back(Lubm("Q12",
+      "SELECT ?x ?y ?z WHERE { ?x rdf:type ?y . ?x ub:worksFor ?z . "
+      "?z ub:subOrganizationOf " + std::string(kUniv0) + " . }"));
+  qs.push_back(Lubm("Q13",
+      "SELECT ?x WHERE { ?x ub:headOf ?d . "
+      "?d ub:subOrganizationOf " + std::string(kUniv0) + " . }"));
+  qs.push_back(Lubm("Q14",
+      "SELECT ?x ?y WHERE { ?x ub:memberOf ?z . ?y ub:memberOf ?z . "
+      "?x ub:advisor ?y . }"));
+  qs.push_back(Lubm("Q15",
+      "SELECT ?x ?y ?v WHERE { ?x rdf:type ?v . ?x ub:takesCourse ?y . "
+      "?y rdf:type ub:GraduateCourse . }"));
+  qs.push_back(Lubm("Q16",
+      "SELECT ?x WHERE { ?x rdf:type ub:Organization . }"));
+  qs.push_back(Lubm("Q17",
+      "SELECT ?p ?d WHERE { ?p ub:worksFor ?d . "
+      "?d rdf:type ub:Department . }"));
+  qs.push_back(Lubm("Q18",
+      "SELECT ?s ?c ?p WHERE { ?s ub:takesCourse ?c . "
+      "?p ub:teacherOf ?c . ?p rdf:type ub:FullProfessor . }"));
+  qs.push_back(Lubm("Q19",
+      "SELECT ?x ?y WHERE { ?x rdf:type ub:Faculty . ?y ub:advisor ?x . }"));
+  qs.push_back(Lubm("Q20",
+      "SELECT ?x WHERE { ?x rdf:type ub:Employee . "
+      "?x ub:degreeFrom " + std::string(kUniv0) + " . }"));
+  qs.push_back(Lubm("Q21",
+      "SELECT ?x ?y ?z WHERE { ?x ub:advisor ?y . ?y ub:headOf ?z . }"));
+  qs.push_back(Lubm("Q22",
+      "SELECT ?x ?y WHERE { ?x ub:teacherOf ?c . "
+      "?y ub:teachingAssistantOf ?c . }"));
+  qs.push_back(Lubm("Q23",
+      "SELECT ?x ?u WHERE { ?x rdf:type ?u . ?x ub:headOf ?d . }"));
+  qs.push_back(Lubm("Q24",
+      "SELECT ?x ?y ?u ?v WHERE { ?x rdf:type ?u . ?y rdf:type ?v . "
+      "?x ub:advisor ?y . }"));
+  qs.push_back(Lubm("Q25",
+      "SELECT ?x ?z WHERE { ?x rdf:type ub:GraduateStudent . "
+      "?x ub:memberOf ?z . "
+      "?z ub:subOrganizationOf " + std::string(kUniv0) + " . }"));
+  qs.push_back(Lubm("Q26",
+      "SELECT ?p WHERE { ?p rdf:type ub:Publication . "
+      "?p ub:publicationAuthor ?a . ?a rdf:type ub:Chair . }"));
+  qs.push_back(Lubm("Q27",
+      "SELECT ?x ?y ?z WHERE { ?x ub:memberOf ?z . ?y ub:memberOf ?z . "
+      "?x ub:doctoralDegreeFrom " + std::string(kUniv0) + " . "
+      "?y ub:mastersDegreeFrom " + std::string(kUniv0) + " . }"));
+  // -- The paper's motivating example q2 (six atoms, two type-variables):
+  //    its UCQ reformulation is infeasible on every engine profile.
+  qs.push_back(Lubm("Q28",
+      "SELECT ?x ?u ?y ?v ?z WHERE { ?x rdf:type ?u . ?y rdf:type ?v . "
+      "?x ub:mastersDegreeFrom " + std::string(kUniv0) + " . "
+      "?y ub:doctoralDegreeFrom " + std::string(kUniv0) + " . "
+      "?x ub:memberOf ?z . ?y ub:memberOf ?z . }"));
+  return qs;
+}
+
+std::vector<BenchmarkQuery> MakeDblpQueries() {
+  std::vector<BenchmarkQuery> qs;
+  qs.push_back(Dblp("Q01",
+      "SELECT ?x WHERE { ?x rdf:type bib:Article . }"));
+  qs.push_back(Dblp("Q02",
+      "SELECT ?x ?y WHERE { ?x bib:contributor ?y . }"));
+  qs.push_back(Dblp("Q03",
+      "SELECT ?x ?y WHERE { ?x bib:publishedIn ?y . }"));
+  qs.push_back(Dblp("Q04",
+      "SELECT ?x WHERE { ?x rdf:type bib:Person . }"));
+  qs.push_back(Dblp("Q05",
+      "SELECT ?x ?v WHERE { ?x bib:publishedIn ?v . "
+      "?v rdf:type bib:Conference . }"));
+  qs.push_back(Dblp("Q06",
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . "
+      "?x bib:publishedIn " + std::string(kVenue0) + " . }"));
+  qs.push_back(Dblp("Q07",
+      "SELECT ?x ?y WHERE { ?x bib:cites ?y . ?y rdf:type bib:Thesis . }"));
+  qs.push_back(Dblp("Q08",
+      "SELECT ?x ?a WHERE { ?x bib:authoredBy ?a . ?x bib:partOf ?p . "
+      "?p rdf:type bib:Proceedings . }"));
+  qs.push_back(Dblp("Q09",
+      "SELECT ?x ?y ?a WHERE { ?x bib:contributor ?a . "
+      "?y bib:contributor ?a . ?x bib:cites ?y . }"));
+  // Ten atoms: the cover space is too large for exhaustive search (the
+  // paper's ECov times out on DBLP Q10).
+  qs.push_back(Dblp("Q10",
+      "SELECT ?x ?y ?u ?v WHERE { ?x rdf:type ?u . ?y rdf:type ?v . "
+      "?x bib:contributor ?a . ?y bib:contributor ?a . "
+      "?x bib:publishedIn ?w . ?y bib:publishedIn ?w . "
+      "?x bib:cites ?z . ?y bib:cites ?z . "
+      "?x bib:year ?yr . ?y bib:year ?yr . }"));
+  return qs;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkQuery>& LubmQuerySet() {
+  static const auto& queries =
+      *new std::vector<BenchmarkQuery>(MakeLubmQueries());
+  return queries;
+}
+
+const std::vector<BenchmarkQuery>& DblpQuerySet() {
+  static const auto& queries =
+      *new std::vector<BenchmarkQuery>(MakeDblpQueries());
+  return queries;
+}
+
+const BenchmarkQuery& LubmMotivatingQ1() { return LubmQuerySet()[6]; }
+const BenchmarkQuery& LubmMotivatingQ2() { return LubmQuerySet()[27]; }
+
+}  // namespace rdfopt

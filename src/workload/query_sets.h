@@ -1,0 +1,34 @@
+#ifndef RDFOPT_WORKLOAD_QUERY_SETS_H_
+#define RDFOPT_WORKLOAD_QUERY_SETS_H_
+
+#include <string>
+#include <vector>
+
+namespace rdfopt {
+
+/// One benchmark query: a name ("Q07") and its SPARQL text.
+struct BenchmarkQuery {
+  std::string name;
+  std::string text;
+};
+
+/// The 28 LUBM-style evaluation queries (paper §5.1, Table 4 top). The
+/// original query texts are not part of the paper text we reproduce from, so
+/// these are re-authored to span the same structural variety: 1-6 atoms,
+/// UCQ-reformulation sizes from 1 to several hundred thousand union terms,
+/// result sizes from empty to a large fraction of the dataset, and no
+/// redundant triples. Q07 and Q28 are the paper's motivating examples q1
+/// and q2 (§3) with this generator's constants.
+const std::vector<BenchmarkQuery>& LubmQuerySet();
+
+/// The 10 DBLP-style evaluation queries (Table 4 bottom); Q10 is the
+/// 10-atom query whose cover space defeats ECov (paper §5.2, Fig 8).
+const std::vector<BenchmarkQuery>& DblpQuerySet();
+
+/// The motivating examples of §3 (also LubmQuerySet()[6] and [27]).
+const BenchmarkQuery& LubmMotivatingQ1();
+const BenchmarkQuery& LubmMotivatingQ2();
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_WORKLOAD_QUERY_SETS_H_

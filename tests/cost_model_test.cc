@@ -1,0 +1,114 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/statistics.h"
+
+namespace rdfopt {
+namespace {
+
+CostConstants TestConstants() {
+  CostConstants k;
+  k.c_db = 100.0;
+  k.c_t = 1.0;
+  k.c_j = 2.0;
+  k.c_m = 3.0;
+  k.c_l = 0.5;
+  k.c_k = 0.1;
+  k.dedup_spill_rows = 1000.0;
+  k.c_union_term = 4.0;
+  return k;
+}
+
+TEST(PaperCostModelTest, UniqueCostRegimes) {
+  PaperCostModel model(TestConstants());
+  EXPECT_DOUBLE_EQ(model.UniqueCost(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.UniqueCost(1.0), 0.0);
+  // Hashing regime: c_l * n.
+  EXPECT_DOUBLE_EQ(model.UniqueCost(100.0), 50.0);
+  // Spill regime: c_k * n * log2(n).
+  double n = 4096.0;
+  EXPECT_DOUBLE_EQ(model.UniqueCost(n), 0.1 * n * 12.0);
+}
+
+TEST(PaperCostModelTest, UcqCostComposition) {
+  PaperCostModel model(TestConstants());
+  UcqCostInputs u;
+  u.num_disjuncts = 10;
+  u.scan_sum = 500.0;
+  u.est_result = 100.0;
+  // (c_t + c_j)*scan + c_union_term*n + c_l*result.
+  EXPECT_DOUBLE_EQ(model.UcqCost(u), 3.0 * 500.0 + 4.0 * 10 + 0.5 * 100.0);
+}
+
+TEST(PaperCostModelTest, SingleComponentHasNoJoinOrMatCost) {
+  PaperCostModel model(TestConstants());
+  UcqCostInputs u;
+  u.num_disjuncts = 1;
+  u.scan_sum = 100.0;
+  u.est_result = 10.0;
+  double expected = 100.0 /*c_db*/ + model.UcqCost(u) +
+                    model.UniqueCost(10.0) /*final*/;
+  EXPECT_DOUBLE_EQ(model.JucqCost({u}, 10.0), expected);
+}
+
+TEST(PaperCostModelTest, LargestComponentIsPipelined) {
+  PaperCostModel model(TestConstants());
+  UcqCostInputs small;
+  small.num_disjuncts = 1;
+  small.scan_sum = 10.0;
+  small.est_result = 5.0;
+  UcqCostInputs large;
+  large.num_disjuncts = 1;
+  large.scan_sum = 1000.0;
+  large.est_result = 500.0;
+
+  double cost = model.JucqCost({small, large}, 5.0);
+  // Join cost is linear in the estimated component results; materialization
+  // is charged on the small component's result only (the large one is
+  // pipelined).
+  double expected = 100.0 + model.UcqCost(small) + model.UcqCost(large) +
+                    2.0 * (5.0 + 500.0) + 3.0 * 5.0 + model.UniqueCost(5.0);
+  EXPECT_DOUBLE_EQ(cost, expected);
+}
+
+TEST(PaperCostModelTest, MoreComponentsMoreJoinCost) {
+  PaperCostModel model(TestConstants());
+  UcqCostInputs u;
+  u.num_disjuncts = 1;
+  u.scan_sum = 100.0;
+  u.est_result = 50.0;
+  double two = model.JucqCost({u, u}, 50.0);
+  double three = model.JucqCost({u, u, u}, 50.0);
+  EXPECT_GT(three, two);
+}
+
+TEST(ComputeUcqCostInputsTest, AggregatesFromMaterializedUcq) {
+  TripleStore store = TripleStore::Build({
+      {1, 10, 20},
+      {2, 10, 21},
+      {3, 11, 20},
+  });
+  Statistics stats = Statistics::Compute(store);
+  CardinalityEstimator estimator(&store, &stats);
+
+  UnionQuery ucq;
+  ucq.head = {0, 1};
+  ConjunctiveQuery cq1;
+  cq1.head = {0, 1};
+  cq1.atoms.push_back(TriplePattern{
+      PatternTerm::Var(0), PatternTerm::Const(10), PatternTerm::Var(1)});
+  ConjunctiveQuery cq2;
+  cq2.head = {0, 1};
+  cq2.atoms.push_back(TriplePattern{
+      PatternTerm::Var(0), PatternTerm::Const(11), PatternTerm::Var(1)});
+  ucq.disjuncts = {cq1, cq2};
+
+  UcqCostInputs inputs = ComputeUcqCostInputs(ucq, estimator);
+  EXPECT_EQ(inputs.num_disjuncts, 2u);
+  EXPECT_DOUBLE_EQ(inputs.scan_sum, 3.0);    // 2 + 1.
+  EXPECT_DOUBLE_EQ(inputs.est_result, 3.0);  // 2 + 1.
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,153 @@
+#include "optimizer/cover.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+
+namespace rdfopt {
+namespace {
+
+// A 4-atom chain query: atoms i and i+1 share a variable.
+class CoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<Query> q = ParseQuery(
+        "SELECT ?a ?e WHERE { ?a <p0> ?b . ?b <p1> ?c . ?c <p2> ?d . "
+        "?d <p3> ?e . }",
+        &graph_.dict());
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    query_ = q.TakeValue();
+  }
+  Graph graph_;
+  Query query_;
+};
+
+TEST_F(CoverTest, UcqAndScqCoversAreValid) {
+  EXPECT_TRUE(ValidateCover(query_.cq, UcqCover(4)).ok());
+  EXPECT_TRUE(ValidateCover(query_.cq, ScqCover(4)).ok());
+}
+
+TEST_F(CoverTest, OverlappingFragmentsAreValid) {
+  Cover cover;
+  cover.fragments = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_TRUE(ValidateCover(query_.cq, cover).ok());
+}
+
+TEST_F(CoverTest, RejectsUncoveredAtom) {
+  Cover cover;
+  cover.fragments = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(ValidateCover(query_.cq, cover).ok());
+}
+
+TEST_F(CoverTest, RejectsIncludedFragment) {
+  Cover cover;
+  cover.fragments = {{0, 1, 2, 3}, {1, 2}};
+  EXPECT_FALSE(ValidateCover(query_.cq, cover).ok());
+}
+
+TEST_F(CoverTest, RejectsDisconnectedFragment) {
+  // Atoms 0 and 2 share no variable in the chain.
+  Cover cover;
+  cover.fragments = {{0, 2}, {1, 3}};
+  EXPECT_FALSE(ValidateCover(query_.cq, cover).ok());
+}
+
+TEST_F(CoverTest, RejectsEmptyAndOutOfRange) {
+  Cover empty;
+  EXPECT_FALSE(ValidateCover(query_.cq, empty).ok());
+  Cover bad;
+  bad.fragments = {{0, 1, 2, 3}, {}};
+  EXPECT_FALSE(ValidateCover(query_.cq, bad).ok());
+  Cover oob;
+  oob.fragments = {{0, 1, 2, 9}};
+  EXPECT_FALSE(ValidateCover(query_.cq, oob).ok());
+}
+
+TEST_F(CoverTest, AtomAdjacencyOfChain) {
+  std::vector<std::vector<bool>> adj = AtomAdjacency(query_.cq);
+  EXPECT_TRUE(adj[0][1]);
+  EXPECT_TRUE(adj[1][2]);
+  EXPECT_TRUE(adj[2][3]);
+  EXPECT_FALSE(adj[0][2]);
+  EXPECT_FALSE(adj[0][3]);
+}
+
+TEST_F(CoverTest, CoverQueryHeadPerDefinition34) {
+  // Cover {{0,1},{2,3}}: shared variable is ?c (atoms 1 and 2).
+  Cover cover;
+  cover.fragments = {{0, 1}, {2, 3}};
+  ConjunctiveQuery f0 = BuildCoverQuery(query_.cq, cover, 0);
+  // Head: distinguished ?a (in fragment) + join var ?c. Variable ids follow
+  // first occurrence: a=0, e=1 (head), then b=2, c=3, d=4.
+  VarId a = 0, c = 3, e = 1;
+  EXPECT_EQ(f0.head, (std::vector<VarId>{a, c}));
+  EXPECT_EQ(f0.atoms.size(), 2u);
+
+  ConjunctiveQuery f1 = BuildCoverQuery(query_.cq, cover, 1);
+  EXPECT_EQ(f1.head, (std::vector<VarId>{e, c}));
+}
+
+TEST_F(CoverTest, CoverQueryHeadWithOverlap) {
+  // Overlapping fragments share their overlap atoms' variables.
+  Cover cover;
+  cover.fragments = {{0, 1}, {1, 2, 3}};
+  ConjunctiveQuery f0 = BuildCoverQuery(query_.cq, cover, 0);
+  // ?b (id 2) and ?c (id 3), the vars of the shared atom 1, join;
+  // ?a (id 0) is distinguished.
+  EXPECT_EQ(f0.head, (std::vector<VarId>{0, 2, 3}));
+}
+
+TEST_F(CoverTest, CanonicalizeSortsFragments) {
+  Cover cover;
+  cover.fragments = {{3, 2}, {1, 0}};
+  cover.Canonicalize();
+  EXPECT_EQ(cover.fragments, (std::vector<std::vector<int>>{{0, 1}, {2, 3}}));
+  Cover same;
+  same.fragments = {{0, 1}, {2, 3}};
+  EXPECT_EQ(cover.Key(), same.Key());
+}
+
+TEST_F(CoverTest, RemoveRedundantFragments) {
+  // {0,1,2} + {1,2} is invalid (inclusion); use the paper's §4.3 example
+  // shape: {{0,1,3},{0,2},{2,3}} where {2,3} is redundant.
+  Result<Query> q4 = ParseQuery(
+      "SELECT ?a WHERE { ?a <p0> ?b . ?a <p1> ?c . ?a <p2> ?d . "
+      "?a <p3> ?e . }",
+      &graph_.dict());
+  ASSERT_TRUE(q4.ok());
+  const ConjunctiveQuery& cq = q4.ValueOrDie().cq;
+  Cover cover;
+  cover.fragments = {{0, 1, 3}, {0, 2}, {2, 3}};
+  RemoveRedundantFragments(cq, &cover, {});
+  EXPECT_EQ(cover.fragments.size(), 2u);
+  EXPECT_TRUE(ValidateCover(cq, cover).ok());
+}
+
+TEST_F(CoverTest, RedundancyRemovalPrefersExpensiveFragments) {
+  Result<Query> q4 = ParseQuery(
+      "SELECT ?a WHERE { ?a <p0> ?b . ?a <p1> ?c . ?a <p2> ?d . }",
+      &graph_.dict());
+  ASSERT_TRUE(q4.ok());
+  const ConjunctiveQuery& cq = q4.ValueOrDie().cq;
+  // Both {0,1} and {1,2} are redundant w.r.t. the rest; with costs making
+  // {1,2} the most expensive, it must be removed first (and then {0,1} is
+  // no longer redundant).
+  Cover cover;
+  cover.fragments = {{0, 1}, {1, 2}, {0, 2}};
+  RemoveRedundantFragments(cq, &cover, {1.0, 100.0, 1.0});
+  ASSERT_EQ(cover.fragments.size(), 2u);
+  EXPECT_EQ(cover.fragments[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(cover.fragments[1], (std::vector<int>{0, 2}));
+}
+
+TEST_F(CoverTest, NoRemovalWhenNothingRedundant) {
+  Cover cover;
+  cover.fragments = {{0, 1}, {2, 3}};
+  Cover before = cover;
+  RemoveRedundantFragments(query_.cq, &cover, {});
+  EXPECT_EQ(cover, before);
+}
+
+}  // namespace
+}  // namespace rdfopt

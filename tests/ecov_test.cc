@@ -1,0 +1,145 @@
+#include "optimizer/ecov.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+
+namespace rdfopt {
+namespace {
+
+// A star query of n atoms (all share ?a): the join graph is a clique, so
+// every subset is connected and cover enumeration matches the pure
+// set-cover combinatorics.
+Query StarQuery(size_t n, Dictionary* dict) {
+  std::string text = "SELECT ?a WHERE {";
+  for (size_t i = 0; i < n; ++i) {
+    text += " ?a <p" + std::to_string(i) + "> ?v" + std::to_string(i) + " .";
+  }
+  text += " }";
+  Result<Query> q = ParseQuery(text, dict);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.TakeValue();
+}
+
+// Chain query: atom i shares a variable only with atoms i-1 and i+1.
+Query ChainQuery(size_t n, Dictionary* dict) {
+  std::string text = "SELECT ?v0 WHERE {";
+  for (size_t i = 0; i < n; ++i) {
+    text += " ?v" + std::to_string(i) + " <p" + std::to_string(i) + "> ?v" +
+            std::to_string(i + 1) + " .";
+  }
+  text += " }";
+  Result<Query> q = ParseQuery(text, dict);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.TakeValue();
+}
+
+size_t CountCovers(const ConjunctiveQuery& cq) {
+  bool timed_out = false;
+  std::vector<Cover> covers = EnumerateCovers(cq, 60.0, 10'000'000,
+                                              &timed_out);
+  EXPECT_FALSE(timed_out);
+  return covers.size();
+}
+
+// The paper (§3) cites the number of minimal covers of an n-element set:
+// 1 (n=1), 49 (n=4), 462 (n=5), 6424 (n=6). With a clique join graph our
+// enumeration must reproduce exactly these counts.
+TEST(EnumerateCoversTest, MinimalCoverCountsMatchThePaper) {
+  Dictionary dict;
+  EXPECT_EQ(CountCovers(StarQuery(1, &dict).cq), 1u);
+  EXPECT_EQ(CountCovers(StarQuery(2, &dict).cq), 2u);
+  EXPECT_EQ(CountCovers(StarQuery(3, &dict).cq), 8u);
+  EXPECT_EQ(CountCovers(StarQuery(4, &dict).cq), 49u);
+  EXPECT_EQ(CountCovers(StarQuery(5, &dict).cq), 462u);
+  EXPECT_EQ(CountCovers(StarQuery(6, &dict).cq), 6424u);
+}
+
+// "In practice, however, we require each fragment to share a variable with
+// another ... therefore the number of cover-based reformulations is smaller
+// than the number of minimal covers" (§3): the chain join graph must yield
+// strictly fewer covers than the clique.
+TEST(EnumerateCoversTest, ConnectivityShrinksTheSpace) {
+  Dictionary dict;
+  size_t chain4 = CountCovers(ChainQuery(4, &dict).cq);
+  EXPECT_LT(chain4, 49u);
+  EXPECT_GE(chain4, 1u);
+  size_t chain5 = CountCovers(ChainQuery(5, &dict).cq);
+  EXPECT_LT(chain5, 462u);
+}
+
+TEST(EnumerateCoversTest, AllEnumeratedCoversAreValid) {
+  Dictionary dict;
+  Query q = ChainQuery(4, &dict);
+  bool timed_out = false;
+  std::vector<Cover> covers = EnumerateCovers(q.cq, 60.0, 1'000'000,
+                                              &timed_out);
+  for (const Cover& cover : covers) {
+    EXPECT_TRUE(ValidateCover(q.cq, cover).ok()) << cover.Key();
+  }
+}
+
+TEST(EnumerateCoversTest, CoversAreDistinct) {
+  Dictionary dict;
+  Query q = StarQuery(5, &dict);
+  bool timed_out = false;
+  std::vector<Cover> covers = EnumerateCovers(q.cq, 60.0, 1'000'000,
+                                              &timed_out);
+  std::set<std::string> keys;
+  for (const Cover& cover : covers) keys.insert(cover.Key());
+  EXPECT_EQ(keys.size(), covers.size());
+}
+
+TEST(EnumerateCoversTest, SingleAtom) {
+  Dictionary dict;
+  Query q = StarQuery(1, &dict);
+  bool timed_out = false;
+  std::vector<Cover> covers = EnumerateCovers(q.cq, 60.0, 100, &timed_out);
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_EQ(covers[0].fragments, (std::vector<std::vector<int>>{{0}}));
+}
+
+// Cost oracle preferring a specific cover; ECov must find it.
+class RiggedOracle : public CoverCostOracle {
+ public:
+  explicit RiggedOracle(std::string preferred_key)
+      : preferred_key_(std::move(preferred_key)) {}
+  double CoverCost(const Cover& cover) override {
+    ++calls;
+    return cover.Key() == preferred_key_ ? 1.0 : 100.0;
+  }
+  double FragmentCost(const std::vector<int>&) override { return 1.0; }
+  size_t calls = 0;
+  std::string preferred_key_;
+};
+
+TEST(ExhaustiveCoverSearchTest, FindsTheRiggedOptimum) {
+  Dictionary dict;
+  Query q = ChainQuery(4, &dict);
+  Cover preferred;
+  preferred.fragments = {{0, 1}, {2, 3}};
+  preferred.Canonicalize();
+  RiggedOracle oracle(preferred.Key());
+  CoverSearchResult result = ExhaustiveCoverSearch(q.cq, &oracle, 60.0);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_EQ(result.best_cover.Key(), preferred.Key());
+  EXPECT_DOUBLE_EQ(result.best_cost, 1.0);
+  EXPECT_EQ(result.covers_examined, oracle.calls);
+  EXPECT_GT(result.covers_examined, 1u);
+}
+
+TEST(ExhaustiveCoverSearchTest, TimesOutOnTenAtomStar) {
+  // Ten clique-connected atoms: the space is far too large to exhaust in a
+  // few milliseconds (the paper's ECov times out on the 10-atom DBLP Q10).
+  Dictionary dict;
+  Query q = StarQuery(10, &dict);
+  RiggedOracle oracle("none");
+  CoverSearchResult result = ExhaustiveCoverSearch(q.cq, &oracle, 0.05);
+  EXPECT_TRUE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,233 @@
+#include "engine/evaluator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+
+namespace rdfopt {
+namespace {
+
+// Small family/library dataset exercised through the SPARQL front end.
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [&](const char* s, const char* p, const char* o) {
+      graph_.AddIri(s, p, o);
+    };
+    add("a", "knows", "b");
+    add("b", "knows", "c");
+    add("c", "knows", "a");
+    add("a", "likes", "b");
+    add("b", "likes", "b");
+    store_ = TripleStore::Build(graph_.data_triples());
+    profile_ = PostgresLikeProfile();
+    evaluator_.emplace(&store_, &profile_);
+  }
+
+  Query MustParse(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &graph_.dict());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.TakeValue();
+  }
+
+  Graph graph_;
+  TripleStore store_;
+  EngineProfile profile_;
+  std::optional<Evaluator> evaluator_;
+};
+
+TEST_F(EvaluatorTest, SingleAtom) {
+  Query q = MustParse("SELECT ?x ?y WHERE { ?x <knows> ?y . }");
+  Result<Relation> r = evaluator_->EvaluateCQ(q.cq, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 3u);
+}
+
+TEST_F(EvaluatorTest, TwoAtomJoin) {
+  // Who knows someone who likes themselves? a knows b, b likes b.
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <knows> ?y . ?y <likes> ?y . }");
+  Result<Relation> r = evaluator_->EvaluateCQ(q.cq, nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().num_rows(), 1u);
+  EXPECT_EQ(r.ValueOrDie().at(0, 0), graph_.dict().LookupIri("a"));
+}
+
+TEST_F(EvaluatorTest, TriangleJoin) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <knows> ?y . ?y <knows> ?z . ?z <knows> ?x . }");
+  Result<Relation> r = evaluator_->EvaluateCQ(q.cq, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 3u);  // a, b, c each start a cycle.
+}
+
+TEST_F(EvaluatorTest, ProjectionDeduplicates) {
+  // ?x <knows> ?y projected to ?x where x in {a,b,c}: 3 distinct.
+  Query q = MustParse("SELECT ?x WHERE { ?x <knows> ?y . }");
+  Result<Relation> r = evaluator_->EvaluateCQ(q.cq, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 3u);
+
+  // Projected to the object: b, c, a -> also 3; but <likes> objects dedup.
+  Query q2 = MustParse("SELECT ?y WHERE { ?x <likes> ?y . }");
+  Result<Relation> r2 = evaluator_->EvaluateCQ(q2.cq, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.ValueOrDie().num_rows(), 1u);  // Only b.
+}
+
+TEST_F(EvaluatorTest, EmptyResultKeepsSchema) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <knows> ?y . ?y <missing> ?x . }");
+  Result<Relation> r = evaluator_->EvaluateCQ(q.cq, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 0u);
+  EXPECT_EQ(r.ValueOrDie().columns(), q.cq.head);
+}
+
+TEST_F(EvaluatorTest, AskQuery) {
+  Query yes = MustParse("ASK WHERE { ?x <likes> ?x . }");
+  Result<Relation> r = evaluator_->EvaluateCQ(yes.cq, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 1u);  // True.
+
+  Query no = MustParse("ASK WHERE { ?x <hates> ?x . }");
+  Result<Relation> r2 = evaluator_->EvaluateCQ(no.cq, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.ValueOrDie().num_rows(), 0u);  // False.
+}
+
+TEST_F(EvaluatorTest, Metricspopulated) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <knows> ?y . ?y <likes> ?y . }");
+  EvalMetrics metrics;
+  ASSERT_TRUE(evaluator_->EvaluateCQ(q.cq, &metrics).ok());
+  EXPECT_EQ(metrics.rows_scanned, 5u);  // 3 knows + 2 likes.
+  EXPECT_GT(metrics.join_input_rows, 0u);
+  EXPECT_GE(metrics.elapsed_ms, 0.0);
+}
+
+TEST_F(EvaluatorTest, UcqUnionsAndDeduplicates) {
+  Query a = MustParse("SELECT ?x ?y WHERE { ?x <knows> ?y . }");
+  Query b = MustParse("SELECT ?x ?y WHERE { ?x <likes> ?y . }");
+  UnionQuery ucq;
+  ucq.head = a.cq.head;
+  ucq.disjuncts.push_back(a.cq);
+  // b parsed separately: same variable ids (x=0, y=1) by construction.
+  ucq.disjuncts.push_back(b.cq);
+  // Duplicate disjunct must not duplicate results.
+  ucq.disjuncts.push_back(a.cq);
+
+  Result<Relation> r = evaluator_->EvaluateUCQ(ucq, nullptr);
+  ASSERT_TRUE(r.ok());
+  // knows: (a,b),(b,c),(c,a); likes: (a,b),(b,b) — (a,b) is shared, so the
+  // distinct union has 4 rows.
+  EXPECT_EQ(r.ValueOrDie().num_rows(), 4u);
+}
+
+TEST_F(EvaluatorTest, UcqRespectsUnionTermLimit) {
+  EngineProfile tight = profile_;
+  tight.max_union_terms = 2;
+  Evaluator limited(&store_, &tight);
+  Query a = MustParse("SELECT ?x ?y WHERE { ?x <knows> ?y . }");
+  UnionQuery ucq;
+  ucq.head = a.cq.head;
+  for (int i = 0; i < 3; ++i) ucq.disjuncts.push_back(a.cq);
+  Result<Relation> r = limited.EvaluateUCQ(ucq, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kQueryTooComplex);
+}
+
+TEST_F(EvaluatorTest, JucqJoinsComponents) {
+  Query a = MustParse("SELECT ?x ?y WHERE { ?x <knows> ?y . }");
+  Query b = MustParse("SELECT ?x ?y WHERE { ?y <likes> ?y . ?x <knows> ?y }");
+  // Component 1: knows(x,y); component 2: likes(y,y) with head (y).
+  JoinOfUnions jucq;
+  jucq.head = {0};  // ?x
+  UnionQuery c1;
+  c1.head = {0, 1};
+  c1.disjuncts.push_back(a.cq);
+  UnionQuery c2;
+  c2.head = {1};
+  ConjunctiveQuery likes;
+  likes.head = {1};
+  likes.atoms.push_back(b.cq.atoms[0]);
+  c2.disjuncts.push_back(likes);
+  jucq.components.push_back(c1);
+  jucq.components.push_back(c2);
+
+  Result<Relation> r = evaluator_->EvaluateJUCQ(jucq, nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().num_rows(), 1u);
+  EXPECT_EQ(r.ValueOrDie().at(0, 0), graph_.dict().LookupIri("a"));
+}
+
+TEST_F(EvaluatorTest, JucqMaterializationBudget) {
+  EngineProfile tiny = profile_;
+  tiny.max_materialized_cells = 1;  // Nothing fits.
+  Evaluator limited(&store_, &tiny);
+  Query a = MustParse("SELECT ?x ?y WHERE { ?x <knows> ?y . }");
+  JoinOfUnions jucq;
+  jucq.head = {0};
+  UnionQuery c1;
+  c1.head = {0, 1};
+  c1.disjuncts.push_back(a.cq);
+  jucq.components.push_back(c1);
+  jucq.components.push_back(c1);
+  Result<Relation> r = limited.EvaluateJUCQ(jucq, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(EvaluatorTest, TimeoutFires) {
+  EngineProfile instant = profile_;
+  instant.timeout_seconds = 0.0;
+  Evaluator limited(&store_, &instant);
+  Query q = MustParse("SELECT ?x WHERE { ?x <knows> ?y . }");
+  Result<Relation> r = limited.EvaluateCQ(q.cq, nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(EvaluatorTest, ExplainCostIsFiniteAndMonotoneInTerms) {
+  Statistics stats = Statistics::Compute(store_);
+  CardinalityEstimator estimator(&store_, &stats);
+  Query a = MustParse("SELECT ?x ?y WHERE { ?x <knows> ?y . }");
+  JoinOfUnions small;
+  small.head = {0, 1};
+  UnionQuery c;
+  c.head = {0, 1};
+  c.disjuncts.push_back(a.cq);
+  small.components.push_back(c);
+
+  JoinOfUnions big = small;
+  for (int i = 0; i < 50; ++i) big.components[0].disjuncts.push_back(a.cq);
+
+  double cost_small = evaluator_->ExplainCost(small, estimator);
+  double cost_big = evaluator_->ExplainCost(big, estimator);
+  EXPECT_GT(cost_small, 0.0);
+  EXPECT_GT(cost_big, cost_small);
+}
+
+TEST_F(EvaluatorTest, HeadBindingsEmitConstants) {
+  // Disjunct q(x, y) :- x <knows> b with y bound to constant 42.
+  Query a = MustParse("SELECT ?x ?y WHERE { ?x <knows> ?y . }");
+  UnionQuery ucq;
+  ucq.head = {0, 1};
+  ConjunctiveQuery d;
+  d.head = {0, 1};
+  TriplePattern atom = a.cq.atoms[0];
+  atom.o = PatternTerm::Const(graph_.dict().LookupIri("b"));
+  d.atoms.push_back(atom);
+  // Variable 1 no longer occurs in the atoms; the binding supplies it.
+  d.head_bindings = {{1, 42}};
+  ucq.disjuncts.push_back(d);
+  Result<Relation> r = evaluator_->EvaluateUCQ(ucq, nullptr);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().num_rows(), 1u);
+  EXPECT_EQ(r.ValueOrDie().at(0, 1), 42u);
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,96 @@
+// Randomized robustness tests: the parsers must never crash or hang on
+// arbitrary input — every outcome is a value (parsed or typed error).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+
+namespace rdfopt {
+namespace {
+
+// Characters weighted toward the parsers' structural tokens so that random
+// strings actually exercise deep paths, not just the first-token error.
+std::string RandomNoise(WorkloadRng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "<>\"?{}. \n\tabcPREFIXSELECTWHEREask:/#_\\rdf";
+  size_t len = rng->Uniform(max_len) + 1;
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+// Mutates a valid input by splicing random noise into it.
+std::string Mutate(const std::string& base, WorkloadRng* rng) {
+  std::string out = base;
+  size_t pos = rng->Uniform(out.size() + 1);
+  if (rng->Chance(0.5)) {
+    out.insert(pos, RandomNoise(rng, 8));
+  } else if (!out.empty()) {
+    out.erase(pos % out.size(), rng->Uniform(4) + 1);
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, SparqlParserNeverCrashes) {
+  WorkloadRng rng(GetParam());
+  Dictionary dict;
+  for (int i = 0; i < 300; ++i) {
+    std::string input = RandomNoise(&rng, 120);
+    Result<Query> r = ParseQuery(input, &dict);
+    if (r.ok()) {
+      // Anything that parses must satisfy the parser's postconditions.
+      EXPECT_FALSE(r.ValueOrDie().cq.atoms.empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, SparqlParserSurvivesMutatedValidQueries) {
+  WorkloadRng rng(GetParam() * 7 + 1);
+  Dictionary dict;
+  const std::string base =
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . ?x ub:memberOf \"d\" . }";
+  for (int i = 0; i < 300; ++i) {
+    std::string input = Mutate(base, &rng);
+    Result<Query> r = ParseQuery(input, &dict);
+    (void)r;  // ok or error; must not crash.
+  }
+}
+
+TEST_P(ParserFuzzTest, NTriplesParserNeverCrashes) {
+  WorkloadRng rng(GetParam() * 13 + 5);
+  for (int i = 0; i < 300; ++i) {
+    Graph g;
+    std::string input = RandomNoise(&rng, 150);
+    Status st = ParseNTriples(input, &g);
+    (void)st;
+  }
+}
+
+TEST_P(ParserFuzzTest, NTriplesParserSurvivesMutatedValidDocs) {
+  WorkloadRng rng(GetParam() * 31 + 9);
+  const std::string base =
+      "<http://ex/s> <http://ex/p> \"lit \\\"x\\\" \\n y\" .\n"
+      "_:b1 <http://ex/q> <http://ex/o> .\n";
+  for (int i = 0; i < 300; ++i) {
+    Graph g;
+    std::string input = Mutate(base, &rng);
+    Status st = ParseNTriples(input, &g);
+    (void)st;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,150 @@
+#include "optimizer/gcov.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/ecov.h"
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+
+namespace rdfopt {
+namespace {
+
+Query ParseOrDie(const std::string& text, Dictionary* dict) {
+  Result<Query> q = ParseQuery(text, dict);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q.TakeValue();
+}
+
+// Oracle with a deterministic synthetic cost: prefers covers with few
+// fragments of bounded size (a smooth landscape GCov can descend).
+class SyntheticOracle : public CoverCostOracle {
+ public:
+  double CoverCost(const Cover& cover) override {
+    ++calls;
+    double cost = 0.0;
+    for (const std::vector<int>& f : cover.fragments) {
+      cost += std::pow(3.0, static_cast<double>(f.size()));  // Big frag: bad.
+    }
+    cost += 10.0 * static_cast<double>(cover.fragments.size());
+    return cost;
+  }
+  double FragmentCost(const std::vector<int>& fragment) override {
+    return std::pow(3.0, static_cast<double>(fragment.size()));
+  }
+  size_t calls = 0;
+};
+
+TEST(GcovTest, StartsFromScqAndImproves) {
+  Dictionary dict;
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <p0> ?b . ?a <p1> ?c . ?a <p2> ?d . "
+      "?a <p3> ?e . }",
+      &dict);
+  SyntheticOracle oracle;
+  CoverSearchResult result = GreedyCoverSearch(q.cq, &oracle, 30.0);
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_TRUE(ValidateCover(q.cq, result.best_cover).ok());
+  // SCQ cover costs 4*3 + 40 = 52; pairs cost 2*9 + 20 = 38: must improve.
+  EXPECT_LE(result.best_cost, 38.0);
+  EXPECT_GE(result.covers_examined, 2u);
+}
+
+TEST(GcovTest, MatchesEcovOnSmallQueries) {
+  Dictionary dict;
+  for (const char* text : {
+           "SELECT ?a WHERE { ?a <p0> ?b . ?b <p1> ?c . ?c <p2> ?d . }",
+           "SELECT ?a WHERE { ?a <p0> ?b . ?a <p1> ?c . ?a <p2> ?d . "
+           "?a <p3> ?e . }",
+       }) {
+    Query q = ParseOrDie(text, &dict);
+    SyntheticOracle oracle_g;
+    CoverSearchResult gcov = GreedyCoverSearch(q.cq, &oracle_g, 30.0);
+    SyntheticOracle oracle_e;
+    CoverSearchResult ecov = ExhaustiveCoverSearch(q.cq, &oracle_e, 30.0);
+    // The landscape is monotone along GCov moves, so GCov reaches the
+    // global optimum here.
+    EXPECT_DOUBLE_EQ(gcov.best_cost, ecov.best_cost) << text;
+  }
+}
+
+TEST(GcovTest, SingleAtomQuery) {
+  Dictionary dict;
+  Query q = ParseOrDie("SELECT ?a WHERE { ?a <p> ?b . }", &dict);
+  SyntheticOracle oracle;
+  CoverSearchResult result = GreedyCoverSearch(q.cq, &oracle, 30.0);
+  EXPECT_EQ(result.best_cover.fragments,
+            (std::vector<std::vector<int>>{{0}}));
+}
+
+// When every grouping is infeasible, GCov must stay at the SCQ cover.
+class AllInfeasibleOracle : public CoverCostOracle {
+ public:
+  double CoverCost(const Cover& cover) override {
+    for (const std::vector<int>& f : cover.fragments) {
+      if (f.size() > 1) return std::numeric_limits<double>::infinity();
+    }
+    return 5.0;
+  }
+  double FragmentCost(const std::vector<int>& fragment) override {
+    return fragment.size() > 1 ? std::numeric_limits<double>::infinity()
+                               : 1.0;
+  }
+};
+
+TEST(GcovTest, KeepsScqWhenGroupingIsInfeasible) {
+  Dictionary dict;
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <p0> ?b . ?a <p1> ?c . }", &dict);
+  AllInfeasibleOracle oracle;
+  CoverSearchResult result = GreedyCoverSearch(q.cq, &oracle, 30.0);
+  EXPECT_EQ(result.best_cover.Key(), ScqCover(2).Key());
+  EXPECT_DOUBLE_EQ(result.best_cost, 5.0);
+}
+
+// Moves only consider join-connected atoms: on a chain, atom 0 can never
+// be grouped directly with atom 2.
+TEST(GcovTest, MovesRespectConnectivity) {
+  Dictionary dict;
+  Query q = ParseOrDie(
+      "SELECT ?v0 WHERE { ?v0 <p0> ?v1 . ?v1 <p1> ?v2 . ?v2 <p2> ?v3 . }",
+      &dict);
+  SyntheticOracle oracle;
+  CoverSearchResult result = GreedyCoverSearch(q.cq, &oracle, 30.0);
+  EXPECT_TRUE(ValidateCover(q.cq, result.best_cover).ok());
+  for (const std::vector<int>& f : result.best_cover.fragments) {
+    EXPECT_TRUE(FragmentConnected(f, AtomAdjacency(q.cq)));
+  }
+}
+
+// GCov is anytime: with a zero budget it still returns the SCQ baseline.
+TEST(GcovTest, AnytimeWithZeroBudget) {
+  Dictionary dict;
+  Query q = ParseOrDie(
+      "SELECT ?a WHERE { ?a <p0> ?b . ?a <p1> ?c . ?a <p2> ?d . }", &dict);
+  SyntheticOracle oracle;
+  CoverSearchResult result = GreedyCoverSearch(q.cq, &oracle, 0.0);
+  EXPECT_TRUE(ValidateCover(q.cq, result.best_cover).ok());
+}
+
+TEST(GcovTest, ExploresFewerCoversThanEcovOnLargerQuery) {
+  // 6-atom star: ECov's space has 6424 covers; GCov must examine far fewer.
+  Dictionary dict;
+  std::string text = "SELECT ?a WHERE {";
+  for (int i = 0; i < 6; ++i) {
+    text += " ?a <p" + std::to_string(i) + "> ?v" + std::to_string(i) + " .";
+  }
+  text += " }";
+  Query q = ParseOrDie(text, &dict);
+  SyntheticOracle oracle_g;
+  CoverSearchResult gcov = GreedyCoverSearch(q.cq, &oracle_g, 30.0);
+  SyntheticOracle oracle_e;
+  CoverSearchResult ecov = ExhaustiveCoverSearch(q.cq, &oracle_e, 30.0);
+  EXPECT_EQ(ecov.covers_examined, 6424u);
+  EXPECT_LT(gcov.covers_examined, ecov.covers_examined / 4);
+}
+
+}  // namespace
+}  // namespace rdfopt

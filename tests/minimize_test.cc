@@ -1,0 +1,183 @@
+#include "reformulation/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/evaluator.h"
+#include "rdf/graph.h"
+#include "reasoner/saturation.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+
+namespace rdfopt {
+namespace {
+
+// Schema mirroring the paper's footnote-3 example: only people have social
+// security numbers.
+class MinimizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dictionary& d = graph_.dict();
+    person_ = d.InternIri("Person");
+    agent_ = d.InternIri("Agent");
+    ssn_ = d.InternIri("hasSSN");
+    employs_ = d.InternIri("employs");
+    works_for_ = d.InternIri("worksFor");
+    const Vocabulary& v = graph_.vocab();
+    graph_.AddEncoded(person_, v.rdfs_subclassof, agent_);
+    graph_.AddEncoded(ssn_, v.rdfs_domain, person_);
+    graph_.AddEncoded(employs_, v.rdfs_range, person_);
+    graph_.AddEncoded(works_for_, v.rdfs_subpropertyof, employs_);
+    graph_.FinalizeSchema();
+  }
+
+  Query MustParse(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &graph_.dict());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.TakeValue();
+  }
+
+  Graph graph_;
+  ValueId person_, agent_, ssn_, employs_, works_for_;
+};
+
+TEST_F(MinimizeTest, FootnoteThreeExample) {
+  // "x is a person and x has a social security number": the type atom is
+  // redundant (domain of hasSSN is Person).
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x rdf:type <Person> . ?x <hasSSN> ?n . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  EXPECT_EQ(m.removed_atoms, (std::vector<size_t>{0}));
+  ASSERT_EQ(m.query.atoms.size(), 1u);
+  EXPECT_EQ(m.query.atoms[0].p, PatternTerm::Const(ssn_));
+  EXPECT_EQ(m.query.head, q.cq.head);
+}
+
+TEST_F(MinimizeTest, SuperclassTypeAtomRedundant) {
+  // (x type Agent) is implied by (x type Person).
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x rdf:type <Agent> . ?x rdf:type <Person> . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  EXPECT_EQ(m.removed_atoms, (std::vector<size_t>{0}));
+}
+
+TEST_F(MinimizeTest, RangeEntailsObjectType) {
+  // (y type Person) implied by (x employs y) via the range constraint.
+  Query q = MustParse(
+      "SELECT ?x ?y WHERE { ?x <employs> ?y . ?y rdf:type <Person> . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  EXPECT_EQ(m.removed_atoms, (std::vector<size_t>{1}));
+}
+
+TEST_F(MinimizeTest, SubpropertyAtomEntailsSuperproperty) {
+  // (x employs y) implied by (x worksFor y)... note worksFor <=sp employs.
+  Query q = MustParse(
+      "SELECT ?x ?y WHERE { ?x <employs> ?y . ?x <worksFor> ?y . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  EXPECT_EQ(m.removed_atoms, (std::vector<size_t>{0}));
+  EXPECT_EQ(m.query.atoms[0].p, PatternTerm::Const(works_for_));
+}
+
+TEST_F(MinimizeTest, NothingToRemove) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <hasSSN> ?n . ?x <worksFor> ?y . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  EXPECT_TRUE(m.removed_atoms.empty());
+  EXPECT_EQ(m.query.atoms.size(), 2u);
+}
+
+TEST_F(MinimizeTest, KeepsAtomWhoseVariableWouldBecomeUnbound) {
+  // (y type Person) is entailed by (x employs y), but if it is the only
+  // atom binding y... here y occurs in the employs atom, so removal is
+  // fine; instead test a head variable bound only by the redundant atom:
+  // impossible by construction (the entailing atom shares the variable), so
+  // check the duplicate-atom edge: q(x) :- x hasSSN n . x hasSSN n.
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <hasSSN> ?n . ?x <hasSSN> ?n . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  EXPECT_EQ(m.removed_atoms.size(), 1u);
+  EXPECT_EQ(m.query.atoms.size(), 1u);
+}
+
+TEST_F(MinimizeTest, MutuallyRedundantPairKeepsOne) {
+  // Two identical type atoms: exactly one survives.
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x rdf:type <Person> . ?x rdf:type <Person> . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  EXPECT_EQ(m.query.atoms.size(), 1u);
+}
+
+TEST_F(MinimizeTest, DifferentSubjectsNotConfused) {
+  Query q = MustParse(
+      "SELECT ?x ?y WHERE { ?x rdf:type <Person> . ?y <hasSSN> ?n . "
+      "?x <worksFor> ?y . }");
+  MinimizationResult m =
+      MinimizeQuery(q.cq, graph_.schema(), graph_.vocab());
+  // (x type Person) is NOT entailed by (y hasSSN n) — different subject;
+  // but it IS entailed by (x worksFor y): domain(employs) has no domain...
+  // worksFor has no domain constraint, so nothing entails the type atom.
+  EXPECT_TRUE(m.removed_atoms.empty());
+}
+
+TEST(AtomEntailsTest, ExactDuplicate) {
+  Graph g;
+  g.FinalizeSchema();
+  TriplePattern atom{PatternTerm::Var(0), PatternTerm::Const(5),
+                     PatternTerm::Var(1)};
+  EXPECT_TRUE(AtomEntails(atom, atom, g.schema(), g.vocab()));
+}
+
+TEST(AtomEntailsTest, VariableClassNeverEntailed) {
+  Graph g;
+  Dictionary& d = g.dict();
+  ValueId c = d.InternIri("C");
+  ValueId p = d.InternIri("p");
+  g.AddEncoded(p, g.vocab().rdfs_domain, c);
+  g.FinalizeSchema();
+  // (x type ?y) is not entailed by (x p z) — the class is a variable.
+  TriplePattern by{PatternTerm::Var(0), PatternTerm::Const(p),
+                   PatternTerm::Var(2)};
+  TriplePattern atom{PatternTerm::Var(0),
+                     PatternTerm::Const(g.vocab().rdf_type),
+                     PatternTerm::Var(1)};
+  EXPECT_FALSE(AtomEntails(by, atom, g.schema(), g.vocab()));
+}
+
+// End-to-end: minimization preserves answers on generated data.
+TEST(MinimizeLubmTest, AnswersPreserved) {
+  Graph g;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &g);
+  g.FinalizeSchema();
+
+  // takesCourse's domain is Student: the type atom is redundant.
+  Result<Query> q = ParseQuery(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x WHERE { ?x rdf:type ub:Student . ?x ub:takesCourse ?c . }",
+      &g.dict());
+  ASSERT_TRUE(q.ok());
+  MinimizationResult m =
+      MinimizeQuery(q.ValueOrDie().cq, g.schema(), g.vocab());
+  ASSERT_EQ(m.removed_atoms.size(), 1u);
+
+  // Equal answers through saturation.
+  TripleStore store = TripleStore::Build(g.data_triples());
+  SaturationResult sat = Saturate(store, g.schema(), g.vocab());
+  EngineProfile profile = NativeStoreProfile();
+  Evaluator evaluator(&sat.store, &profile);
+  Result<Relation> full = evaluator.EvaluateCQ(q.ValueOrDie().cq, nullptr);
+  Result<Relation> reduced = evaluator.EvaluateCQ(m.query, nullptr);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(full.ValueOrDie().num_rows(), reduced.ValueOrDie().num_rows());
+}
+
+}  // namespace
+}  // namespace rdfopt

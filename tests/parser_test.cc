@@ -1,0 +1,123 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocabulary.h"
+#include "sparql/printer.h"
+
+namespace rdfopt {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Result<Query> Parse(std::string_view text) {
+    return ParseQuery(text, &dict_);
+  }
+  Dictionary dict_;
+};
+
+TEST_F(ParserTest, SimpleSelect) {
+  Result<Query> r = Parse(
+      "SELECT ?x WHERE { ?x <http://ex/p> <http://ex/o> . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Query& q = r.ValueOrDie();
+  EXPECT_EQ(q.cq.head.size(), 1u);
+  EXPECT_EQ(q.cq.atoms.size(), 1u);
+  EXPECT_TRUE(q.cq.atoms[0].s.is_var());
+  EXPECT_FALSE(q.cq.atoms[0].p.is_var());
+  EXPECT_EQ(dict_.term(q.cq.atoms[0].p.value()).lexical, "http://ex/p");
+}
+
+TEST_F(ParserTest, MultipleAtomsAndSharedVariables) {
+  Result<Query> r = Parse(
+      "SELECT ?x ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/q> ?z . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Query& q = r.ValueOrDie();
+  ASSERT_EQ(q.cq.atoms.size(), 2u);
+  EXPECT_EQ(q.cq.atoms[0].o.var(), q.cq.atoms[1].s.var());
+  EXPECT_TRUE(q.cq.IsConnected());
+}
+
+TEST_F(ParserTest, PredeclaredRdfPrefixAndA) {
+  Result<Query> r = Parse("SELECT ?x WHERE { ?x rdf:type ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Result<Query> r2 = Parse("SELECT ?x WHERE { ?x a ?y . }");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r.ValueOrDie().cq.atoms[0].p, r2.ValueOrDie().cq.atoms[0].p);
+  EXPECT_EQ(dict_.term(r.ValueOrDie().cq.atoms[0].p.value()).lexical,
+            std::string(kRdfType));
+}
+
+TEST_F(ParserTest, CustomPrefix) {
+  Result<Query> r = Parse(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x WHERE { ?x ub:degreeFrom ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(dict_.term(r.ValueOrDie().cq.atoms[0].p.value()).lexical,
+            "http://lubm.example.org/univ#degreeFrom");
+}
+
+TEST_F(ParserTest, LiteralsInObjectPosition) {
+  Result<Query> r = Parse(
+      "SELECT ?x WHERE { ?x <http://ex/publishedIn> \"1996\" . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const PatternTerm& o = r.ValueOrDie().cq.atoms[0].o;
+  ASSERT_FALSE(o.is_var());
+  EXPECT_EQ(dict_.term(o.value()).kind, TermKind::kLiteral);
+}
+
+TEST_F(ParserTest, AskQueryHasEmptyHead) {
+  Result<Query> r = Parse("ASK WHERE { ?x <http://ex/p> ?y . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.ValueOrDie().cq.head.empty());
+}
+
+TEST_F(ParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(Parse("select ?x where { ?x <p> <o> . }").ok());
+  EXPECT_TRUE(Parse("SeLeCt ?x WhErE { ?x <p> <o> . }").ok());
+}
+
+TEST_F(ParserTest, TrailingDotOptional) {
+  EXPECT_TRUE(Parse("SELECT ?x WHERE { ?x <p> <o> }").ok());
+  EXPECT_TRUE(Parse("SELECT ?x WHERE { ?x <p> ?y . ?y <q> <o> }").ok());
+}
+
+TEST_F(ParserTest, CommentsSkipped) {
+  EXPECT_TRUE(Parse("# leading\nSELECT ?x # mid\nWHERE { ?x <p> <o> . }")
+                  .ok());
+}
+
+TEST_F(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT WHERE { ?x <p> <o> . }").ok());
+  EXPECT_FALSE(Parse("SELECT ?x { ?x <p> <o> . }").ok());          // No WHERE.
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { }").ok());                 // Empty BGP.
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { ?x <p> }").ok());          // 2 terms.
+  EXPECT_FALSE(Parse("SELECT ?z WHERE { ?x <p> <o> . }").ok());    // Unbound.
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { ?x zz:p <o> . }").ok());   // Prefix.
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { ?x <p> <o> . } junk").ok());
+  EXPECT_FALSE(Parse("SELECT ?x WHERE { ?x <p <o> . }").ok());
+}
+
+TEST_F(ParserTest, SameConstantInternsOnce) {
+  Result<Query> r = Parse(
+      "SELECT ?x ?y WHERE { ?x <http://ex/p> <http://ex/c> . "
+      "?y <http://ex/q> <http://ex/c> . }");
+  ASSERT_TRUE(r.ok());
+  const Query& q = r.ValueOrDie();
+  EXPECT_EQ(q.cq.atoms[0].o.value(), q.cq.atoms[1].o.value());
+}
+
+TEST_F(ParserTest, PrinterRoundTripShape) {
+  Result<Query> r = Parse(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . ?x ub:memberOf ?z . }");
+  ASSERT_TRUE(r.ok());
+  std::string text = ToString(r.ValueOrDie(), dict_);
+  EXPECT_NE(text.find("q(?x, ?y)"), std::string::npos);
+  EXPECT_NE(text.find("?x"), std::string::npos);
+  EXPECT_NE(text.find("memberOf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfopt

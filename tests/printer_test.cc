@@ -1,0 +1,138 @@
+#include "sparql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/explain.h"
+#include "reasoner/saturation.h"
+#include "reformulation/reformulator.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+
+namespace rdfopt {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  Query MustParse(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &dict_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.TakeValue();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(PrinterTest, TermForms) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://ex/p> \"1996\" . }");
+  EXPECT_EQ(ToString(q.cq.atoms[0].s, q.vars, dict_), "?x");
+  EXPECT_EQ(ToString(q.cq.atoms[0].p, q.vars, dict_), "<http://ex/p>");
+  EXPECT_EQ(ToString(q.cq.atoms[0].o, q.vars, dict_), "\"1996\"");
+}
+
+TEST_F(PrinterTest, CqRendering) {
+  Query q = MustParse(
+      "SELECT ?x ?z WHERE { ?x <p> ?y . ?y <q> ?z . }");
+  std::string text = ToString(q.cq, q.vars, dict_);
+  EXPECT_EQ(text, "q(?x, ?z) :- ?x <p> ?y . ?y <q> ?z");
+}
+
+TEST_F(PrinterTest, AskRendering) {
+  Query q = MustParse("ASK WHERE { ?x <p> ?y . }");
+  std::string text = ToString(q.cq, q.vars, dict_);
+  EXPECT_EQ(text, "q() :- ?x <p> ?y");
+}
+
+TEST_F(PrinterTest, UnionRendering) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <p> ?y . }");
+  UnionQuery ucq;
+  ucq.head = q.cq.head;
+  ucq.disjuncts = {q.cq, q.cq};
+  std::string text = ToString(ucq, q.vars, dict_);
+  EXPECT_NE(text.find("UNION"), std::string::npos);
+}
+
+TEST_F(PrinterTest, JucqSummaryElidesLargeComponents) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <p> ?y . }");
+  JoinOfUnions jucq;
+  jucq.head = q.cq.head;
+  UnionQuery small;
+  small.head = q.cq.head;
+  small.disjuncts = {q.cq};
+  UnionQuery large;
+  large.head = q.cq.head;
+  for (int i = 0; i < 20; ++i) large.disjuncts.push_back(q.cq);
+  jucq.components = {small, large};
+  std::string text = ToString(jucq, q.vars, dict_);
+  EXPECT_NE(text.find("JOIN of 2 UCQ(s)"), std::string::npos);
+  EXPECT_NE(text.find("20 disjunct(s) (listing elided)"),
+            std::string::npos);
+  EXPECT_NE(text.find("1 disjunct(s):"), std::string::npos);
+}
+
+TEST(ExplainTest, PlanShowsScanProbeAndPipelining) {
+  Graph g;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &g);
+  g.FinalizeSchema();
+  TripleStore store = TripleStore::Build(g.data_triples());
+  Statistics stats = Statistics::Compute(store);
+  CardinalityEstimator estimator(&store, &stats);
+  Reformulator reformulator(&g.schema(), &g.vocab());
+
+  Result<Query> q = ParseQuery(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . ?x ub:memberOf "
+      "<http://lubm.example.org/data/univ0/dept0> . }",
+      &g.dict());
+  ASSERT_TRUE(q.ok());
+
+  // Two-component JUCQ: the type fragment and the memberOf fragment.
+  VarTable vars = q.ValueOrDie().vars;
+  ConjunctiveQuery f0;
+  f0.head = {0, 1};
+  f0.atoms.push_back(q.ValueOrDie().cq.atoms[0]);
+  ConjunctiveQuery f1;
+  f1.head = {0};
+  f1.atoms.push_back(q.ValueOrDie().cq.atoms[1]);
+  Result<UnionQuery> u0 = reformulator.ReformulateCQ(f0, &vars);
+  Result<UnionQuery> u1 = reformulator.ReformulateCQ(f1, &vars);
+  ASSERT_TRUE(u0.ok());
+  ASSERT_TRUE(u1.ok());
+  JoinOfUnions jucq;
+  jucq.head = q.ValueOrDie().cq.head;
+  jucq.components = {u0.TakeValue(), u1.TakeValue()};
+
+  std::string plan = ExplainJucqPlan(jucq, vars, g.dict(), estimator,
+                                     PostgresLikeProfile());
+  EXPECT_NE(plan.find("JUCQ plan (2 component(s))"), std::string::npos);
+  EXPECT_NE(plan.find("[pipelined]"), std::string::npos);
+  EXPECT_NE(plan.find("[materialized]"), std::string::npos);
+  EXPECT_NE(plan.find("scan"), std::string::npos);
+  EXPECT_NE(plan.find("final: hash join"), std::string::npos);
+  EXPECT_NE(plan.find("more term(s)"), std::string::npos);
+}
+
+TEST(ExplainTest, FlagsOverLimitComponents) {
+  Dictionary dict;
+  Result<Query> q = ParseQuery("SELECT ?x WHERE { ?x <p> ?y . }", &dict);
+  ASSERT_TRUE(q.ok());
+  JoinOfUnions jucq;
+  jucq.head = q.ValueOrDie().cq.head;
+  UnionQuery huge;
+  huge.head = jucq.head;
+  for (int i = 0; i < 50; ++i) huge.disjuncts.push_back(q.ValueOrDie().cq);
+  jucq.components = {huge};
+
+  EngineProfile tiny = PostgresLikeProfile();
+  tiny.max_union_terms = 10;
+  TripleStore store = TripleStore::Build({});
+  Statistics stats = Statistics::Compute(store);
+  CardinalityEstimator estimator(&store, &stats);
+  std::string plan =
+      ExplainJucqPlan(jucq, q.ValueOrDie().vars, dict, estimator, tiny);
+  EXPECT_NE(plan.find("exceeds the plan limit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,336 @@
+// Property-based tests of the central soundness/completeness invariant
+// (paper Theorem 3.1 and the reformulation correctness it builds on):
+//
+//   for every database, every query and every cover C,
+//     eval(cover-based JUCQ reformulation, db) == eval(query, saturate(db)).
+//
+// Queries and covers are generated randomly over randomly generated
+// databases; TEST_P sweeps several database shapes.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/answering.h"
+#include "reformulation/minimize.h"
+#include "optimizer/ecov.h"
+#include "reasoner/saturation.h"
+#include "sparql/parser.h"
+#include "workload/dblp.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+namespace rdfopt {
+namespace {
+
+std::set<std::vector<ValueId>> RowSet(const Relation& r) {
+  std::set<std::vector<ValueId>> rows;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    rows.insert(std::vector<ValueId>(r.row(i).begin(), r.row(i).end()));
+  }
+  return rows;
+}
+
+/// A random database: random class/property hierarchies plus random triples
+/// biased so that entailment actually fires.
+struct RandomDb {
+  Graph graph;
+  std::vector<ValueId> classes;
+  std::vector<ValueId> properties;
+  std::vector<ValueId> resources;
+
+  explicit RandomDb(uint64_t seed, size_t num_classes = 8,
+                    size_t num_properties = 6, size_t num_resources = 40,
+                    size_t num_triples = 220) {
+    WorkloadRng rng(seed);
+    Dictionary& d = graph.dict();
+    const Vocabulary& v = graph.vocab();
+    for (size_t i = 0; i < num_classes; ++i) {
+      classes.push_back(d.InternIri("C" + std::to_string(i)));
+    }
+    for (size_t i = 0; i < num_properties; ++i) {
+      properties.push_back(d.InternIri("p" + std::to_string(i)));
+    }
+    for (size_t i = 0; i < num_resources; ++i) {
+      resources.push_back(d.InternIri("r" + std::to_string(i)));
+    }
+    // Random forest-ish subclass edges (child id < parent id: acyclic).
+    for (size_t i = 0; i + 1 < num_classes; ++i) {
+      if (rng.Chance(0.7)) {
+        size_t parent = i + 1 + rng.Uniform(num_classes - i - 1);
+        graph.AddEncoded(classes[i], v.rdfs_subclassof, classes[parent]);
+      }
+    }
+    for (size_t i = 0; i + 1 < num_properties; ++i) {
+      if (rng.Chance(0.5)) {
+        size_t parent = i + 1 + rng.Uniform(num_properties - i - 1);
+        graph.AddEncoded(properties[i], v.rdfs_subpropertyof,
+                         properties[parent]);
+      }
+    }
+    for (ValueId p : properties) {
+      if (rng.Chance(0.5)) {
+        graph.AddEncoded(p, v.rdfs_domain,
+                         classes[rng.Uniform(num_classes)]);
+      }
+      if (rng.Chance(0.5)) {
+        graph.AddEncoded(p, v.rdfs_range,
+                         classes[rng.Uniform(num_classes)]);
+      }
+    }
+    for (size_t i = 0; i < num_triples; ++i) {
+      ValueId s = resources[rng.Uniform(num_resources)];
+      if (rng.Chance(0.3)) {
+        graph.AddEncoded(s, v.rdf_type, classes[rng.Uniform(num_classes)]);
+      } else {
+        graph.AddEncoded(s, properties[rng.Uniform(num_properties)],
+                         resources[rng.Uniform(num_resources)]);
+      }
+    }
+    graph.FinalizeSchema();
+  }
+};
+
+/// A random connected BGP query over the database's vocabulary: the first
+/// atom's subject is a fresh variable, every later atom's subject is drawn
+/// from the variables already used (guaranteeing connectivity).
+ConjunctiveQuery RandomQuery(const RandomDb& db, WorkloadRng* rng,
+                             VarTable* vars, size_t num_atoms) {
+  const Vocabulary& v = db.graph.vocab();
+  ConjunctiveQuery cq;
+  std::vector<VarId> pool;
+  auto fresh = [&] {
+    VarId var = vars->GetOrCreate("v" + std::to_string(vars->size()));
+    pool.push_back(var);
+    return var;
+  };
+
+  for (size_t i = 0; i < num_atoms; ++i) {
+    PatternTerm s = (i == 0)
+                        ? PatternTerm::Var(fresh())
+                        : PatternTerm::Var(pool[rng->Uniform(pool.size())]);
+    TriplePattern atom;
+    if (rng->Chance(0.35)) {
+      // Type atom: object is a class constant or a fresh variable.
+      PatternTerm o =
+          rng->Chance(0.6)
+              ? PatternTerm::Const(db.classes[rng->Uniform(
+                    db.classes.size())])
+              : PatternTerm::Var(fresh());
+      atom = TriplePattern{s, PatternTerm::Const(v.rdf_type), o};
+    } else {
+      PatternTerm p =
+          rng->Chance(0.9)
+              ? PatternTerm::Const(db.properties[rng->Uniform(
+                    db.properties.size())])
+              : PatternTerm::Var(fresh());
+      PatternTerm o =
+          rng->Chance(0.5)
+              ? PatternTerm::Var(fresh())
+              : PatternTerm::Const(db.resources[rng->Uniform(
+                    db.resources.size())]);
+      atom = TriplePattern{s, p, o};
+    }
+    cq.atoms.push_back(atom);
+  }
+  // Head: a random non-empty subset of the variables.
+  for (VarId var : cq.AllVariables()) {
+    if (rng->Chance(0.5) || cq.head.empty()) cq.head.push_back(var);
+  }
+  return cq;
+}
+
+class ReformulationSoundnessTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ReformulationSoundnessTest, AllCoversMatchSaturation) {
+  const uint64_t seed = GetParam();
+  RandomDb db(seed);
+  TripleStore store = TripleStore::Build(db.graph.data_triples());
+  SaturationResult sat =
+      Saturate(store, db.graph.schema(), db.graph.vocab());
+  EngineProfile profile = NativeStoreProfile();
+  Evaluator evaluator(&store, &profile);
+  Evaluator sat_evaluator(&sat.store, &profile);
+  Reformulator reformulator(&db.graph.schema(), &db.graph.vocab());
+
+  WorkloadRng rng(seed * 31 + 1);
+  for (int trial = 0; trial < 6; ++trial) {
+    VarTable vars;
+    ConjunctiveQuery cq =
+        RandomQuery(db, &rng, &vars, 1 + rng.Uniform(3));
+    if (!cq.IsConnected()) continue;
+
+    // Ground truth: direct evaluation against the saturated store.
+    Result<Relation> expected = sat_evaluator.EvaluateCQ(cq, nullptr);
+    ASSERT_TRUE(expected.ok());
+    std::set<std::vector<ValueId>> truth = RowSet(expected.ValueOrDie());
+
+    // Every enumerated cover must reproduce it on the non-saturated store.
+    bool timed_out = false;
+    std::vector<Cover> covers = EnumerateCovers(cq, 30.0, 2000, &timed_out);
+    ASSERT_FALSE(covers.empty());
+    for (const Cover& cover : covers) {
+      VarTable cover_vars = vars;
+      Result<JoinOfUnions> jucq = CoverBasedReformulation(
+          cq, cover, reformulator, &cover_vars, 1'000'000);
+      ASSERT_TRUE(jucq.ok()) << jucq.status().ToString();
+      Result<Relation> got =
+          evaluator.EvaluateJUCQ(jucq.ValueOrDie(), nullptr);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(RowSet(got.ValueOrDie()), truth)
+          << "seed " << seed << " trial " << trial << " cover "
+          << cover.Key();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReformulationSoundnessTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// The saturation fast path must equal the naive fixpoint on random
+// databases (not just the hand-built cases of saturation_test).
+class SaturationEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SaturationEquivalenceTest, FastPathMatchesNaiveFixpoint) {
+  RandomDb db(GetParam(), /*num_classes=*/6, /*num_properties=*/5,
+              /*num_resources=*/25, /*num_triples=*/120);
+  TripleStore store = TripleStore::Build(db.graph.data_triples());
+  SaturationResult fast =
+      Saturate(store, db.graph.schema(), db.graph.vocab());
+  std::vector<Triple> naive = NaiveFixpointSaturation(
+      db.graph.data_triples(), db.graph.schema_triples(), db.graph.vocab());
+  TripleStore naive_store = TripleStore::Build(std::move(naive));
+  ASSERT_EQ(fast.store.size(), naive_store.size());
+  for (size_t i = 0; i < fast.store.size(); ++i) {
+    EXPECT_EQ(fast.store.All()[i], naive_store.All()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaturationEquivalenceTest,
+                         ::testing::Range<uint64_t>(100, 112));
+
+// Minimization must preserve answers on random databases and queries.
+class MinimizationSoundnessTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(MinimizationSoundnessTest, MinimizedQueryKeepsAnswers) {
+  const uint64_t seed = GetParam();
+  RandomDb db(seed);
+  TripleStore store = TripleStore::Build(db.graph.data_triples());
+  SaturationResult sat =
+      Saturate(store, db.graph.schema(), db.graph.vocab());
+  EngineProfile profile = NativeStoreProfile();
+  Evaluator sat_evaluator(&sat.store, &profile);
+
+  WorkloadRng rng(seed * 17 + 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    VarTable vars;
+    ConjunctiveQuery cq = RandomQuery(db, &rng, &vars, 2 + rng.Uniform(3));
+    MinimizationResult m =
+        MinimizeQuery(cq, db.graph.schema(), db.graph.vocab());
+    ASSERT_EQ(m.query.atoms.size() + m.removed_atoms.size(),
+              cq.atoms.size());
+    if (m.removed_atoms.empty()) continue;
+
+    Result<Relation> full = sat_evaluator.EvaluateCQ(cq, nullptr);
+    Result<Relation> reduced = sat_evaluator.EvaluateCQ(m.query, nullptr);
+    ASSERT_TRUE(full.ok());
+    ASSERT_TRUE(reduced.ok());
+    EXPECT_EQ(RowSet(full.ValueOrDie()), RowSet(reduced.ValueOrDie()))
+        << "seed " << seed << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizationSoundnessTest,
+                         ::testing::Range<uint64_t>(200, 210));
+
+// Data-aware pruning must preserve answers: a pruned disjunct contains an
+// atom with no matching triple, so it cannot contribute rows.
+class PruningSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PruningSoundnessTest, PrunedJucqKeepsAnswers) {
+  const uint64_t seed = GetParam();
+  RandomDb db(seed);
+  TripleStore store = TripleStore::Build(db.graph.data_triples());
+  SaturationResult sat =
+      Saturate(store, db.graph.schema(), db.graph.vocab());
+  Statistics stats = Statistics::Compute(store);
+  EngineProfile profile = NativeStoreProfile();
+  QueryAnswerer answerer(&store, &sat.store, &db.graph.schema(),
+                         &db.graph.vocab(), &stats, &profile);
+
+  WorkloadRng rng(seed * 13 + 7);
+  for (int trial = 0; trial < 5; ++trial) {
+    VarTable vars;
+    Query query;
+    query.cq = RandomQuery(db, &rng, &vars, 1 + rng.Uniform(3));
+    query.vars = vars;
+    if (!query.cq.IsConnected()) continue;
+
+    AnswerOptions plain;
+    plain.strategy = Strategy::kUcq;
+    Result<AnswerOutcome> a = answerer.Answer(query, plain);
+    AnswerOptions pruned = plain;
+    pruned.prune_empty_disjuncts = true;
+    Result<AnswerOutcome> b = answerer.Answer(query, pruned);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (!a.ok()) continue;
+    EXPECT_EQ(RowSet(a.ValueOrDie().answers), RowSet(b.ValueOrDie().answers))
+        << "seed " << seed << " trial " << trial;
+    EXPECT_LE(b.ValueOrDie().union_terms, a.ValueOrDie().union_terms);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruningSoundnessTest,
+                         ::testing::Range<uint64_t>(300, 308));
+
+// UCQ / SCQ / GCov / ECov agree on every LUBM benchmark query that all of
+// them can evaluate at test scale.
+TEST(StrategyAgreementTest, LubmQueriesAgreeAcrossStrategies) {
+  Graph graph;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &graph);
+  graph.FinalizeSchema();
+  TripleStore store = TripleStore::Build(graph.data_triples());
+  SaturationResult sat = Saturate(store, graph.schema(), graph.vocab());
+  Statistics stats = Statistics::Compute(store);
+  EngineProfile profile = NativeStoreProfile();
+  QueryAnswerer answerer(&store, &sat.store, &graph.schema(), &graph.vocab(),
+                         &stats, &profile);
+
+  // A representative slice (the full set runs in the integration test).
+  for (const char* name : {"Q02", "Q05", "Q08", "Q12", "Q17", "Q21", "Q25"}) {
+    const BenchmarkQuery* bq = nullptr;
+    for (const auto& q : LubmQuerySet()) {
+      if (q.name == name) bq = &q;
+    }
+    ASSERT_NE(bq, nullptr);
+    Result<Query> parsed = ParseQuery(bq->text, &graph.dict());
+    ASSERT_TRUE(parsed.ok());
+    const Query& query = parsed.ValueOrDie();
+
+    AnswerOptions sat_opts;
+    sat_opts.strategy = Strategy::kSaturation;
+    Result<AnswerOutcome> truth = answerer.Answer(query, sat_opts);
+    ASSERT_TRUE(truth.ok()) << name;
+    std::set<std::vector<ValueId>> expected =
+        RowSet(truth.ValueOrDie().answers);
+
+    for (Strategy s : {Strategy::kUcq, Strategy::kScq, Strategy::kGcov,
+                       Strategy::kEcov}) {
+      AnswerOptions opts;
+      opts.strategy = s;
+      Result<AnswerOutcome> got = answerer.Answer(query, opts);
+      ASSERT_TRUE(got.ok()) << name << " " << StrategyName(s) << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(RowSet(got.ValueOrDie().answers), expected)
+          << name << " " << StrategyName(s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,137 @@
+#include "sparql/query.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfopt {
+namespace {
+
+TriplePattern Atom(PatternTerm s, PatternTerm p, PatternTerm o) {
+  return TriplePattern{s, p, o};
+}
+
+TEST(PatternTermTest, VarAndConstDistinct) {
+  EXPECT_NE(PatternTerm::Var(3), PatternTerm::Const(3));
+  EXPECT_EQ(PatternTerm::Var(3), PatternTerm::Var(3));
+  EXPECT_TRUE(PatternTerm::Var(3).is_var());
+  EXPECT_FALSE(PatternTerm::Const(3).is_var());
+}
+
+TEST(PatternTermTest, DefaultIsInvalidConstant) {
+  PatternTerm t;
+  EXPECT_FALSE(t.is_var());
+  EXPECT_EQ(t.value(), kInvalidValueId);
+}
+
+TEST(TriplePatternTest, AppendVariablesInPositionOrder) {
+  TriplePattern atom =
+      Atom(PatternTerm::Var(2), PatternTerm::Const(9), PatternTerm::Var(1));
+  std::vector<VarId> vars;
+  atom.AppendVariables(&vars);
+  EXPECT_EQ(vars, (std::vector<VarId>{2, 1}));
+}
+
+TEST(TriplePatternTest, SharesVariableWith) {
+  TriplePattern a =
+      Atom(PatternTerm::Var(0), PatternTerm::Const(9), PatternTerm::Var(1));
+  TriplePattern b =
+      Atom(PatternTerm::Var(1), PatternTerm::Const(8), PatternTerm::Var(2));
+  TriplePattern c =
+      Atom(PatternTerm::Var(3), PatternTerm::Const(9), PatternTerm::Var(4));
+  EXPECT_TRUE(a.SharesVariableWith(b));
+  EXPECT_FALSE(a.SharesVariableWith(c));
+  // An atom with a variable shares with itself.
+  EXPECT_TRUE(a.SharesVariableWith(a));
+}
+
+TEST(VarTableTest, GetOrCreateAndFresh) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  VarId y = vars.GetOrCreate("y");
+  EXPECT_EQ(x, vars.GetOrCreate("x"));
+  EXPECT_NE(x, y);
+  VarId f = vars.Fresh();
+  EXPECT_EQ(vars.name(f)[0], '_');
+  EXPECT_EQ(vars.size(), 3u);
+}
+
+TEST(ConjunctiveQueryTest, AllVariablesSortedUnique) {
+  ConjunctiveQuery cq;
+  cq.atoms.push_back(
+      Atom(PatternTerm::Var(3), PatternTerm::Const(9), PatternTerm::Var(1)));
+  cq.atoms.push_back(
+      Atom(PatternTerm::Var(1), PatternTerm::Var(2), PatternTerm::Const(5)));
+  EXPECT_EQ(cq.AllVariables(), (std::vector<VarId>{1, 2, 3}));
+}
+
+TEST(ConjunctiveQueryTest, Connectivity) {
+  ConjunctiveQuery connected;
+  connected.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(9), PatternTerm::Var(1)));
+  connected.atoms.push_back(
+      Atom(PatternTerm::Var(1), PatternTerm::Const(8), PatternTerm::Var(2)));
+  EXPECT_TRUE(connected.IsConnected());
+
+  ConjunctiveQuery disconnected = connected;
+  disconnected.atoms.push_back(
+      Atom(PatternTerm::Var(7), PatternTerm::Const(8), PatternTerm::Var(8)));
+  EXPECT_FALSE(disconnected.IsConnected());
+
+  ConjunctiveQuery single;
+  single.atoms.push_back(
+      Atom(PatternTerm::Const(1), PatternTerm::Const(2),
+           PatternTerm::Const(3)));
+  EXPECT_TRUE(single.IsConnected());
+}
+
+TEST(CanonicalKeyTest, InvariantUnderFreshRenaming) {
+  // Two CQs equal up to renaming of fresh variables (ids >= 2).
+  ConjunctiveQuery a;
+  a.head = {0};
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(9), PatternTerm::Var(5)));
+  ConjunctiveQuery b;
+  b.head = {0};
+  b.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(9), PatternTerm::Var(7)));
+  EXPECT_EQ(CanonicalKey(a, 2), CanonicalKey(b, 2));
+}
+
+TEST(CanonicalKeyTest, DistinguishesOriginalVariables) {
+  ConjunctiveQuery a;
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(9), PatternTerm::Var(1)));
+  ConjunctiveQuery b;
+  b.atoms.push_back(
+      Atom(PatternTerm::Var(1), PatternTerm::Const(9), PatternTerm::Var(0)));
+  EXPECT_NE(CanonicalKey(a, 2), CanonicalKey(b, 2));
+}
+
+TEST(CanonicalKeyTest, DistinguishesHeadBindings) {
+  ConjunctiveQuery a;
+  a.head = {0};
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(1), PatternTerm::Const(9), PatternTerm::Const(3)));
+  ConjunctiveQuery b = a;
+  a.head_bindings = {{0, 42}};
+  b.head_bindings = {{0, 43}};
+  EXPECT_NE(CanonicalKey(a, 2), CanonicalKey(b, 2));
+}
+
+TEST(CanonicalKeyTest, FreshRenamingFollowsOccurrenceOrder) {
+  // (f7, p, f5) and (f5, p, f7) both canonicalize to (f0, p, f1).
+  ConjunctiveQuery a;
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(7), PatternTerm::Const(9), PatternTerm::Var(5)));
+  ConjunctiveQuery b;
+  b.atoms.push_back(
+      Atom(PatternTerm::Var(5), PatternTerm::Const(9), PatternTerm::Var(7)));
+  EXPECT_EQ(CanonicalKey(a, 2), CanonicalKey(b, 2));
+  // But swapping one for an original variable differs.
+  ConjunctiveQuery c;
+  c.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(9), PatternTerm::Var(5)));
+  EXPECT_NE(CanonicalKey(a, 2), CanonicalKey(c, 2));
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/vocabulary.h"
+
+namespace rdfopt {
+namespace {
+
+TEST(TermTest, EncodedRoundTrip) {
+  for (const Term& t : {Term::Iri("http://a.example/x"),
+                        Term::Literal("Game of Thrones"),
+                        Term::Blank("b1")}) {
+    Result<Term> parsed = Term::FromEncoded(t.Encoded());
+    ASSERT_TRUE(parsed.ok()) << t.Encoded();
+    EXPECT_EQ(parsed.ValueOrDie(), t);
+  }
+}
+
+TEST(TermTest, EncodingIsUnambiguous) {
+  // The same lexical form as IRI, literal and blank node must encode
+  // differently.
+  EXPECT_NE(Term::Iri("x").Encoded(), Term::Literal("x").Encoded());
+  EXPECT_NE(Term::Iri("x").Encoded(), Term::Blank("x").Encoded());
+  EXPECT_NE(Term::Literal("x").Encoded(), Term::Blank("x").Encoded());
+}
+
+TEST(TermTest, FromEncodedRejectsGarbage) {
+  EXPECT_FALSE(Term::FromEncoded("").ok());
+  EXPECT_FALSE(Term::FromEncoded("<unterminated").ok());
+  EXPECT_FALSE(Term::FromEncoded("\"unterminated").ok());
+  EXPECT_FALSE(Term::FromEncoded("plain").ok());
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  ValueId a = d.InternIri("http://a.example/x");
+  ValueId b = d.InternIri("http://a.example/x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, IdsAreDenseAndDecodable) {
+  Dictionary d;
+  ValueId a = d.InternIri("http://a.example/x");
+  ValueId b = d.InternLiteral("1996");
+  ValueId c = d.InternBlank("b1");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(d.term(a).lexical, "http://a.example/x");
+  EXPECT_EQ(d.term(b).kind, TermKind::kLiteral);
+  EXPECT_EQ(d.term(c).kind, TermKind::kBlank);
+}
+
+TEST(DictionaryTest, KindsDoNotCollide) {
+  Dictionary d;
+  ValueId iri = d.InternIri("x");
+  ValueId lit = d.InternLiteral("x");
+  ValueId blank = d.InternBlank("x");
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(iri, blank);
+  EXPECT_NE(lit, blank);
+}
+
+TEST(DictionaryTest, LookupMissReturnsInvalid) {
+  Dictionary d;
+  EXPECT_EQ(d.LookupIri("http://nope.example/"), kInvalidValueId);
+}
+
+TEST(DictionaryTest, FreshBlankIsUnique) {
+  Dictionary d;
+  d.InternBlank("g0");  // Collides with the first generated label.
+  ValueId fresh1 = d.FreshBlank();
+  ValueId fresh2 = d.FreshBlank();
+  EXPECT_NE(fresh1, fresh2);
+  EXPECT_NE(d.term(fresh1).lexical, "g0");
+}
+
+TEST(VocabularyTest, SchemaPropertyDetection) {
+  Dictionary d;
+  Vocabulary v = Vocabulary::InternInto(&d);
+  EXPECT_TRUE(v.IsSchemaProperty(v.rdfs_subclassof));
+  EXPECT_TRUE(v.IsSchemaProperty(v.rdfs_subpropertyof));
+  EXPECT_TRUE(v.IsSchemaProperty(v.rdfs_domain));
+  EXPECT_TRUE(v.IsSchemaProperty(v.rdfs_range));
+  EXPECT_FALSE(v.IsSchemaProperty(v.rdf_type));
+}
+
+TEST(VocabularyTest, PrefixExpansion) {
+  EXPECT_EQ(ExpandWellKnownPrefix("rdf:type"), std::string(kRdfType));
+  EXPECT_EQ(ExpandWellKnownPrefix("rdfs:domain"), std::string(kRdfsDomain));
+  EXPECT_EQ(ExpandWellKnownPrefix("ub:Person"), "ub:Person");
+}
+
+TEST(GraphTest, RoutesSchemaTriples) {
+  Graph g;
+  g.AddIri("http://ex/Book", std::string(kRdfsSubClassOf),
+           "http://ex/Publication");
+  g.AddIri("http://ex/doi1", std::string(kRdfType), "http://ex/Book");
+  EXPECT_EQ(g.num_schema_triples(), 1u);
+  EXPECT_EQ(g.num_data_triples(), 1u);
+  g.FinalizeSchema();
+  ValueId book = g.dict().LookupIri("http://ex/Book");
+  ValueId pub = g.dict().LookupIri("http://ex/Publication");
+  EXPECT_EQ(g.schema().SuperClassesOf(book),
+            (std::vector<ValueId>{std::min(book, pub), std::max(book, pub)}));
+}
+
+TEST(GraphTest, AllFourConstraintKindsRouted) {
+  Graph g;
+  g.AddIri("http://ex/a", std::string(kRdfsSubClassOf), "http://ex/b");
+  g.AddIri("http://ex/p", std::string(kRdfsSubPropertyOf), "http://ex/q");
+  g.AddIri("http://ex/p", std::string(kRdfsDomain), "http://ex/a");
+  g.AddIri("http://ex/p", std::string(kRdfsRange), "http://ex/b");
+  EXPECT_EQ(g.num_schema_triples(), 4u);
+  EXPECT_EQ(g.num_data_triples(), 0u);
+  EXPECT_EQ(g.schema().num_constraints(), 4u);
+}
+
+TEST(NTriplesTest, ParsesTriplesCommentsAndBlankLines) {
+  Graph g;
+  const char* doc =
+      "# a comment\n"
+      "\n"
+      "<http://ex/doi1> <http://ex/hasTitle> \"Game of Thrones\" .\n"
+      "<http://ex/doi1> <http://ex/writtenBy> _:b1 .  # trailing comment\n"
+      "_:b1 <http://ex/hasName> \"George R. R. Martin\" .";
+  ASSERT_TRUE(ParseNTriples(doc, &g).ok());
+  EXPECT_EQ(g.num_data_triples(), 3u);
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  Graph g;
+  EXPECT_FALSE(ParseNTriples("<http://a> <http://b> .\n", &g).ok());
+  EXPECT_FALSE(ParseNTriples("<http://a> <http://b> <http://c>\n", &g).ok());
+  EXPECT_FALSE(ParseNTriples("<a> <b> <c> . extra\n", &g).ok());
+  EXPECT_FALSE(ParseNTriples("<a <b> <c> .\n", &g).ok());
+}
+
+TEST(NTriplesTest, LiteralEscapes) {
+  Graph g;
+  const char* doc =
+      "<s> <p> \"line one\\nline two\\t\\\"quoted\\\" back\\\\slash\" .\n";
+  ASSERT_TRUE(ParseNTriples(doc, &g).ok());
+  ASSERT_EQ(g.num_data_triples(), 1u);
+  const Term& lit = g.dict().term(g.data_triples()[0].o);
+  EXPECT_EQ(lit.kind, TermKind::kLiteral);
+  EXPECT_EQ(lit.lexical, "line one\nline two\t\"quoted\" back\\slash");
+}
+
+TEST(NTriplesTest, EscapedLiteralRoundTrip) {
+  Graph g;
+  g.Add(Term::Iri("s"), Term::Iri("p"),
+        Term::Literal("a \"b\"\nc\\d\te\rf"));
+  std::string text = SerializeNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(text, &g2).ok()) << text;
+  ASSERT_EQ(g2.num_data_triples(), 1u);
+  EXPECT_EQ(g2.dict().term(g2.data_triples()[0].o).lexical,
+            "a \"b\"\nc\\d\te\rf");
+}
+
+TEST(NTriplesTest, RejectsBadEscapes) {
+  Graph g;
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"bad \\q escape\" .\n", &g).ok());
+  EXPECT_FALSE(ParseNTriples("<s> <p> \"dangling\\", &g).ok());
+}
+
+TEST(NTriplesTest, EscapeHelper) {
+  EXPECT_EQ(EscapeNTriplesLiteral("plain"), "plain");
+  EXPECT_EQ(EscapeNTriplesLiteral("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeNTriplesLiteral("a\nb"), "a\\nb");
+  EXPECT_EQ(EscapeNTriplesLiteral("a\\b"), "a\\\\b");
+}
+
+TEST(NTriplesTest, SerializeRoundTrip) {
+  Graph g;
+  g.AddIri("http://ex/Book", std::string(kRdfsSubClassOf),
+           "http://ex/Publication");
+  g.Add(Term::Iri("http://ex/doi1"), Term::Iri("http://ex/writtenBy"),
+        Term::Blank("b1"));
+  g.Add(Term::Iri("http://ex/doi1"), Term::Iri("http://ex/publishedIn"),
+        Term::Literal("1996"));
+  std::string text = SerializeNTriples(g);
+
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(text, &g2).ok());
+  EXPECT_EQ(g2.num_data_triples(), g.num_data_triples());
+  EXPECT_EQ(g2.num_schema_triples(), g.num_schema_triples());
+  EXPECT_EQ(SerializeNTriples(g2), text);
+}
+
+TEST(TripleTest, OrderingComparators) {
+  Triple a{1, 2, 3};
+  Triple b{1, 3, 2};
+  EXPECT_TRUE(OrderSpo()(a, b));
+  EXPECT_TRUE(OrderPso()(a, b));   // p: 2 < 3.
+  EXPECT_TRUE(OrderPos()(a, b));
+  EXPECT_FALSE(OrderOsp()(a, b));  // o: 3 > 2.
+}
+
+TEST(TripleTest, HashDistinguishesPermutations) {
+  TripleHash h;
+  EXPECT_NE(h(Triple{1, 2, 3}), h(Triple{3, 2, 1}));
+  EXPECT_NE(h(Triple{1, 2, 3}), h(Triple{2, 1, 3}));
+  EXPECT_EQ(h(Triple{1, 2, 3}), h(Triple{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rdfopt

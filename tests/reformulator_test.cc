@@ -1,0 +1,299 @@
+#include "reformulation/reformulator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+#include "sparql/printer.h"
+
+namespace rdfopt {
+namespace {
+
+/// The schema of the paper's Examples 2/4: Book < Publication;
+/// writtenBy < hasAuthor; domain(writtenBy) = Book; range(writtenBy) =
+/// Person.
+class Example4Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Dictionary& d = graph_.dict();
+    book_ = d.InternIri("Book");
+    publication_ = d.InternIri("Publication");
+    person_ = d.InternIri("Person");
+    written_by_ = d.InternIri("writtenBy");
+    has_author_ = d.InternIri("hasAuthor");
+    const Vocabulary& v = graph_.vocab();
+    graph_.AddEncoded(book_, v.rdfs_subclassof, publication_);
+    graph_.AddEncoded(written_by_, v.rdfs_subpropertyof, has_author_);
+    graph_.AddEncoded(written_by_, v.rdfs_domain, book_);
+    graph_.AddEncoded(written_by_, v.rdfs_range, person_);
+    graph_.FinalizeSchema();
+    reformulator_.emplace(&graph_.schema(), &graph_.vocab());
+  }
+
+  std::set<std::string> ReformulationSet(const TriplePattern& atom,
+                                         VarTable* vars) {
+    std::set<std::string> out;
+    for (const AtomReformulation& ref :
+         reformulator_->ReformulateAtom(atom, vars)) {
+      std::string s = ToString(ref.atom, *vars, graph_.dict());
+      for (const auto& [var, value] : ref.substitution) {
+        s += " {" + vars->name(var) + "->" +
+             graph_.dict().term(value).Encoded() + "}";
+      }
+      out.insert(s);
+    }
+    return out;
+  }
+
+  Graph graph_;
+  ValueId book_, publication_, person_, written_by_, has_author_;
+  std::optional<Reformulator> reformulator_;
+};
+
+TEST_F(Example4Test, TypeConstantBook) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  TriplePattern atom{PatternTerm::Var(x),
+                     PatternTerm::Const(graph_.vocab().rdf_type),
+                     PatternTerm::Const(book_)};
+  std::vector<AtomReformulation> refs =
+      reformulator_->ReformulateAtom(atom, &vars);
+  // (x type Book) and (x writtenBy fresh). The paper's Example 4 also lists
+  // (x hasAuthor z) via the superproperty of writtenBy, which is not
+  // RDFS-sound on databases with explicit hasAuthor triples; we implement
+  // the sound variant (see DESIGN.md).
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].atom, atom);  // Identity first.
+  EXPECT_EQ(refs[1].atom.p, PatternTerm::Const(written_by_));
+  EXPECT_TRUE(refs[1].atom.o.is_var());
+  EXPECT_NE(refs[1].atom.o.var(), x);  // Fresh variable.
+}
+
+TEST_F(Example4Test, TypeConstantPublicationUsesSubclassAndDomain) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  TriplePattern atom{PatternTerm::Var(x),
+                     PatternTerm::Const(graph_.vocab().rdf_type),
+                     PatternTerm::Const(publication_)};
+  EXPECT_EQ(reformulator_->CountAtomReformulations(atom, vars), 3u);
+  std::set<std::string> refs = ReformulationSet(atom, &vars);
+  EXPECT_TRUE(refs.count("?x " + Term::Iri(std::string(kRdfType)).Encoded() +
+                         " <Publication>"));
+  EXPECT_TRUE(refs.count("?x " + Term::Iri(std::string(kRdfType)).Encoded() +
+                         " <Book>"));
+}
+
+TEST_F(Example4Test, TypeConstantPersonUsesRange) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  TriplePattern atom{PatternTerm::Var(x),
+                     PatternTerm::Const(graph_.vocab().rdf_type),
+                     PatternTerm::Const(person_)};
+  std::vector<AtomReformulation> refs =
+      reformulator_->ReformulateAtom(atom, &vars);
+  ASSERT_EQ(refs.size(), 2u);
+  // (fresh writtenBy x).
+  EXPECT_EQ(refs[1].atom.p, PatternTerm::Const(written_by_));
+  EXPECT_TRUE(refs[1].atom.s.is_var());
+  EXPECT_EQ(refs[1].atom.o, PatternTerm::Var(x));
+}
+
+TEST_F(Example4Test, PlainPropertyUsesSubproperties) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  VarId z = vars.GetOrCreate("z");
+  TriplePattern atom{PatternTerm::Var(x), PatternTerm::Const(has_author_),
+                     PatternTerm::Var(z)};
+  std::vector<AtomReformulation> refs =
+      reformulator_->ReformulateAtom(atom, &vars);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].atom.p, PatternTerm::Const(has_author_));
+  EXPECT_EQ(refs[1].atom.p, PatternTerm::Const(written_by_));
+
+  // writtenBy itself has no subproperties.
+  TriplePattern leaf{PatternTerm::Var(x), PatternTerm::Const(written_by_),
+                     PatternTerm::Var(z)};
+  EXPECT_EQ(reformulator_->CountAtomReformulations(leaf, vars), 1u);
+}
+
+TEST_F(Example4Test, TypeVariableEnumeratesSchemaClasses) {
+  // The sound subset of the paper's Example 4 output: 8 reformulations
+  // (the paper's 11 minus the three superproperty-expansion items).
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  VarId y = vars.GetOrCreate("y");
+  TriplePattern atom{PatternTerm::Var(x),
+                     PatternTerm::Const(graph_.vocab().rdf_type),
+                     PatternTerm::Var(y)};
+  EXPECT_EQ(reformulator_->CountAtomReformulations(atom, vars), 8u);
+
+  std::set<std::string> refs = ReformulationSet(atom, &vars);
+  const std::string type = Term::Iri(std::string(kRdfType)).Encoded();
+  EXPECT_TRUE(refs.count("?x " + type + " ?y"));                      // (0)
+  EXPECT_TRUE(refs.count("?x " + type + " <Book> {y-><Book>}"));      // (1)
+  EXPECT_TRUE(
+      refs.count("?x " + type + " <Publication> {y-><Publication>}"));  // (4)
+  EXPECT_TRUE(
+      refs.count("?x " + type + " <Book> {y-><Publication>}"));      // (5)
+  EXPECT_TRUE(refs.count("?x " + type + " <Person> {y-><Person>}"));  // (8)
+  // (2), (6), (9): writtenBy expansions with the three substitutions.
+  size_t written_by_count = 0;
+  for (const std::string& r : refs) {
+    if (r.find("<writtenBy>") != std::string::npos) ++written_by_count;
+  }
+  EXPECT_EQ(written_by_count, 3u);
+}
+
+TEST_F(Example4Test, PropertyVariableEnumeratesSchemaProperties) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  VarId p = vars.GetOrCreate("p");
+  VarId z = vars.GetOrCreate("z");
+  TriplePattern atom{PatternTerm::Var(x), PatternTerm::Var(p),
+                     PatternTerm::Var(z)};
+  std::vector<AtomReformulation> refs =
+      reformulator_->ReformulateAtom(atom, &vars);
+  // Identity; p->hasAuthor with {hasAuthor, writtenBy}; p->writtenBy with
+  // {writtenBy}; p->rdf:type expansion: identity (x type z) plus per-class
+  // expansions (Book:2, Publication:3, Person:2).
+  EXPECT_EQ(refs.size(), 1 + 2 + 1 + 8u);
+  EXPECT_EQ(refs[0].atom, atom);
+  // Every non-identity reformulation instantiates p.
+  for (size_t i = 1; i < refs.size(); ++i) {
+    bool binds_p = false;
+    for (const auto& [var, value] : refs[i].substitution) {
+      binds_p |= (var == p);
+    }
+    EXPECT_TRUE(binds_p) << i;
+  }
+}
+
+TEST_F(Example4Test, CqReformulationIsCrossProduct) {
+  // q(x) :- x type Book . x hasAuthor a  => 2 x 2 = 4 disjuncts.
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  VarId a = vars.GetOrCreate("a");
+  ConjunctiveQuery cq;
+  cq.head = {x};
+  cq.atoms.push_back(TriplePattern{
+      PatternTerm::Var(x), PatternTerm::Const(graph_.vocab().rdf_type),
+      PatternTerm::Const(book_)});
+  cq.atoms.push_back(TriplePattern{PatternTerm::Var(x),
+                                   PatternTerm::Const(has_author_),
+                                   PatternTerm::Var(a)});
+  EXPECT_EQ(reformulator_->EstimateDisjuncts(cq, vars), 4u);
+  Result<UnionQuery> ucq = reformulator_->ReformulateCQ(cq, &vars);
+  ASSERT_TRUE(ucq.ok());
+  EXPECT_EQ(ucq.ValueOrDie().size(), 4u);
+}
+
+TEST_F(Example4Test, HeadBindingsRecordedForDistinguishedVariables) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  VarId y = vars.GetOrCreate("y");
+  ConjunctiveQuery cq;
+  cq.head = {x, y};
+  cq.atoms.push_back(TriplePattern{
+      PatternTerm::Var(x), PatternTerm::Const(graph_.vocab().rdf_type),
+      PatternTerm::Var(y)});
+  Result<UnionQuery> ucq = reformulator_->ReformulateCQ(cq, &vars);
+  ASSERT_TRUE(ucq.ok());
+  size_t bound = 0;
+  for (const ConjunctiveQuery& d : ucq.ValueOrDie().disjuncts) {
+    for (const auto& [var, value] : d.head_bindings) {
+      EXPECT_EQ(var, y);
+      ++bound;
+      // y must no longer occur in the substituted atoms.
+      std::vector<VarId> atom_vars = d.AllVariables();
+      EXPECT_FALSE(std::binary_search(atom_vars.begin(), atom_vars.end(), y));
+    }
+  }
+  EXPECT_EQ(bound, 7u);  // All but the identity disjunct.
+}
+
+TEST_F(Example4Test, SharedClassVariableUnifiesConsistently) {
+  // q(x1, x2) :- x1 type y . x2 type y: both atoms instantiate y; only
+  // matching instantiations survive (plus combinations with the identity).
+  VarTable vars;
+  VarId x1 = vars.GetOrCreate("x1");
+  VarId x2 = vars.GetOrCreate("x2");
+  VarId y = vars.GetOrCreate("y");
+  ConjunctiveQuery cq;
+  cq.head = {x1, x2};
+  const PatternTerm type = PatternTerm::Const(graph_.vocab().rdf_type);
+  cq.atoms.push_back(
+      TriplePattern{PatternTerm::Var(x1), type, PatternTerm::Var(y)});
+  cq.atoms.push_back(
+      TriplePattern{PatternTerm::Var(x2), type, PatternTerm::Var(y)});
+  Result<UnionQuery> ucq = reformulator_->ReformulateCQ(cq, &vars);
+  ASSERT_TRUE(ucq.ok());
+  // Upper bound is 8 x 8 = 64; conflicting y-instantiations are dropped.
+  EXPECT_LT(ucq.ValueOrDie().size(), 64u);
+  for (const ConjunctiveQuery& d : ucq.ValueOrDie().disjuncts) {
+    // No disjunct may bind y to two different classes: head_bindings holds
+    // at most one entry for y.
+    size_t y_bindings = 0;
+    for (const auto& [var, value] : d.head_bindings) {
+      y_bindings += (var == y) ? 1 : 0;
+    }
+    EXPECT_LE(y_bindings, 1u);
+  }
+}
+
+TEST_F(Example4Test, MaxDisjunctsGuard) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  VarId y = vars.GetOrCreate("y");
+  ConjunctiveQuery cq;
+  cq.head = {x, y};
+  cq.atoms.push_back(TriplePattern{
+      PatternTerm::Var(x), PatternTerm::Const(graph_.vocab().rdf_type),
+      PatternTerm::Var(y)});
+  Result<UnionQuery> r = reformulator_->ReformulateCQ(cq, &vars, 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kQueryTooComplex);
+}
+
+TEST_F(Example4Test, DeduplicationRemovesEquivalentDisjuncts) {
+  // (x type Book) and (x type Publication) both expand to (x writtenBy _);
+  // within one atom's set the fresh-renamed duplicates must not repeat.
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  TriplePattern atom{PatternTerm::Var(x),
+                     PatternTerm::Const(graph_.vocab().rdf_type),
+                     PatternTerm::Const(publication_)};
+  std::vector<AtomReformulation> refs =
+      reformulator_->ReformulateAtom(atom, &vars);
+  std::set<std::string> keys;
+  for (const AtomReformulation& ref : refs) {
+    ConjunctiveQuery cq;
+    cq.atoms.push_back(ref.atom);
+    keys.insert(CanonicalKey(cq, 1));
+  }
+  EXPECT_EQ(keys.size(), refs.size());
+}
+
+TEST_F(Example4Test, NonSchemaPropertyReformulatesToItself) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  ValueId has_title = graph_.dict().InternIri("hasTitle");
+  TriplePattern atom{PatternTerm::Var(x), PatternTerm::Const(has_title),
+                     PatternTerm::Var(vars.GetOrCreate("t"))};
+  EXPECT_EQ(reformulator_->CountAtomReformulations(atom, vars), 1u);
+}
+
+TEST_F(Example4Test, NonSchemaClassReformulatesToItself) {
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  ValueId gadget = graph_.dict().InternIri("Gadget");
+  TriplePattern atom{PatternTerm::Var(x),
+                     PatternTerm::Const(graph_.vocab().rdf_type),
+                     PatternTerm::Const(gadget)};
+  EXPECT_EQ(reformulator_->CountAtomReformulations(atom, vars), 1u);
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,81 @@
+#include "engine/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfopt {
+namespace {
+
+TEST(RelationTest, AppendAndAccess) {
+  Relation r({0, 1});
+  r.AppendRow(std::vector<ValueId>{10, 20});
+  r.AppendRow(std::vector<ValueId>{11, 21});
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.at(0, 0), 10u);
+  EXPECT_EQ(r.at(1, 1), 21u);
+  EXPECT_EQ(r.row(1)[0], 11u);
+  EXPECT_EQ(r.num_cells(), 4u);
+}
+
+TEST(RelationTest, ColumnIndex) {
+  Relation r({5, 3, 8});
+  EXPECT_EQ(r.ColumnIndex(5), 0);
+  EXPECT_EQ(r.ColumnIndex(3), 1);
+  EXPECT_EQ(r.ColumnIndex(8), 2);
+  EXPECT_EQ(r.ColumnIndex(9), -1);
+}
+
+TEST(RelationTest, DeduplicatePreservesFirstOccurrenceOrder) {
+  Relation r({0});
+  for (ValueId v : {3u, 1u, 3u, 2u, 1u, 3u}) {
+    r.AppendRow(std::vector<ValueId>{v});
+  }
+  size_t removed = r.Deduplicate();
+  EXPECT_EQ(removed, 3u);
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.at(0, 0), 3u);
+  EXPECT_EQ(r.at(1, 0), 1u);
+  EXPECT_EQ(r.at(2, 0), 2u);
+}
+
+TEST(RelationTest, DeduplicateMultiColumn) {
+  Relation r({0, 1});
+  r.AppendRow(std::vector<ValueId>{1, 2});
+  r.AppendRow(std::vector<ValueId>{2, 1});  // Different row, same values.
+  r.AppendRow(std::vector<ValueId>{1, 2});
+  EXPECT_EQ(r.Deduplicate(), 1u);
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST(RelationTest, DeduplicateEmpty) {
+  Relation r({0, 1});
+  EXPECT_EQ(r.Deduplicate(), 0u);
+  EXPECT_EQ(r.num_rows(), 0u);
+}
+
+TEST(RelationTest, ZeroArityBooleanSemantics) {
+  Relation r({});
+  EXPECT_EQ(r.num_rows(), 0u);
+  r.AppendEmptyRow();
+  r.AppendEmptyRow();
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.Deduplicate(), 1u);
+  EXPECT_EQ(r.num_rows(), 1u);
+}
+
+TEST(RelationTest, MoveSemantics) {
+  Relation r({0});
+  r.AppendRow(std::vector<ValueId>{7});
+  Relation moved = std::move(r);
+  EXPECT_EQ(moved.num_rows(), 1u);
+  EXPECT_EQ(moved.at(0, 0), 7u);
+}
+
+TEST(HashRowTest, OrderSensitive) {
+  std::vector<ValueId> a = {1, 2};
+  std::vector<ValueId> b = {2, 1};
+  EXPECT_NE(HashRow({a.data(), 2}), HashRow({b.data(), 2}));
+}
+
+}  // namespace
+}  // namespace rdfopt

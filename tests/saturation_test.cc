@@ -1,0 +1,227 @@
+#include "reasoner/saturation.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rdf/ntriples.h"
+#include "workload/lubm.h"
+
+namespace rdfopt {
+namespace {
+
+// The running example of the paper (Examples 1-2, Figure 3): a book, its
+// author, and the four RDFS constraints.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* doc =
+        "<Book> <http://www.w3.org/2000/01/rdf-schema#subClassOf> "
+        "<Publication> .\n"
+        "<writtenBy> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> "
+        "<hasAuthor> .\n"
+        "<writtenBy> <http://www.w3.org/2000/01/rdf-schema#domain> <Book> .\n"
+        "<writtenBy> <http://www.w3.org/2000/01/rdf-schema#range> <Person> "
+        ".\n"
+        "<doi1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Book> .\n"
+        "<doi1> <writtenBy> _:b1 .\n"
+        "<doi1> <hasTitle> \"Game of Thrones\" .\n"
+        "_:b1 <hasName> \"George R. R. Martin\" .\n"
+        "<doi1> <publishedIn> \"1996\" .\n";
+    ASSERT_TRUE(ParseNTriples(doc, &graph_).ok());
+    graph_.FinalizeSchema();
+  }
+
+  ValueId Id(const char* iri) { return graph_.dict().LookupIri(iri); }
+
+  Graph graph_;
+};
+
+TEST_F(PaperExampleTest, SaturationDerivesFigure3DashedEdges) {
+  SaturationResult sat = SaturateGraph(graph_);
+  const Vocabulary& v = graph_.vocab();
+  ValueId doi1 = Id("doi1");
+  ValueId b1 = graph_.dict().Lookup(Term::Blank("b1"));
+
+  // Implicit triples of Figure 3:
+  EXPECT_TRUE(sat.store.Contains({doi1, Id("hasAuthor"), b1}));
+  EXPECT_TRUE(sat.store.Contains({doi1, v.rdf_type, Id("Publication")}));
+  EXPECT_TRUE(sat.store.Contains({b1, v.rdf_type, Id("Person")}));
+  // Explicit triples are preserved.
+  EXPECT_TRUE(sat.store.Contains({doi1, v.rdf_type, Id("Book")}));
+  EXPECT_TRUE(sat.store.Contains({doi1, Id("writtenBy"), b1}));
+  // Exactly 3 derived triples.
+  EXPECT_EQ(sat.input_triples, 5u);
+  EXPECT_EQ(sat.output_triples, 8u);
+  EXPECT_EQ(sat.derived_triples(), 3u);
+}
+
+TEST_F(PaperExampleTest, SaturationIsIdempotent) {
+  SaturationResult once = SaturateGraph(graph_);
+  SaturationResult twice =
+      Saturate(once.store, graph_.schema(), graph_.vocab());
+  EXPECT_EQ(once.output_triples, twice.output_triples);
+  EXPECT_EQ(twice.derived_triples(), 0u);
+}
+
+TEST_F(PaperExampleTest, MatchesNaiveFixpoint) {
+  SaturationResult fast = SaturateGraph(graph_);
+  std::vector<Triple> naive = NaiveFixpointSaturation(
+      graph_.data_triples(), graph_.schema_triples(), graph_.vocab());
+  TripleStore naive_store = TripleStore::Build(std::move(naive));
+  ASSERT_EQ(fast.store.size(), naive_store.size());
+  auto fast_all = fast.store.All();
+  auto naive_all = naive_store.All();
+  for (size_t i = 0; i < fast_all.size(); ++i) {
+    EXPECT_EQ(fast_all[i], naive_all[i]);
+  }
+}
+
+TEST(SaturationTest, SubPropertyChainDerivesAllAncestors) {
+  Graph g;
+  const Vocabulary& v = g.vocab();
+  ValueId p1 = g.dict().InternIri("p1");
+  ValueId p2 = g.dict().InternIri("p2");
+  ValueId p3 = g.dict().InternIri("p3");
+  g.AddEncoded(p1, v.rdfs_subpropertyof, p2);
+  g.AddEncoded(p2, v.rdfs_subpropertyof, p3);
+  ValueId a = g.dict().InternIri("a");
+  ValueId b = g.dict().InternIri("b");
+  g.AddEncoded(a, p1, b);
+  g.FinalizeSchema();
+
+  SaturationResult sat = SaturateGraph(g);
+  EXPECT_TRUE(sat.store.Contains({a, p2, b}));
+  EXPECT_TRUE(sat.store.Contains({a, p3, b}));
+  EXPECT_EQ(sat.output_triples, 3u);
+}
+
+TEST(SaturationTest, DomainOfSuperPropertyApplies) {
+  // p1 < p2, domain(p2) = C, C < D: (a p1 b) must entail both type facts.
+  Graph g;
+  const Vocabulary& v = g.vocab();
+  ValueId p1 = g.dict().InternIri("p1");
+  ValueId p2 = g.dict().InternIri("p2");
+  ValueId c = g.dict().InternIri("C");
+  ValueId d = g.dict().InternIri("D");
+  g.AddEncoded(p1, v.rdfs_subpropertyof, p2);
+  g.AddEncoded(p2, v.rdfs_domain, c);
+  g.AddEncoded(c, v.rdfs_subclassof, d);
+  ValueId a = g.dict().InternIri("a");
+  ValueId b = g.dict().InternIri("b");
+  g.AddEncoded(a, p1, b);
+  g.FinalizeSchema();
+
+  SaturationResult sat = SaturateGraph(g);
+  EXPECT_TRUE(sat.store.Contains({a, v.rdf_type, c}));
+  EXPECT_TRUE(sat.store.Contains({a, v.rdf_type, d}));
+  EXPECT_TRUE(sat.store.Contains({a, p2, b}));
+}
+
+TEST(SaturationTest, RangeAppliesToObject) {
+  Graph g;
+  const Vocabulary& v = g.vocab();
+  ValueId p = g.dict().InternIri("p");
+  ValueId c = g.dict().InternIri("C");
+  g.AddEncoded(p, v.rdfs_range, c);
+  ValueId a = g.dict().InternIri("a");
+  ValueId b = g.dict().InternIri("b");
+  g.AddEncoded(a, p, b);
+  g.FinalizeSchema();
+  SaturationResult sat = SaturateGraph(g);
+  EXPECT_TRUE(sat.store.Contains({b, v.rdf_type, c}));
+  EXPECT_FALSE(sat.store.Contains({a, v.rdf_type, c}));
+}
+
+TEST(SaturationTest, NoSchemaNoDerivations) {
+  Graph g;
+  ValueId p = g.dict().InternIri("p");
+  g.AddEncoded(g.dict().InternIri("a"), p, g.dict().InternIri("b"));
+  g.FinalizeSchema();
+  SaturationResult sat = SaturateGraph(g);
+  EXPECT_EQ(sat.derived_triples(), 0u);
+}
+
+TEST(SaturationTest, LubmSampleMatchesNaiveFixpoint) {
+  Graph g;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &g);
+  g.FinalizeSchema();
+
+  // Naive fixpoint is quadratic; restrict to a sample of the data.
+  std::vector<Triple> sample(g.data_triples().begin(),
+                             g.data_triples().begin() + 2000);
+  TripleStore sample_store = TripleStore::Build(sample);
+  SaturationResult fast = Saturate(sample_store, g.schema(), g.vocab());
+  std::vector<Triple> naive =
+      NaiveFixpointSaturation(sample, g.schema_triples(), g.vocab());
+  TripleStore naive_store = TripleStore::Build(std::move(naive));
+  EXPECT_EQ(fast.store.size(), naive_store.size());
+}
+
+
+TEST(IncrementalSaturationTest, MatchesFullResaturation) {
+  Graph g;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &g);
+  g.FinalizeSchema();
+
+  // Split the data: initial load + a later delta.
+  std::vector<Triple> all = g.data_triples();
+  size_t split = all.size() - 500;
+  std::vector<Triple> initial(all.begin(), all.begin() + split);
+  std::vector<Triple> delta(all.begin() + split, all.end());
+
+  SaturationResult base =
+      Saturate(TripleStore::Build(initial), g.schema(), g.vocab());
+  SaturationResult incremental =
+      IncrementalSaturate(base.store, delta, g.schema(), g.vocab());
+  SaturationResult full =
+      Saturate(TripleStore::Build(all), g.schema(), g.vocab());
+
+  ASSERT_EQ(incremental.store.size(), full.store.size());
+  for (size_t i = 0; i < full.store.size(); ++i) {
+    EXPECT_EQ(incremental.store.All()[i], full.store.All()[i]);
+  }
+}
+
+TEST(IncrementalSaturationTest, EmptyDeltaIsIdentity) {
+  Graph g;
+  const Vocabulary& v = g.vocab();
+  ValueId c = g.dict().InternIri("C");
+  ValueId d = g.dict().InternIri("D");
+  g.AddEncoded(c, v.rdfs_subclassof, d);
+  ValueId a = g.dict().InternIri("a");
+  g.AddEncoded(a, v.rdf_type, c);
+  g.FinalizeSchema();
+  SaturationResult base = SaturateGraph(g);
+  SaturationResult inc =
+      IncrementalSaturate(base.store, {}, g.schema(), g.vocab());
+  EXPECT_EQ(inc.store.size(), base.store.size());
+}
+
+TEST(IncrementalSaturationTest, DeltaEntailmentsAppear) {
+  Graph g;
+  const Vocabulary& v = g.vocab();
+  ValueId p = g.dict().InternIri("p");
+  ValueId c = g.dict().InternIri("C");
+  g.AddEncoded(p, v.rdfs_domain, c);
+  ValueId a0 = g.dict().InternIri("a0");
+  ValueId b0 = g.dict().InternIri("b0");
+  g.AddEncoded(a0, p, b0);
+  g.FinalizeSchema();
+  SaturationResult base = SaturateGraph(g);
+
+  ValueId a1 = g.dict().InternIri("a1");
+  ValueId b1 = g.dict().InternIri("b1");
+  SaturationResult inc = IncrementalSaturate(base.store, {{a1, p, b1}},
+                                             g.schema(), g.vocab());
+  EXPECT_TRUE(inc.store.Contains({a1, p, b1}));
+  EXPECT_TRUE(inc.store.Contains({a1, v.rdf_type, c}));
+  EXPECT_TRUE(inc.store.Contains({a0, v.rdf_type, c}));  // Old kept.
+}
+
+}  // namespace
+}  // namespace rdfopt

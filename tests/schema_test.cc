@@ -1,0 +1,173 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace rdfopt {
+namespace {
+
+// Fixed ids for readability. Classes 1..9, properties 20..29.
+constexpr ValueId kBook = 1, kPublication = 2, kWork = 3, kPerson = 4,
+                  kAuthor = 5, kNovel = 6;
+constexpr ValueId kWrittenBy = 20, kHasAuthor = 21, kContributor = 22,
+                  kHasTitle = 23;
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Novel < Book < Publication < Work; Author < Person.
+    schema_.AddSubClass(kNovel, kBook);
+    schema_.AddSubClass(kBook, kPublication);
+    schema_.AddSubClass(kPublication, kWork);
+    schema_.AddSubClass(kAuthor, kPerson);
+    // writtenBy < hasAuthor < contributor.
+    schema_.AddSubProperty(kWrittenBy, kHasAuthor);
+    schema_.AddSubProperty(kHasAuthor, kContributor);
+    schema_.AddDomain(kWrittenBy, kBook);
+    schema_.AddRange(kHasAuthor, kAuthor);
+    schema_.AddDomain(kHasTitle, kWork);
+    schema_.Finalize();
+  }
+  Schema schema_;
+};
+
+TEST_F(SchemaTest, SubClassClosureIsReflexiveTransitive) {
+  EXPECT_EQ(schema_.SubClassesOf(kWork),
+            (std::vector<ValueId>{kBook, kPublication, kWork, kNovel}));
+  EXPECT_EQ(schema_.SubClassesOf(kNovel), (std::vector<ValueId>{kNovel}));
+  EXPECT_EQ(schema_.SuperClassesOf(kNovel),
+            (std::vector<ValueId>{kBook, kPublication, kWork, kNovel}));
+}
+
+TEST_F(SchemaTest, UnknownNodesAreReflexive) {
+  constexpr ValueId kUnknown = 999;
+  EXPECT_EQ(schema_.SubClassesOf(kUnknown), (std::vector<ValueId>{kUnknown}));
+  EXPECT_EQ(schema_.SuperPropertiesOf(kUnknown),
+            (std::vector<ValueId>{kUnknown}));
+  EXPECT_TRUE(schema_.EntailedDomainClasses(kUnknown).empty());
+  EXPECT_FALSE(schema_.IsSchemaClass(kUnknown));
+}
+
+TEST_F(SchemaTest, SubPropertyClosure) {
+  EXPECT_EQ(schema_.SubPropertiesOf(kContributor),
+            (std::vector<ValueId>{kWrittenBy, kHasAuthor, kContributor}));
+  EXPECT_EQ(schema_.SuperPropertiesOf(kWrittenBy),
+            (std::vector<ValueId>{kWrittenBy, kHasAuthor, kContributor}));
+}
+
+TEST_F(SchemaTest, EntailedDomainFollowsSubPropertyAndSubClass) {
+  // writtenBy's declared domain Book entails Book, Publication, Work.
+  EXPECT_EQ(schema_.EntailedDomainClasses(kWrittenBy),
+            (std::vector<ValueId>{kBook, kPublication, kWork}));
+  // hasAuthor has no declared or inherited domain.
+  EXPECT_TRUE(schema_.EntailedDomainClasses(kHasAuthor).empty());
+}
+
+TEST_F(SchemaTest, EntailedRangeInheritsThroughSubProperty) {
+  // writtenBy inherits hasAuthor's range Author (and its superclass Person).
+  EXPECT_EQ(schema_.EntailedRangeClasses(kWrittenBy),
+            (std::vector<ValueId>{kPerson, kAuthor}));
+  EXPECT_EQ(schema_.EntailedRangeClasses(kHasAuthor),
+            (std::vector<ValueId>{kPerson, kAuthor}));
+  EXPECT_TRUE(schema_.EntailedRangeClasses(kContributor).empty());
+}
+
+TEST_F(SchemaTest, InverseDomainMaps) {
+  // Which properties entail membership in Publication via their domain?
+  EXPECT_EQ(schema_.PropertiesWithDomainEntailing(kPublication),
+            (std::vector<ValueId>{kWrittenBy}));
+  // Work: writtenBy (via Book < Work) and hasTitle (declared).
+  EXPECT_EQ(schema_.PropertiesWithDomainEntailing(kWork),
+            (std::vector<ValueId>{kWrittenBy, kHasTitle}));
+  // Novel: nothing (domains only propagate upward).
+  EXPECT_TRUE(schema_.PropertiesWithDomainEntailing(kNovel).empty());
+}
+
+TEST_F(SchemaTest, InverseRangeMaps) {
+  EXPECT_EQ(schema_.PropertiesWithRangeEntailing(kPerson),
+            (std::vector<ValueId>{kWrittenBy, kHasAuthor}));
+  EXPECT_EQ(schema_.PropertiesWithRangeEntailing(kAuthor),
+            (std::vector<ValueId>{kWrittenBy, kHasAuthor}));
+}
+
+TEST_F(SchemaTest, AllClassesAndProperties) {
+  EXPECT_EQ(schema_.AllClasses(),
+            (std::vector<ValueId>{kBook, kPublication, kWork, kPerson,
+                                  kAuthor, kNovel}));
+  EXPECT_EQ(schema_.AllProperties(),
+            (std::vector<ValueId>{kWrittenBy, kHasAuthor, kContributor,
+                                  kHasTitle}));
+}
+
+TEST(SchemaCycleTest, SubclassCyclesTerminate) {
+  Schema s;
+  s.AddSubClass(1, 2);
+  s.AddSubClass(2, 3);
+  s.AddSubClass(3, 1);  // Cycle.
+  s.Finalize();
+  EXPECT_EQ(s.SubClassesOf(1), (std::vector<ValueId>{1, 2, 3}));
+  EXPECT_EQ(s.SuperClassesOf(2), (std::vector<ValueId>{1, 2, 3}));
+}
+
+TEST(SchemaCycleTest, SelfLoopIsHarmless) {
+  Schema s;
+  s.AddSubClass(1, 1);
+  s.Finalize();
+  EXPECT_EQ(s.SubClassesOf(1), (std::vector<ValueId>{1}));
+}
+
+TEST(SchemaTest2, DiamondHierarchy) {
+  // 1 < 2, 1 < 3, 2 < 4, 3 < 4: closure of 1 must reach 4 exactly once.
+  Schema s;
+  s.AddSubClass(1, 2);
+  s.AddSubClass(1, 3);
+  s.AddSubClass(2, 4);
+  s.AddSubClass(3, 4);
+  s.Finalize();
+  EXPECT_EQ(s.SuperClassesOf(1), (std::vector<ValueId>{1, 2, 3, 4}));
+  EXPECT_EQ(s.SubClassesOf(4), (std::vector<ValueId>{1, 2, 3, 4}));
+}
+
+TEST(SchemaTest2, MultipleDomainsAccumulate) {
+  Schema s;
+  s.AddDomain(10, 1);
+  s.AddDomain(10, 2);
+  s.Finalize();
+  EXPECT_EQ(s.EntailedDomainClasses(10), (std::vector<ValueId>{1, 2}));
+}
+
+TEST(SchemaTest2, EquivalenceComparesClosures) {
+  Schema a;
+  a.AddSubClass(1, 2);
+  a.AddSubClass(2, 3);
+  a.Finalize();
+
+  // Same closure, different declared edges (adds the transitive edge).
+  Schema b;
+  b.AddSubClass(1, 2);
+  b.AddSubClass(2, 3);
+  b.AddSubClass(1, 3);
+  b.Finalize();
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_TRUE(b.EquivalentTo(a));
+
+  Schema c;
+  c.AddSubClass(1, 2);
+  c.Finalize();
+  EXPECT_FALSE(a.EquivalentTo(c));
+}
+
+TEST(SchemaTest2, RefinalizeAfterUpdate) {
+  Schema s;
+  s.AddSubClass(1, 2);
+  s.Finalize();
+  EXPECT_EQ(s.SuperClassesOf(1), (std::vector<ValueId>{1, 2}));
+  s.AddSubClass(2, 3);
+  EXPECT_FALSE(s.finalized());
+  s.Finalize();
+  EXPECT_EQ(s.SuperClassesOf(1), (std::vector<ValueId>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,180 @@
+#include "sparql/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "reformulation/reformulator.h"
+#include "rdf/graph.h"
+#include "sparql/parser.h"
+
+namespace rdfopt {
+namespace {
+
+bool ContainsOnce(const std::string& haystack, const std::string& needle) {
+  size_t first = haystack.find(needle);
+  if (first == std::string::npos) return false;
+  return haystack.find(needle, first + 1) == std::string::npos;
+}
+
+class SqlTest : public ::testing::Test {
+ protected:
+  Query MustParse(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &dict_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.TakeValue();
+  }
+  Dictionary dict_;
+};
+
+TEST_F(SqlTest, SingleAtomCq) {
+  Query q = MustParse("SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . }");
+  ValueId p = dict_.LookupIri("http://ex/p");
+  std::string sql = ToSql(q.cq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, "SELECT DISTINCT t0.s AS x, t0.o AS y"));
+  EXPECT_TRUE(ContainsOnce(sql, "FROM triples t0"));
+  EXPECT_TRUE(ContainsOnce(sql, "t0.p = " + std::to_string(p)));
+}
+
+TEST_F(SqlTest, JoinConditionsFollowSharedVariables) {
+  Query q = MustParse(
+      "SELECT ?x ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/q> ?z . }");
+  std::string sql = ToSql(q.cq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, "t1.s = t0.o"));
+  EXPECT_TRUE(ContainsOnce(sql, "FROM triples t0, triples t1"));
+}
+
+TEST_F(SqlTest, RepeatedVariableInOneAtom) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <http://ex/p> ?x . }");
+  std::string sql = ToSql(q.cq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, "t0.o = t0.s"));
+}
+
+TEST_F(SqlTest, ConstantsBecomeEqualityPredicates) {
+  Query q = MustParse(
+      "SELECT ?x WHERE { ?x <http://ex/p> \"1996\" . }");
+  ValueId lit = dict_.Lookup(Term::Literal("1996"));
+  std::string sql = ToSql(q.cq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, "t0.o = " + std::to_string(lit)));
+}
+
+TEST_F(SqlTest, AskQuerySelectsLiteral) {
+  Query q = MustParse("ASK WHERE { ?x <http://ex/p> ?y . }");
+  std::string sql = ToSql(q.cq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, "SELECT DISTINCT 1 AS ask"));
+}
+
+TEST_F(SqlTest, HeadBindingBecomesLiteralColumn) {
+  // Disjunct with y bound to a constant (Example 4's q(x, Book) shape).
+  Query q = MustParse("SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . }");
+  ConjunctiveQuery cq = q.cq;
+  cq.atoms[0].o = PatternTerm::Const(77);
+  cq.head_bindings = {{1, 99}};
+  std::string sql = ToSql(cq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, "99 AS y"));
+}
+
+TEST_F(SqlTest, UnionQueryJoinsDisjunctsWithUnion) {
+  Query q = MustParse("SELECT ?x ?y WHERE { ?x <http://ex/p> ?y . }");
+  UnionQuery ucq;
+  ucq.head = q.cq.head;
+  ucq.disjuncts.push_back(q.cq);
+  ucq.disjuncts.push_back(q.cq);
+  std::string sql = ToSql(ucq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, "\nUNION\n"));
+}
+
+TEST_F(SqlTest, JucqNestsComponentsAndJoins) {
+  Query q = MustParse(
+      "SELECT ?x ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/q> ?z . }");
+  // Parse order: head vars first (x=0, z=1), then y=2.
+  JoinOfUnions jucq;
+  jucq.head = q.cq.head;
+  UnionQuery c0;
+  c0.head = {0, 2};  // x, y.
+  ConjunctiveQuery d0;
+  d0.head = c0.head;
+  d0.atoms.push_back(q.cq.atoms[0]);
+  c0.disjuncts.push_back(d0);
+  UnionQuery c1;
+  c1.head = {2, 1};  // y, z.
+  ConjunctiveQuery d1;
+  d1.head = c1.head;
+  d1.atoms.push_back(q.cq.atoms[1]);
+  c1.disjuncts.push_back(d1);
+  jucq.components = {c0, c1};
+
+  std::string sql = ToSql(jucq, q.vars);
+  EXPECT_TRUE(ContainsOnce(sql, ") f0"));
+  EXPECT_TRUE(ContainsOnce(sql, ") f1"));
+  EXPECT_TRUE(ContainsOnce(sql, "f1.y = f0.y"));
+  EXPECT_TRUE(ContainsOnce(sql, "SELECT DISTINCT f0.x AS x, f1.z AS z"));
+}
+
+TEST_F(SqlTest, DecodeValuesWrapsWithDictionaryJoin) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <http://ex/p> ?y . }");
+  JoinOfUnions jucq;
+  jucq.head = q.cq.head;
+  UnionQuery c;
+  c.head = q.cq.head;
+  c.disjuncts.push_back(q.cq);
+  jucq.components.push_back(c);
+  SqlOptions options;
+  options.decode_values = true;
+  std::string sql = ToSql(jucq, q.vars, options);
+  EXPECT_TRUE(ContainsOnce(sql, "d_x.value AS x"));
+  EXPECT_TRUE(ContainsOnce(sql, "d_x.id = q.x"));
+  EXPECT_TRUE(ContainsOnce(sql, "dict d_x"));
+}
+
+TEST_F(SqlTest, CustomTableNames) {
+  Query q = MustParse("SELECT ?x WHERE { ?x <http://ex/p> ?y . }");
+  SqlOptions options;
+  options.triples_table = "facts";
+  std::string sql = ToSql(q.cq, q.vars, options);
+  EXPECT_TRUE(ContainsOnce(sql, "FROM facts t0"));
+}
+
+TEST_F(SqlTest, ColumnNamesAreSanitized) {
+  VarTable vars;
+  VarId f = vars.Fresh();  // "_f0".
+  EXPECT_EQ(SqlColumnName(f, vars), "_f0");
+  VarId x = vars.GetOrCreate("x");
+  EXPECT_EQ(SqlColumnName(x, vars), "x");
+}
+
+TEST_F(SqlTest, ReformulatedQueryProducesValidShapedSql) {
+  // End-to-end: the Example 4 schema, the type query, full UCQ SQL.
+  Graph g;
+  Dictionary& d = g.dict();
+  ValueId book = d.InternIri("Book");
+  ValueId publication = d.InternIri("Publication");
+  ValueId written_by = d.InternIri("writtenBy");
+  const Vocabulary& v = g.vocab();
+  g.AddEncoded(book, v.rdfs_subclassof, publication);
+  g.AddEncoded(written_by, v.rdfs_domain, book);
+  g.FinalizeSchema();
+
+  Result<Query> q = ParseQuery("SELECT ?x ?y WHERE { ?x rdf:type ?y . }",
+                               &g.dict());
+  ASSERT_TRUE(q.ok());
+  Reformulator reformulator(&g.schema(), &g.vocab());
+  VarTable vars = q.ValueOrDie().vars;
+  Result<UnionQuery> ucq =
+      reformulator.ReformulateCQ(q.ValueOrDie().cq, &vars);
+  ASSERT_TRUE(ucq.ok());
+
+  std::string sql = ToSql(ucq.ValueOrDie(), vars);
+  // One SELECT per disjunct, joined by UNION.
+  size_t selects = 0;
+  size_t pos = 0;
+  while ((pos = sql.find("SELECT DISTINCT", pos)) != std::string::npos) {
+    ++selects;
+    pos += 1;
+  }
+  EXPECT_EQ(selects, ucq.ValueOrDie().size());
+  // The instantiated disjuncts bind y to a class id literal.
+  EXPECT_NE(sql.find(std::to_string(book) + " AS y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,59 @@
+#include "storage/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfopt {
+namespace {
+
+TEST(StatisticsTest, GlobalCounts) {
+  TripleStore store = TripleStore::Build({
+      {1, 10, 20},
+      {1, 10, 21},
+      {2, 10, 20},
+      {2, 11, 1},
+      {3, 11, 21},
+  });
+  Statistics stats = Statistics::Compute(store);
+  EXPECT_EQ(stats.total_triples(), 5u);
+  EXPECT_EQ(stats.distinct_subjects(), 3u);   // 1, 2, 3.
+  EXPECT_EQ(stats.distinct_properties(), 2u);
+  EXPECT_EQ(stats.distinct_objects(), 3u);    // 20, 21, 1.
+}
+
+TEST(StatisticsTest, PerPropertyStats) {
+  TripleStore store = TripleStore::Build({
+      {1, 10, 20},
+      {1, 10, 21},
+      {2, 10, 20},
+      {2, 11, 1},
+  });
+  Statistics stats = Statistics::Compute(store);
+  PropertyStats p10 = stats.ForProperty(10);
+  EXPECT_EQ(p10.count, 3u);
+  EXPECT_EQ(p10.distinct_subjects, 2u);
+  EXPECT_EQ(p10.distinct_objects, 2u);
+  PropertyStats p11 = stats.ForProperty(11);
+  EXPECT_EQ(p11.count, 1u);
+  EXPECT_EQ(p11.distinct_subjects, 1u);
+  EXPECT_EQ(p11.distinct_objects, 1u);
+}
+
+TEST(StatisticsTest, MissingPropertyIsZeroed) {
+  TripleStore store = TripleStore::Build({{1, 10, 20}});
+  Statistics stats = Statistics::Compute(store);
+  PropertyStats missing = stats.ForProperty(999);
+  EXPECT_EQ(missing.count, 0u);
+  EXPECT_EQ(missing.distinct_subjects, 0u);
+  EXPECT_EQ(missing.distinct_objects, 0u);
+}
+
+TEST(StatisticsTest, EmptyStore) {
+  TripleStore store = TripleStore::Build({});
+  Statistics stats = Statistics::Compute(store);
+  EXPECT_EQ(stats.total_triples(), 0u);
+  EXPECT_EQ(stats.distinct_subjects(), 0u);
+  EXPECT_EQ(stats.distinct_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfopt

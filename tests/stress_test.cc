@@ -1,0 +1,215 @@
+// Failure injection and resource-limit stress tests: the engine must fail
+// *cleanly* (typed Status, no partial results treated as answers) under
+// every limit an EngineProfile can impose, and recover for the next query.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/answering.h"
+#include "reasoner/saturation.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+namespace rdfopt {
+namespace {
+
+class StressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph();
+    LubmOptions options;
+    options.num_universities = 1;
+    GenerateLubm(options, graph_);
+    graph_->FinalizeSchema();
+    store_ = new TripleStore(TripleStore::Build(graph_->data_triples()));
+    stats_ = new Statistics(Statistics::Compute(*store_));
+  }
+
+  Query MustParse(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &graph_->dict());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.TakeValue();
+  }
+
+  static Graph* graph_;
+  static TripleStore* store_;
+  static Statistics* stats_;
+};
+
+Graph* StressTest::graph_ = nullptr;
+TripleStore* StressTest::store_ = nullptr;
+Statistics* StressTest::stats_ = nullptr;
+
+TEST_F(StressTest, TimeoutsAreCleanAndRecoverable) {
+  EngineProfile strict = NativeStoreProfile();
+  strict.timeout_seconds = 0.0;  // Everything times out.
+  Evaluator evaluator(store_, &strict);
+  Query q = MustParse(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x ?y WHERE { ?x ub:takesCourse ?y . }");
+  for (int i = 0; i < 3; ++i) {
+    Result<Relation> r = evaluator.EvaluateCQ(q.cq, nullptr);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  }
+  // The same evaluator object with a sane profile works again.
+  EngineProfile sane = NativeStoreProfile();
+  Evaluator ok_evaluator(store_, &sane);
+  EXPECT_TRUE(ok_evaluator.EvaluateCQ(q.cq, nullptr).ok());
+}
+
+TEST_F(StressTest, PlanLimitSweepNeverCrashes) {
+  // Sweep the plan-size limit across orders of magnitude: each setting must
+  // either succeed or fail with kQueryTooComplex, never anything else.
+  Query q = MustParse(LubmMotivatingQ1().text);
+  for (size_t limit : {1u, 10u, 100u, 1000u, 10000u, 100000u}) {
+    EngineProfile profile = NativeStoreProfile();
+    profile.max_union_terms = limit;
+    QueryAnswerer answerer(store_, nullptr, &graph_->schema(),
+                           &graph_->vocab(), stats_, &profile);
+    AnswerOptions options;
+    options.strategy = Strategy::kUcq;
+    Result<AnswerOutcome> r = answerer.Answer(q, options);
+    if (r.ok()) {
+      EXPECT_GE(limit, r.ValueOrDie().union_terms);
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kQueryTooComplex)
+          << "limit " << limit;
+    }
+  }
+}
+
+TEST_F(StressTest, MemoryBudgetSweep) {
+  Query q = MustParse(LubmMotivatingQ1().text);
+  bool saw_failure = false;
+  bool saw_success = false;
+  for (size_t budget : {1u, 1000u, 1000000u, 1000000000u}) {
+    EngineProfile profile = NativeStoreProfile();
+    profile.max_materialized_cells = budget;
+    QueryAnswerer answerer(store_, nullptr, &graph_->schema(),
+                           &graph_->vocab(), stats_, &profile);
+    AnswerOptions options;
+    options.strategy = Strategy::kScq;  // Materializes all but one component.
+    Result<AnswerOutcome> r = answerer.Answer(q, options);
+    if (r.ok()) {
+      saw_success = true;
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+          << "budget " << budget;
+      saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);  // The 1-cell budget cannot fit anything.
+  EXPECT_TRUE(saw_success);  // The 1G-cell budget fits everything.
+}
+
+TEST_F(StressTest, GcovSurvivesHostileProfiles) {
+  // Even under absurdly tight limits GCov must return a typed error or a
+  // correct answer — and under generous limits, the same answerer must then
+  // succeed (no state corruption from prior failures).
+  Query q = MustParse(LubmMotivatingQ2().text);
+  EngineProfile hostile = NativeStoreProfile();
+  hostile.max_union_terms = 2;
+  hostile.max_materialized_cells = 8;
+  QueryAnswerer answerer(store_, nullptr, &graph_->schema(),
+                         &graph_->vocab(), stats_, &hostile);
+  AnswerOptions options;
+  options.strategy = Strategy::kGcov;
+  options.optimizer_time_budget_s = 5.0;
+  Result<AnswerOutcome> r = answerer.Answer(q, options);
+  if (!r.ok()) {
+    EXPECT_TRUE(r.status().code() == StatusCode::kQueryTooComplex ||
+                r.status().code() == StatusCode::kResourceExhausted ||
+                r.status().code() == StatusCode::kTimeout)
+        << r.status().ToString();
+  }
+}
+
+TEST_F(StressTest, ZeroOptimizerBudgetStillAnswers) {
+  Query q = MustParse(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x WHERE { ?x rdf:type ub:Professor . ?x ub:worksFor ?d . }");
+  EngineProfile profile = NativeStoreProfile();
+  QueryAnswerer answerer(store_, nullptr, &graph_->schema(),
+                         &graph_->vocab(), stats_, &profile);
+  AnswerOptions options;
+  options.strategy = Strategy::kGcov;
+  options.optimizer_time_budget_s = 0.0;  // Anytime: SCQ baseline survives.
+  Result<AnswerOutcome> r = answerer.Answer(q, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r.ValueOrDie().answers.num_rows(), 0u);
+}
+
+TEST_F(StressTest, RepeatedAnsweringIsStable) {
+  // 20 consecutive answers with mixed strategies: identical results, no
+  // drift in the reported union terms (oracle caches are per-call).
+  Query q = MustParse(LubmMotivatingQ1().text);
+  EngineProfile profile = NativeStoreProfile();
+  QueryAnswerer answerer(store_, nullptr, &graph_->schema(),
+                         &graph_->vocab(), stats_, &profile);
+  size_t first_rows = 0;
+  size_t first_terms = 0;
+  for (int i = 0; i < 20; ++i) {
+    AnswerOptions options;
+    options.strategy = (i % 2 == 0) ? Strategy::kGcov : Strategy::kScq;
+    Result<AnswerOutcome> r = answerer.Answer(q, options);
+    ASSERT_TRUE(r.ok());
+    if (i == 0) {
+      first_rows = r.ValueOrDie().answers.num_rows();
+    } else {
+      EXPECT_EQ(r.ValueOrDie().answers.num_rows(), first_rows);
+    }
+    if (i == 1) {
+      first_terms = r.ValueOrDie().union_terms;
+    } else if (i % 2 == 1) {
+      EXPECT_EQ(r.ValueOrDie().union_terms, first_terms);
+    }
+  }
+}
+
+TEST_F(StressTest, DeepSubclassChainSaturatesAndReformulates) {
+  // A 200-deep subclass chain: closures, saturation and reformulation must
+  // handle linear-depth hierarchies without recursion issues.
+  Graph g;
+  const Vocabulary& v = g.vocab();
+  std::vector<ValueId> classes;
+  for (int i = 0; i < 200; ++i) {
+    classes.push_back(g.dict().InternIri("deep/C" + std::to_string(i)));
+  }
+  for (int i = 0; i + 1 < 200; ++i) {
+    g.AddEncoded(classes[i], v.rdfs_subclassof, classes[i + 1]);
+  }
+  ValueId a = g.dict().InternIri("deep/a");
+  g.AddEncoded(a, v.rdf_type, classes[0]);
+  g.FinalizeSchema();
+
+  SaturationResult sat = SaturateGraph(g);
+  EXPECT_EQ(sat.output_triples, 200u);  // One type fact per ancestor.
+
+  Reformulator reformulator(&g.schema(), &g.vocab());
+  VarTable vars;
+  VarId x = vars.GetOrCreate("x");
+  TriplePattern atom{PatternTerm::Var(x), PatternTerm::Const(v.rdf_type),
+                     PatternTerm::Const(classes[199])};
+  EXPECT_EQ(reformulator.CountAtomReformulations(atom, vars), 200u);
+}
+
+TEST_F(StressTest, WideUnionWithinLimitEvaluates) {
+  // A UCQ of 5000 disjuncts (all identical, tiny): evaluates fine when the
+  // profile allows it.
+  Query q = MustParse(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x WHERE { ?x ub:headOf ?d . }");
+  UnionQuery ucq;
+  ucq.head = q.cq.head;
+  for (int i = 0; i < 5000; ++i) ucq.disjuncts.push_back(q.cq);
+  EngineProfile profile = NativeStoreProfile();
+  profile.union_term_overhead_us = 0.0;  // Keep the test fast.
+  Evaluator evaluator(store_, &profile);
+  Result<Relation> r = evaluator.EvaluateUCQ(ucq, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.ValueOrDie().num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfopt

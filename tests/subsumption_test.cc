@@ -1,0 +1,219 @@
+#include "reformulation/subsumption.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/evaluator.h"
+#include "rdf/graph.h"
+#include "reasoner/saturation.h"
+#include "reformulation/reformulator.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+
+namespace rdfopt {
+namespace {
+
+TriplePattern Atom(PatternTerm s, PatternTerm p, PatternTerm o) {
+  return TriplePattern{s, p, o};
+}
+
+TEST(CqSubsumesTest, GenericTypeAtomSubsumesInstantiated) {
+  // q(x, y) :- x type y  subsumes  q(x, y=Book) :- x type Book.
+  constexpr ValueId kType = 1, kBook = 2;
+  ConjunctiveQuery general;
+  general.head = {0, 1};
+  general.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(kType),
+           PatternTerm::Var(1)));
+  ConjunctiveQuery specific;
+  specific.head = {0, 1};
+  specific.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(kType),
+           PatternTerm::Const(kBook)));
+  specific.head_bindings = {{1, kBook}};
+  EXPECT_TRUE(CqSubsumes(general, specific));
+  EXPECT_FALSE(CqSubsumes(specific, general));
+}
+
+TEST(CqSubsumesTest, ExtraAtomMakesQueryMoreSpecific) {
+  // q(x) :- x p y  subsumes  q(x) :- x p y . x q z.
+  ConjunctiveQuery general;
+  general.head = {0};
+  general.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5), PatternTerm::Var(1)));
+  ConjunctiveQuery specific = general;
+  specific.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(6), PatternTerm::Var(2)));
+  EXPECT_TRUE(CqSubsumes(general, specific));
+  EXPECT_FALSE(CqSubsumes(specific, general));
+}
+
+TEST(CqSubsumesTest, VariableMapsToConstant) {
+  // q(x) :- x p y  subsumes  q(x) :- x p c.
+  ConjunctiveQuery general;
+  general.head = {0};
+  general.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5), PatternTerm::Var(1)));
+  ConjunctiveQuery specific;
+  specific.head = {0};
+  specific.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5),
+           PatternTerm::Const(9)));
+  EXPECT_TRUE(CqSubsumes(general, specific));
+  EXPECT_FALSE(CqSubsumes(specific, general));
+}
+
+TEST(CqSubsumesTest, HeadVariableMustMapToItself) {
+  // q(x) :- x p y  does NOT subsume  q(x) :- z p x  (x plays another role).
+  ConjunctiveQuery general;
+  general.head = {0};
+  general.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5), PatternTerm::Var(1)));
+  ConjunctiveQuery specific;
+  specific.head = {0};
+  specific.atoms.push_back(
+      Atom(PatternTerm::Var(1), PatternTerm::Const(5), PatternTerm::Var(0)));
+  EXPECT_FALSE(CqSubsumes(general, specific));
+}
+
+TEST(CqSubsumesTest, DifferentHeadsNeverSubsume) {
+  ConjunctiveQuery a;
+  a.head = {0};
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5), PatternTerm::Var(1)));
+  ConjunctiveQuery b = a;
+  b.head = {0, 1};
+  EXPECT_FALSE(CqSubsumes(a, b));
+  EXPECT_FALSE(CqSubsumes(b, a));
+}
+
+TEST(CqSubsumesTest, EquivalentQueriesSubsumeEachOther) {
+  // Same query with a duplicated atom: equivalent both ways.
+  ConjunctiveQuery a;
+  a.head = {0};
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5), PatternTerm::Var(1)));
+  ConjunctiveQuery b = a;
+  b.atoms.push_back(b.atoms[0]);
+  EXPECT_TRUE(CqSubsumes(a, b));
+  EXPECT_TRUE(CqSubsumes(b, a));
+}
+
+TEST(CqSubsumesTest, MismatchedBindingsBlockSubsumption) {
+  ConjunctiveQuery a;
+  a.head = {0};
+  a.head_bindings = {{0, 7}};
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(1), PatternTerm::Const(5), PatternTerm::Var(2)));
+  ConjunctiveQuery b = a;
+  b.head_bindings = {{0, 8}};
+  EXPECT_FALSE(CqSubsumes(a, b));
+  EXPECT_FALSE(CqSubsumes(b, a));
+}
+
+TEST(PruneSubsumedTest, RemovesInstantiatedTypeDisjuncts) {
+  // UCQ: { q(x,y):- x type y,  q(x,Book):- x type Book,
+  //        q(x,Pub):- x type Pub } -> only the generic disjunct survives.
+  constexpr ValueId kType = 1, kBook = 2, kPub = 3;
+  UnionQuery ucq;
+  ucq.head = {0, 1};
+  ConjunctiveQuery generic;
+  generic.head = {0, 1};
+  generic.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(kType),
+           PatternTerm::Var(1)));
+  ucq.disjuncts.push_back(generic);
+  for (ValueId cls : {kBook, kPub}) {
+    ConjunctiveQuery inst;
+    inst.head = {0, 1};
+    inst.atoms.push_back(Atom(PatternTerm::Var(0), PatternTerm::Const(kType),
+                              PatternTerm::Const(cls)));
+    inst.head_bindings = {{1, cls}};
+    ucq.disjuncts.push_back(inst);
+  }
+  EXPECT_EQ(PruneSubsumedDisjuncts(&ucq), 2u);
+  ASSERT_EQ(ucq.size(), 1u);
+  EXPECT_EQ(ucq.disjuncts[0], generic);
+}
+
+TEST(PruneSubsumedTest, KeepsFirstOfEquivalentPair) {
+  ConjunctiveQuery a;
+  a.head = {0};
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5), PatternTerm::Var(1)));
+  ConjunctiveQuery b = a;
+  b.atoms.push_back(b.atoms[0]);  // Equivalent.
+  UnionQuery ucq;
+  ucq.head = a.head;
+  ucq.disjuncts = {a, b};
+  EXPECT_EQ(PruneSubsumedDisjuncts(&ucq), 1u);
+  ASSERT_EQ(ucq.size(), 1u);
+  EXPECT_EQ(ucq.disjuncts[0].atoms.size(), 1u);
+}
+
+TEST(PruneSubsumedTest, NoFalsePositives) {
+  ConjunctiveQuery a;
+  a.head = {0};
+  a.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(5), PatternTerm::Var(1)));
+  ConjunctiveQuery b;
+  b.head = {0};
+  b.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(6), PatternTerm::Var(1)));
+  UnionQuery ucq;
+  ucq.head = a.head;
+  ucq.disjuncts = {a, b};
+  EXPECT_EQ(PruneSubsumedDisjuncts(&ucq), 0u);
+  EXPECT_EQ(ucq.size(), 2u);
+}
+
+// End-to-end: pruning a real reformulation preserves its answers.
+TEST(PruneSubsumedTest, ReformulationAnswersPreserved) {
+  Graph g;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &g);
+  g.FinalizeSchema();
+  TripleStore store = TripleStore::Build(g.data_triples());
+  EngineProfile profile = NativeStoreProfile();
+  Evaluator evaluator(&store, &profile);
+  Reformulator reformulator(&g.schema(), &g.vocab());
+
+  Result<Query> q = ParseQuery(
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x ?y WHERE { ?x rdf:type ?y . }",
+      &g.dict());
+  ASSERT_TRUE(q.ok());
+  VarTable vars = q.ValueOrDie().vars;
+  Result<UnionQuery> ucq =
+      reformulator.ReformulateCQ(q.ValueOrDie().cq, &vars);
+  ASSERT_TRUE(ucq.ok());
+
+  UnionQuery pruned = ucq.ValueOrDie();
+  size_t dropped = PruneSubsumedDisjuncts(&pruned);
+  // Every per-class identity copy (x type C) is subsumed by the generic
+  // (x type y) disjunct: a large fraction must be pruned.
+  EXPECT_GT(dropped, 30u);
+  EXPECT_LT(pruned.size(), ucq.ValueOrDie().size());
+
+  Result<Relation> full = evaluator.EvaluateUCQ(ucq.ValueOrDie(), nullptr);
+  Result<Relation> reduced = evaluator.EvaluateUCQ(pruned, nullptr);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(reduced.ok());
+  std::set<std::vector<ValueId>> full_rows;
+  std::set<std::vector<ValueId>> reduced_rows;
+  for (size_t i = 0; i < full.ValueOrDie().num_rows(); ++i) {
+    full_rows.insert(std::vector<ValueId>(full.ValueOrDie().row(i).begin(),
+                                          full.ValueOrDie().row(i).end()));
+  }
+  for (size_t i = 0; i < reduced.ValueOrDie().num_rows(); ++i) {
+    reduced_rows.insert(
+        std::vector<ValueId>(reduced.ValueOrDie().row(i).begin(),
+                             reduced.ValueOrDie().row(i).end()));
+  }
+  EXPECT_EQ(full_rows, reduced_rows);
+}
+
+}  // namespace
+}  // namespace rdfopt

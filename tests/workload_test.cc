@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+#include "workload/dblp.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+namespace rdfopt {
+namespace {
+
+TEST(WorkloadRngTest, DeterministicAndBounded) {
+  WorkloadRng a(42);
+  WorkloadRng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  WorkloadRng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = c.Between(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(WorkloadRngTest, ChanceIsRoughlyCalibrated) {
+  WorkloadRng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.25) ? 1 : 0;
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+TEST(LubmGeneratorTest, DeterministicAcrossRuns) {
+  Graph a;
+  Graph b;
+  LubmOptions options;
+  options.num_universities = 1;
+  size_t na = GenerateLubm(options, &a);
+  size_t nb = GenerateLubm(options, &b);
+  EXPECT_EQ(na, nb);
+  ASSERT_EQ(a.data_triples().size(), b.data_triples().size());
+  for (size_t i = 0; i < a.data_triples().size(); ++i) {
+    EXPECT_EQ(a.data_triples()[i], b.data_triples()[i]);
+  }
+}
+
+TEST(LubmGeneratorTest, ScalesWithUniversities) {
+  Graph small;
+  Graph large;
+  LubmOptions one;
+  one.num_universities = 1;
+  LubmOptions three;
+  three.num_universities = 3;
+  size_t n1 = GenerateLubm(one, &small);
+  size_t n3 = GenerateLubm(three, &large);
+  EXPECT_GT(n3, 2 * n1);
+  EXPECT_LT(n3, 4 * n1);
+}
+
+TEST(LubmGeneratorTest, StableEntryPointIrisExist) {
+  Graph g;
+  LubmOptions options;
+  options.num_universities = 2;
+  GenerateLubm(options, &g);
+  EXPECT_NE(g.dict().LookupIri("http://lubm.example.org/data/univ0"),
+            kInvalidValueId);
+  EXPECT_NE(g.dict().LookupIri("http://lubm.example.org/data/univ0/dept0"),
+            kInvalidValueId);
+  EXPECT_NE(g.dict().LookupIri("http://lubm.example.org/data/univ1"),
+            kInvalidValueId);
+}
+
+TEST(LubmGeneratorTest, SchemaIsRichEnough) {
+  Graph g;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &g);
+  g.FinalizeSchema();
+  // LUBM-like richness: tens of classes, >= 14 constrained properties.
+  EXPECT_GE(g.schema().AllClasses().size(), 35u);
+  EXPECT_GE(g.schema().AllProperties().size(), 14u);
+  // The subclass hierarchy has depth >= 4 (Person > Employee > Faculty >
+  // Professor > FullProfessor).
+  ValueId full = g.dict().LookupIri(
+      "http://lubm.example.org/univ#FullProfessor");
+  ASSERT_NE(full, kInvalidValueId);
+  EXPECT_GE(g.schema().SuperClassesOf(full).size(), 5u);
+}
+
+TEST(LubmGeneratorTest, TripleTargetSizing) {
+  EXPECT_EQ(LubmOptionsForTripleTarget(1).num_universities, 1u);
+  size_t u = LubmOptionsForTripleTarget(1000 * 1000).num_universities;
+  EXPECT_GE(u, 10u);
+  EXPECT_LE(u, 30u);
+}
+
+TEST(DblpGeneratorTest, DeterministicAndScaled) {
+  Graph a;
+  DblpOptions options;
+  options.num_publications = 500;
+  size_t na = GenerateDblp(options, &a);
+  Graph b;
+  size_t nb = GenerateDblp(options, &b);
+  EXPECT_EQ(na, nb);
+  EXPECT_GT(na, 2000u);  // Several triples per publication.
+  a.FinalizeSchema();
+  EXPECT_GE(a.schema().AllClasses().size(), 18u);
+  EXPECT_GE(a.schema().AllProperties().size(), 8u);
+  EXPECT_NE(a.dict().LookupIri("http://dblp.example.org/rec/venue0"),
+            kInvalidValueId);
+}
+
+TEST(QuerySetTest, SizesAndNames) {
+  EXPECT_EQ(LubmQuerySet().size(), 28u);
+  EXPECT_EQ(DblpQuerySet().size(), 10u);
+  EXPECT_EQ(LubmQuerySet()[0].name, "Q01");
+  EXPECT_EQ(LubmQuerySet()[27].name, "Q28");
+  EXPECT_EQ(LubmMotivatingQ1().name, "Q07");
+  EXPECT_EQ(LubmMotivatingQ2().name, "Q28");
+}
+
+TEST(QuerySetTest, AllQueriesParseAgainstTheirWorkload) {
+  Graph lubm;
+  LubmOptions lopt;
+  lopt.num_universities = 1;
+  GenerateLubm(lopt, &lubm);
+  for (const BenchmarkQuery& q : LubmQuerySet()) {
+    Result<Query> parsed = ParseQuery(q.text, &lubm.dict());
+    ASSERT_TRUE(parsed.ok()) << q.name << ": " << parsed.status().ToString();
+    EXPECT_TRUE(parsed.ValueOrDie().cq.IsConnected()) << q.name;
+    EXPECT_GE(parsed.ValueOrDie().num_atoms(), 1u) << q.name;
+  }
+
+  Graph dblp;
+  DblpOptions dopt;
+  dopt.num_publications = 100;
+  GenerateDblp(dopt, &dblp);
+  for (const BenchmarkQuery& q : DblpQuerySet()) {
+    Result<Query> parsed = ParseQuery(q.text, &dblp.dict());
+    ASSERT_TRUE(parsed.ok()) << q.name << ": " << parsed.status().ToString();
+    EXPECT_TRUE(parsed.ValueOrDie().cq.IsConnected()) << q.name;
+  }
+}
+
+TEST(QuerySetTest, QueriesSpanAtomCountsOneToTen) {
+  Graph lubm;
+  LubmOptions lopt;
+  lopt.num_universities = 1;
+  GenerateLubm(lopt, &lubm);
+  size_t min_atoms = 100;
+  size_t max_atoms = 0;
+  for (const BenchmarkQuery& q : LubmQuerySet()) {
+    Result<Query> parsed = ParseQuery(q.text, &lubm.dict());
+    ASSERT_TRUE(parsed.ok());
+    min_atoms = std::min(min_atoms, parsed.ValueOrDie().num_atoms());
+    max_atoms = std::max(max_atoms, parsed.ValueOrDie().num_atoms());
+  }
+  EXPECT_EQ(min_atoms, 1u);
+  EXPECT_GE(max_atoms, 6u);
+
+  Graph dblp;
+  DblpOptions dopt;
+  dopt.num_publications = 100;
+  GenerateDblp(dopt, &dblp);
+  Result<Query> q10 = ParseQuery(DblpQuerySet()[9].text, &dblp.dict());
+  ASSERT_TRUE(q10.ok());
+  EXPECT_EQ(q10.ValueOrDie().num_atoms(), 10u);
+}
+
+}  // namespace
+}  // namespace rdfopt
