@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lubm1m.dir/bench_fig4_lubm1m.cc.o"
+  "CMakeFiles/bench_fig4_lubm1m.dir/bench_fig4_lubm1m.cc.o.d"
+  "bench_fig4_lubm1m"
+  "bench_fig4_lubm1m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lubm1m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

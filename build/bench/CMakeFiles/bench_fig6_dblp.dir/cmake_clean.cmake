@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dblp.dir/bench_fig6_dblp.cc.o"
+  "CMakeFiles/bench_fig6_dblp.dir/bench_fig6_dblp.cc.o.d"
+  "bench_fig6_dblp"
+  "bench_fig6_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

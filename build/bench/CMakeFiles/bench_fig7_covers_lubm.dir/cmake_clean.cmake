@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_covers_lubm.dir/bench_fig7_covers_lubm.cc.o"
+  "CMakeFiles/bench_fig7_covers_lubm.dir/bench_fig7_covers_lubm.cc.o.d"
+  "bench_fig7_covers_lubm"
+  "bench_fig7_covers_lubm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_covers_lubm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_covers_lubm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_costmodel.dir/bench_fig9_costmodel.cc.o"
+  "CMakeFiles/bench_fig9_costmodel.dir/bench_fig9_costmodel.cc.o.d"
+  "bench_fig9_costmodel"
+  "bench_fig9_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

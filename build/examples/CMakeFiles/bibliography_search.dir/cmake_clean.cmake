@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_search.dir/bibliography_search.cpp.o"
+  "CMakeFiles/bibliography_search.dir/bibliography_search.cpp.o.d"
+  "bibliography_search"
+  "bibliography_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

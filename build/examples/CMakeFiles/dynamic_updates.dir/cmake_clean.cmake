@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_updates.dir/dynamic_updates.cpp.o"
+  "CMakeFiles/dynamic_updates.dir/dynamic_updates.cpp.o.d"
+  "dynamic_updates"
+  "dynamic_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_shell.dir/sparql_shell.cpp.o"
+  "CMakeFiles/sparql_shell.dir/sparql_shell.cpp.o.d"
+  "sparql_shell"
+  "sparql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_portal.dir/university_portal.cpp.o"
+  "CMakeFiles/university_portal.dir/university_portal.cpp.o.d"
+  "university_portal"
+  "university_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for university_portal.
+# This may be replaced when dependencies are built.

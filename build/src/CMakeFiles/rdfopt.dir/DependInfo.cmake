@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rdfopt.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/rdfopt.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/cost/calibration.cc" "src/CMakeFiles/rdfopt.dir/cost/calibration.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/cost/calibration.cc.o.d"
+  "/root/repo/src/cost/cardinality.cc" "src/CMakeFiles/rdfopt.dir/cost/cardinality.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/cost/cardinality.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/rdfopt.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/engine/engine_profile.cc" "src/CMakeFiles/rdfopt.dir/engine/engine_profile.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/engine/engine_profile.cc.o.d"
+  "/root/repo/src/engine/evaluator.cc" "src/CMakeFiles/rdfopt.dir/engine/evaluator.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/engine/evaluator.cc.o.d"
+  "/root/repo/src/engine/explain.cc" "src/CMakeFiles/rdfopt.dir/engine/explain.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/engine/explain.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/CMakeFiles/rdfopt.dir/engine/operators.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/engine/operators.cc.o.d"
+  "/root/repo/src/engine/relation.cc" "src/CMakeFiles/rdfopt.dir/engine/relation.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/engine/relation.cc.o.d"
+  "/root/repo/src/optimizer/answering.cc" "src/CMakeFiles/rdfopt.dir/optimizer/answering.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/optimizer/answering.cc.o.d"
+  "/root/repo/src/optimizer/cover.cc" "src/CMakeFiles/rdfopt.dir/optimizer/cover.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/optimizer/cover.cc.o.d"
+  "/root/repo/src/optimizer/ecov.cc" "src/CMakeFiles/rdfopt.dir/optimizer/ecov.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/optimizer/ecov.cc.o.d"
+  "/root/repo/src/optimizer/gcov.cc" "src/CMakeFiles/rdfopt.dir/optimizer/gcov.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/optimizer/gcov.cc.o.d"
+  "/root/repo/src/rdf/dictionary.cc" "src/CMakeFiles/rdfopt.dir/rdf/dictionary.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/rdf/dictionary.cc.o.d"
+  "/root/repo/src/rdf/graph.cc" "src/CMakeFiles/rdfopt.dir/rdf/graph.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/rdf/graph.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/rdfopt.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/rdfopt.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/vocabulary.cc" "src/CMakeFiles/rdfopt.dir/rdf/vocabulary.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/rdf/vocabulary.cc.o.d"
+  "/root/repo/src/reasoner/saturation.cc" "src/CMakeFiles/rdfopt.dir/reasoner/saturation.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/reasoner/saturation.cc.o.d"
+  "/root/repo/src/reformulation/minimize.cc" "src/CMakeFiles/rdfopt.dir/reformulation/minimize.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/reformulation/minimize.cc.o.d"
+  "/root/repo/src/reformulation/reformulator.cc" "src/CMakeFiles/rdfopt.dir/reformulation/reformulator.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/reformulation/reformulator.cc.o.d"
+  "/root/repo/src/reformulation/subsumption.cc" "src/CMakeFiles/rdfopt.dir/reformulation/subsumption.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/reformulation/subsumption.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/rdfopt.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/schema/schema.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/rdfopt.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/sparql/printer.cc" "src/CMakeFiles/rdfopt.dir/sparql/printer.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/sparql/printer.cc.o.d"
+  "/root/repo/src/sparql/query.cc" "src/CMakeFiles/rdfopt.dir/sparql/query.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/sparql/query.cc.o.d"
+  "/root/repo/src/sparql/sql.cc" "src/CMakeFiles/rdfopt.dir/sparql/sql.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/sparql/sql.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/rdfopt.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/storage/statistics.cc" "src/CMakeFiles/rdfopt.dir/storage/statistics.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/storage/statistics.cc.o.d"
+  "/root/repo/src/storage/triple_store.cc" "src/CMakeFiles/rdfopt.dir/storage/triple_store.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/storage/triple_store.cc.o.d"
+  "/root/repo/src/workload/dblp.cc" "src/CMakeFiles/rdfopt.dir/workload/dblp.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/workload/dblp.cc.o.d"
+  "/root/repo/src/workload/lubm.cc" "src/CMakeFiles/rdfopt.dir/workload/lubm.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/workload/lubm.cc.o.d"
+  "/root/repo/src/workload/query_sets.cc" "src/CMakeFiles/rdfopt.dir/workload/query_sets.cc.o" "gcc" "src/CMakeFiles/rdfopt.dir/workload/query_sets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/answering_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/answering_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/answering_test.cc.o.d"
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/calibration_test.cc.o.d"
+  "/root/repo/tests/cardinality_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/cardinality_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/cardinality_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/cover_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/cover_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/cover_test.cc.o.d"
+  "/root/repo/tests/ecov_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/ecov_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/ecov_test.cc.o.d"
+  "/root/repo/tests/evaluator_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/evaluator_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/evaluator_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/gcov_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/gcov_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/gcov_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/minimize_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/minimize_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/minimize_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/printer_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/printer_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/printer_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/rdf_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/rdf_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/rdf_test.cc.o.d"
+  "/root/repo/tests/reformulator_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/reformulator_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/reformulator_test.cc.o.d"
+  "/root/repo/tests/relation_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/relation_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/relation_test.cc.o.d"
+  "/root/repo/tests/saturation_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/saturation_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/saturation_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/semantics_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/semantics_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/semantics_test.cc.o.d"
+  "/root/repo/tests/snapshot_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/snapshot_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/statistics_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/statistics_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/statistics_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/stress_test.cc.o.d"
+  "/root/repo/tests/subsumption_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/subsumption_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/subsumption_test.cc.o.d"
+  "/root/repo/tests/triple_store_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/triple_store_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/triple_store_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/rdfopt_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/rdfopt_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
