@@ -11,12 +11,25 @@
 //   RDFOPT_LUBM_TRIPLES        default per-bench (paper: 1M and 100M)
 //   RDFOPT_LUBM_LARGE_TRIPLES  the "large" LUBM scale (default 3M)
 //   RDFOPT_DBLP_TRIPLES        default 500k (paper: 8M)
+//
+// Every binary also accepts `--json <path>`: each strategy execution is
+// then traced and appended to <path> as one JSON record
+//   {"query","engine","strategy","ok","answers","total_ms","optimize_ms",
+//    "reformulate_ms","evaluate_ms","union_terms","num_components",
+//    "covers_examined","spans":{...},"metrics":{...}}
+// (the file is a JSON array of records), making the BENCH_*.json
+// trajectories reproducible straight from the harness.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 
+#include "common/json_writer.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "optimizer/answering.h"
 #include "reasoner/saturation.h"
 #include "sparql/parser.h"
@@ -33,6 +46,65 @@ inline size_t EnvSize(const char* name, size_t fallback) {
   if (value == nullptr || *value == '\0') return fallback;
   long long parsed = std::atoll(value);
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+/// Machine-readable sidecar output: a JSON array of per-run records written
+/// to the path given by `--json <path>`. One writer per process, shared by
+/// every RunStrategy call through Active().
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {
+    if (file_ != nullptr) std::fputs("[", file_);
+  }
+  ~BenchJsonWriter() {
+    if (file_ != nullptr) {
+      std::fputs("\n]\n", file_);
+      std::fclose(file_);
+    }
+  }
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Appends one record; `json_object` must be a complete JSON object.
+  void Record(const std::string& json_object) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\n%s", first_ ? "" : ",", json_object.c_str());
+    std::fflush(file_);  // Partial output survives a crashed/killed bench.
+    first_ = false;
+  }
+
+  /// The process-wide writer installed by InitBenchJson, or null.
+  static std::unique_ptr<BenchJsonWriter>& Slot() {
+    static std::unique_ptr<BenchJsonWriter> writer;
+    return writer;
+  }
+  static BenchJsonWriter* Active() { return Slot().get(); }
+
+ private:
+  std::FILE* file_;
+  bool first_ = true;
+};
+
+/// Scans argv for `--json <path>` and installs the process-wide writer.
+/// Call first thing in main(); without the flag this is a no-op.
+inline void InitBenchJson(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--json requires a path argument\n");
+      return;
+    }
+    auto writer = std::make_unique<BenchJsonWriter>(argv[i + 1]);
+    if (!writer->ok()) {
+      std::fprintf(stderr, "cannot open --json path %s\n", argv[i + 1]);
+      return;
+    }
+    BenchJsonWriter::Slot() = std::move(writer);
+    return;
+  }
 }
 
 /// A generated workload plus everything the answerer needs.
@@ -101,28 +173,74 @@ struct StrategyRun {
   bool optimizer_timed_out = false;
 };
 
+/// One {query,engine,strategy,...,spans,metrics} record for the --json
+/// sidecar. `trace_json` may be empty (tracing was off for the run).
+inline std::string StrategyRunRecord(const std::string& query_name,
+                                     const std::string& engine_name,
+                                     Strategy strategy, const StrategyRun& run,
+                                     const std::string& trace_json) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("query").Value(std::string_view(query_name));
+  json.Key("engine").Value(std::string_view(engine_name));
+  json.Key("strategy").Value(StrategyName(strategy));
+  json.Key("ok").Value(run.ok);
+  if (!run.ok) json.Key("failure").Value(std::string_view(run.failure));
+  json.Key("answers").Value(uint64_t{run.answers});
+  json.Key("total_ms").Value(run.total_ms);
+  json.Key("optimize_ms").Value(run.optimize_ms);
+  json.Key("reformulate_ms").Value(run.reformulate_ms);
+  json.Key("evaluate_ms").Value(run.evaluate_ms);
+  json.Key("union_terms").Value(uint64_t{run.union_terms});
+  json.Key("num_components").Value(uint64_t{run.num_components});
+  json.Key("covers_examined").Value(uint64_t{run.covers_examined});
+  json.Key("optimizer_timed_out").Value(run.optimizer_timed_out);
+  if (!trace_json.empty()) json.Key("spans").Raw(trace_json);
+  json.Key("metrics").Raw(MetricsRegistry::Global().ToJson());
+  json.EndObject();
+  return json.TakeString();
+}
+
+/// Runs one strategy. With the --json writer active the run is traced and a
+/// record (span tree + registry snapshot) is appended to the sidecar;
+/// `query_name`/`engine_name` label that record.
 inline StrategyRun RunStrategy(const QueryAnswerer& answerer,
                                const Query& query, Strategy strategy,
-                               const AnswerOptions& base_options = {}) {
+                               const AnswerOptions& base_options = {},
+                               const std::string& query_name = "",
+                               const std::string& engine_name = "") {
   AnswerOptions options = base_options;
   options.strategy = strategy;
   StrategyRun run;
-  Result<AnswerOutcome> outcome = answerer.Answer(query, options);
-  if (!outcome.ok()) {
+  BenchJsonWriter* json = BenchJsonWriter::Active();
+  TraceSession trace;
+  Result<AnswerOutcome> outcome = [&] {
+    // Trace only when the sidecar consumes it, so plain benchmark numbers
+    // keep the zero-cost disabled path (a caller-installed session, if any,
+    // stays in effect).
+    ScopedTraceSession scoped(json != nullptr ? &trace
+                                              : TraceSession::Current());
+    return answerer.Answer(query, options);
+  }();
+  if (outcome.ok()) {
+    const AnswerOutcome& o = outcome.ValueOrDie();
+    run.ok = true;
+    run.answers = o.answers.num_rows();
+    run.total_ms = o.total_ms();
+    run.optimize_ms = o.optimize_ms;
+    run.reformulate_ms = o.reformulate_ms;
+    run.evaluate_ms = o.evaluate_ms;
+    run.union_terms = o.union_terms;
+    run.num_components = o.num_components;
+    run.covers_examined = o.covers_examined;
+    run.optimizer_timed_out = o.optimizer_timed_out;
+  } else {
     run.failure = StatusCodeName(outcome.status().code());
-    return run;
   }
-  const AnswerOutcome& o = outcome.ValueOrDie();
-  run.ok = true;
-  run.answers = o.answers.num_rows();
-  run.total_ms = o.total_ms();
-  run.optimize_ms = o.optimize_ms;
-  run.reformulate_ms = o.reformulate_ms;
-  run.evaluate_ms = o.evaluate_ms;
-  run.union_terms = o.union_terms;
-  run.num_components = o.num_components;
-  run.covers_examined = o.covers_examined;
-  run.optimizer_timed_out = o.optimizer_timed_out;
+  if (json != nullptr) {
+    json->Record(StrategyRunRecord(query_name, engine_name, strategy, run,
+                                   trace.ToJson()));
+  }
   return run;
 }
 
@@ -167,10 +285,14 @@ inline void RunStrategyMatrix(BenchEnv* env,
     for (int p = 0; p < 3; ++p) {
       const EngineProfile& profile = *ThreeProfiles()[p];
       QueryAnswerer answerer = env->MakeAnswerer(profile);
-      StrategyRun ucq = RunStrategy(answerer, query, Strategy::kUcq);
-      StrategyRun scq = RunStrategy(answerer, query, Strategy::kScq);
-      StrategyRun ecov = RunStrategy(answerer, query, Strategy::kEcov);
-      StrategyRun gcov = RunStrategy(answerer, query, Strategy::kGcov);
+      StrategyRun ucq = RunStrategy(answerer, query, Strategy::kUcq, {},
+                                    bq.name, profile.name);
+      StrategyRun scq = RunStrategy(answerer, query, Strategy::kScq, {},
+                                    bq.name, profile.name);
+      StrategyRun ecov = RunStrategy(answerer, query, Strategy::kEcov, {},
+                                     bq.name, profile.name);
+      StrategyRun gcov = RunStrategy(answerer, query, Strategy::kGcov, {},
+                                     bq.name, profile.name);
       size_t answers = gcov.ok ? gcov.answers
                                : (ucq.ok ? ucq.answers : scq.answers);
       std::printf("%-5s %-26s %14s %14s %14s %14s %10zu\n", bq.name.c_str(),

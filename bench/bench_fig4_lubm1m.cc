@@ -5,8 +5,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchJson(argc, argv);
   BenchEnv env = BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_TRIPLES", 1'000'000));
   RunStrategyMatrix(&env, rdfopt::LubmQuerySet(), "Figure 4 (LUBM small)");
   return 0;

@@ -5,8 +5,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchJson(argc, argv);
   BenchEnv env =
       BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_LARGE_TRIPLES", 2'000'000));
   RunStrategyMatrix(&env, rdfopt::LubmQuerySet(), "Figure 5 (LUBM large)");

@@ -4,8 +4,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchJson(argc, argv);
   BenchEnv env = BenchEnv::Dblp(EnvSize("RDFOPT_DBLP_TRIPLES", 500'000));
   RunStrategyMatrix(&env, rdfopt::DblpQuerySet(), "Figure 6 (DBLP)");
   return 0;

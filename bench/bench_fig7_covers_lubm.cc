@@ -80,8 +80,9 @@ int Main(const std::vector<BenchmarkQuery>& queries, const char* title,
 }  // namespace
 }  // namespace rdfopt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchJson(argc, argv);
   BenchEnv env = BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_TRIPLES", 1'000'000));
   return Main(rdfopt::LubmQuerySet(), "Figure 7 (LUBM)", &env);
 }

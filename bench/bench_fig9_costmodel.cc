@@ -43,4 +43,7 @@ int Main() {
 }  // namespace
 }  // namespace rdfopt::bench
 
-int main() { return rdfopt::bench::Main(); }
+int main(int argc, char** argv) {
+  rdfopt::bench::InitBenchJson(argc, argv);
+  return rdfopt::bench::Main();
+}

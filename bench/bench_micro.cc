@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/trace.h"
 #include "engine/evaluator.h"
 #include "engine/operators.h"
 #include "optimizer/ecov.h"
@@ -104,6 +105,45 @@ void BM_Deduplicate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Deduplicate);
+
+// Tracing-off evaluator baseline: with no installed TraceSession every
+// span construction is one thread-local load + branch. Compare against
+// BM_EvaluateCQTraced to measure the observability layer's overhead (the
+// acceptance bar is <2% for the disabled path vs. a build without spans).
+void BM_EvaluateCQ(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const EngineProfile& profile = PostgresLikeProfile();
+  Evaluator evaluator(&env.store, &profile);
+  Result<Query> q = ParseQuery(LubmMotivatingQ1().text, &env.graph.dict());
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Relation> r = evaluator.EvaluateCQ(q.ValueOrDie().cq, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_EvaluateCQ);
+
+void BM_EvaluateCQTraced(benchmark::State& state) {
+  MicroEnv& env = Env();
+  const EngineProfile& profile = PostgresLikeProfile();
+  Evaluator evaluator(&env.store, &profile);
+  Result<Query> q = ParseQuery(LubmMotivatingQ1().text, &env.graph.dict());
+  if (!q.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  for (auto _ : state) {
+    session.Clear();
+    Result<Relation> r = evaluator.EvaluateCQ(q.ValueOrDie().cq, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_EvaluateCQTraced);
 
 void BM_ReformulateTypeVariableAtom(benchmark::State& state) {
   MicroEnv& env = Env();

@@ -14,6 +14,8 @@
 //   .minimize on|off       constraint-aware query minimization
 //   .explain on|off        print the JUCQ plan before the answers
 //   .sql on|off            print the SQL deployment of the JUCQ
+//   .trace on|off          print the span tree after each query
+//   .metrics [reset]       dump (or zero) the process metrics registry
 //   .calibrate             fit the cost-model constants on this machine
 //   .stats                 database statistics
 //   .help / .quit
@@ -27,6 +29,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "cost/calibration.h"
 #include "engine/explain.h"
 #include "optimizer/answering.h"
@@ -118,6 +122,8 @@ int main(int argc, char** argv) {
   AnswerOptions options;
   bool explain = false;
   bool emit_sql = false;
+  bool trace = false;
+  TraceSession trace_session;
   CardinalityEstimator estimator(&store, &stats);
   std::string pending;
   std::string line;
@@ -131,7 +137,8 @@ int main(int argc, char** argv) {
       if (op == ".help") {
         std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
                     "| .subsume on|off | .minimize on|off | .explain on|off "
-                    "| .sql on|off | .calibrate | .stats | .quit\n");
+                    "| .sql on|off | .trace on|off | .metrics [reset] "
+                    "| .calibrate | .stats | .quit\n");
       } else if (op == ".strategy") {
         if (arg == "ucq") options.strategy = Strategy::kUcq;
         else if (arg == "scq") options.strategy = Strategy::kScq;
@@ -158,6 +165,18 @@ int main(int argc, char** argv) {
         emit_sql = (arg == "on");
         options.keep_reformulation = explain || emit_sql;
         std::printf("sql = %s\n", emit_sql ? "on" : "off");
+      } else if (op == ".trace") {
+        trace = (arg == "on");
+        TraceSession::Install(trace ? &trace_session : nullptr);
+        std::printf("trace = %s\n", trace ? "on" : "off");
+      } else if (op == ".metrics") {
+        if (arg == "reset") {
+          MetricsRegistry::Global().Reset();
+          std::printf("metrics registry reset\n");
+        } else {
+          std::printf("%s\n",
+                      MetricsRegistry::Global().ToJson(/*indent=*/2).c_str());
+        }
       } else if (op == ".calibrate") {
         std::printf("running calibration sweeps on %s...\n",
                     profile.name.c_str());
@@ -203,13 +222,21 @@ int main(int argc, char** argv) {
         text.find("prefix") == std::string::npos) {
       text = preamble + text;
     }
-    Result<Query> query = ParseQuery(text, &graph.dict());
+    if (trace) trace_session.Clear();  // One span tree per query.
+    Result<Query> query = [&] {
+      TraceSpan span("answer.parse");
+      return ParseQuery(text, &graph.dict());
+    }();
     if (!query.ok()) {
       std::printf("parse error: %s\n", query.status().ToString().c_str());
       continue;
     }
     Result<AnswerOutcome> outcome = answerer.Answer(query.ValueOrDie(),
                                                     options);
+    if (trace) {
+      std::printf("-- trace:\n%s",
+                  trace_session.ToString(/*max_lines=*/200).c_str());
+    }
     if (!outcome.ok()) {
       std::printf("error: %s\n", outcome.status().ToString().c_str());
       continue;

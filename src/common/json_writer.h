@@ -1,0 +1,159 @@
+#ifndef RDFOPT_COMMON_JSON_WRITER_H_
+#define RDFOPT_COMMON_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdfopt {
+
+/// Minimal append-only JSON builder shared by the observability exporters
+/// (TraceSession::ToJson, MetricsRegistry::ToJson, the bench --json writer).
+/// Handles commas, string escaping and optional pretty-printing; it does not
+/// validate key/value alternation beyond what the emit order implies.
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per nesting level.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(std::string_view key) {
+    Separate();
+    AppendQuoted(key);
+    out_ += ':';
+    if (indent_ > 0) out_ += ' ';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(std::string_view value) {
+    Separate();
+    AppendQuoted(value);
+    return *this;
+  }
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(bool value) { return Raw(value ? "true" : "false"); }
+  JsonWriter& Value(double value) {
+    if (!std::isfinite(value)) return Raw("null");  // JSON has no Inf/NaN.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(buf);
+  }
+  JsonWriter& Value(uint64_t value) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return Raw(buf);
+  }
+  JsonWriter& Value(int64_t value) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return Raw(buf);
+  }
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+
+  /// Emits `text` verbatim as the next value — it must itself be valid JSON
+  /// (used to splice pre-rendered sub-documents into a record).
+  JsonWriter& Raw(std::string_view text) {
+    Separate();
+    out_.append(text);
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static void AppendEscaped(std::string* out, std::string_view text) {
+    for (char c : text) {
+      switch (c) {
+        case '"':
+          *out += "\\\"";
+          break;
+        case '\\':
+          *out += "\\\\";
+          break;
+        case '\n':
+          *out += "\\n";
+          break;
+        case '\r':
+          *out += "\\r";
+          break;
+        case '\t':
+          *out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            *out += buf;
+          } else {
+            *out += c;
+          }
+      }
+    }
+  }
+
+ private:
+  JsonWriter& Open(char bracket) {
+    Separate();
+    out_ += bracket;
+    needs_comma_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& Close(char bracket) {
+    bool had_items = !needs_comma_.empty() && needs_comma_.back();
+    if (!needs_comma_.empty()) needs_comma_.pop_back();
+    if (indent_ > 0 && had_items) {
+      out_ += '\n';
+      AppendIndent();
+    }
+    out_ += bracket;
+    return *this;
+  }
+
+  /// Inserts the comma/newline owed before the next item at this level.
+  void Separate() {
+    if (pending_value_) {
+      // Value directly follows its key: no separator.
+      pending_value_ = false;
+      return;
+    }
+    if (needs_comma_.empty()) return;
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+    if (indent_ > 0) {
+      out_ += '\n';
+      AppendIndent();
+    }
+  }
+
+  void AppendIndent() {
+    out_.append(static_cast<size_t>(indent_) * needs_comma_.size(), ' ');
+  }
+
+  void AppendQuoted(std::string_view text) {
+    out_ += '"';
+    AppendEscaped(&out_, text);
+    out_ += '"';
+  }
+
+  int indent_;
+  bool pending_value_ = false;
+  std::string out_;
+  std::vector<bool> needs_comma_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_COMMON_JSON_WRITER_H_

@@ -1,0 +1,149 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json_writer.h"
+
+namespace rdfopt {
+
+size_t MetricHistogram::BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // Also catches NaN.
+  // Smallest i with 0.001 * 2^i >= value.
+  double scaled = value / 0.001;
+  int exponent = static_cast<int>(std::ceil(std::log2(scaled)));
+  if (exponent < 0) return 0;
+  return std::min(static_cast<size_t>(exponent), kNumBuckets - 1);
+}
+
+double MetricHistogram::BucketUpperBound(size_t index) {
+  return 0.001 * std::ldexp(1.0, static_cast<int>(index));
+}
+
+void MetricHistogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[BucketIndex(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+uint64_t MetricHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double MetricHistogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double MetricHistogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double MetricHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double MetricHistogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based), then the bucket holding it.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (cumulative + buckets_[i] >= rank) {
+      // Linear interpolation inside the bucket's range.
+      double lo = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      double hi = BucketUpperBound(i);
+      double fraction = buckets_[i] == 0
+                            ? 0.0
+                            : static_cast<double>(rank - cumulative) /
+                                  static_cast<double>(buckets_[i]);
+      double estimate = lo + (hi - lo) * fraction;
+      return std::clamp(estimate, min_, max_);
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
+
+void MetricHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instruments must outlive all static destructors.
+  static MetricsRegistry& registry = *new MetricsRegistry();
+  return registry;
+}
+
+MetricCounter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<MetricCounter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<MetricHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json(indent);
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name).Value(counter->value());
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json.Key(name).BeginObject();
+    json.Key("count").Value(histogram->count());
+    json.Key("sum").Value(histogram->sum());
+    json.Key("min").Value(histogram->min());
+    json.Key("max").Value(histogram->max());
+    json.Key("p50").Value(histogram->Quantile(0.50));
+    json.Key("p95").Value(histogram->Quantile(0.95));
+    json.Key("p99").Value(histogram->Quantile(0.99));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace rdfopt

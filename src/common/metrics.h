@@ -1,0 +1,106 @@
+#ifndef RDFOPT_COMMON_METRICS_H_
+#define RDFOPT_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace rdfopt {
+
+/// Process-wide named counters and histograms (see DESIGN.md
+/// "Observability"). Unlike a TraceSession — one span tree per query —
+/// the registry accumulates across queries: `engine.union_terms`,
+/// `optimizer.covers_examined`, the `engine.evaluate_ms` latency histogram
+/// with p50/p95/p99, etc.
+///
+/// Instruments are created on first use and never deleted, so call sites
+/// cache the pointer in a function-local static:
+///
+///   static MetricCounter* terms =
+///       MetricsRegistry::Global().GetCounter("engine.union_terms");
+///   terms->Add(n);
+///
+/// Counters are lock-free; histogram observation takes a short mutex.
+/// `Reset()` zeroes every instrument in place (for tests and the shell).
+
+class MetricCounter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket exponential histogram for non-negative samples (latencies in
+/// ms, row counts). Bucket i holds samples in (bound(i-1), bound(i)] with
+/// bound(i) = 0.001 * 2^i, covering ~1µs .. ~10^16; quantiles interpolate
+/// within the winning bucket and are clamped to the exact observed min/max.
+class MetricHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Observe(double value);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Estimated q-quantile (q in [0,1]); 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  static size_t BucketIndex(double value);
+  static double BucketUpperBound(size_t index);
+
+  mutable std::mutex mu_;
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the pipeline reports into.
+  static MetricsRegistry& Global();
+
+  /// Returns the named instrument, creating it on first use. Pointers are
+  /// stable for the registry's lifetime.
+  MetricCounter* GetCounter(std::string_view name);
+  MetricHistogram* GetHistogram(std::string_view name);
+
+  /// Snapshot: {"counters":{name:value,...},"histograms":{name:{count,sum,
+  /// min,max,p50,p95,p99},...}} with names in sorted order. `indent` > 0
+  /// pretty-prints.
+  std::string ToJson(int indent = 0) const;
+
+  /// Zeroes every registered instrument (instruments stay registered, so
+  /// cached pointers remain valid). For tests and the shell's baseline.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<MetricCounter>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_COMMON_METRICS_H_

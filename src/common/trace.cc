@@ -1,0 +1,198 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/json_writer.h"
+
+namespace rdfopt {
+
+namespace {
+thread_local TraceSession* g_current_session = nullptr;
+
+std::string FormatNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string FormatNumber(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+}  // namespace
+
+const TraceSpanRecord::Attribute* TraceSpanRecord::FindAttribute(
+    std::string_view key) const {
+  for (const Attribute& attr : attributes) {
+    if (attr.key == key) return &attr;
+  }
+  return nullptr;
+}
+
+TraceSession* TraceSession::Current() { return g_current_session; }
+
+TraceSession* TraceSession::Install(TraceSession* session) {
+  TraceSession* previous = g_current_session;
+  g_current_session = session;
+  return previous;
+}
+
+void TraceSession::Clear() {
+  spans_.clear();
+  open_stack_.clear();
+  dropped_ = 0;
+  clock_.Restart();
+}
+
+const TraceSpanRecord* TraceSession::FindSpan(std::string_view name) const {
+  for (const TraceSpanRecord& span : spans_) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+int TraceSession::OpenSpan(const char* name) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return -1;
+  }
+  TraceSpanRecord span;
+  span.name = name;
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.depth = span.parent < 0
+                   ? 0
+                   : spans_[static_cast<size_t>(span.parent)].depth + 1;
+  span.start_ms = clock_.ElapsedMillis();
+  span.open = true;
+  int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(index);
+  return index;
+}
+
+void TraceSession::CloseSpan(int index) {
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
+  TraceSpanRecord& span = spans_[static_cast<size_t>(index)];
+  span.duration_ms = clock_.ElapsedMillis() - span.start_ms;
+  span.open = false;
+  // RAII destruction order makes `index` the top of the stack; tolerate
+  // out-of-order closes (e.g. a span outliving a Clear()) by unwinding.
+  while (!open_stack_.empty()) {
+    int top = open_stack_.back();
+    open_stack_.pop_back();
+    if (top == index) break;
+  }
+}
+
+void TraceSession::AddAttribute(int index, std::string_view key,
+                                std::string value, bool numeric) {
+  if (index < 0 || static_cast<size_t>(index) >= spans_.size()) return;
+  spans_[static_cast<size_t>(index)].attributes.push_back(
+      {std::string(key), std::move(value), numeric});
+}
+
+void TraceSpan::Attr(std::string_view key, double value) {
+  if (active()) {
+    // Non-finite values (e.g. the +inf cost of an infeasible cover) are not
+    // representable as JSON numbers; store them as strings.
+    session_->AddAttribute(index_, key, FormatNumber(value),
+                           std::isfinite(value));
+  }
+}
+
+void TraceSpan::Attr(std::string_view key, uint64_t value) {
+  if (active()) {
+    session_->AddAttribute(index_, key, FormatNumber(value), true);
+  }
+}
+
+std::string TraceSession::ToString(size_t max_lines) const {
+  std::string out;
+  size_t lines = 0;
+  for (const TraceSpanRecord& span : spans_) {
+    if (max_lines > 0 && lines >= max_lines) {
+      out += "  ... (" + FormatNumber(uint64_t{spans_.size() - lines}) +
+             " more spans)\n";
+      break;
+    }
+    out.append(static_cast<size_t>(span.depth) * 2, ' ');
+    out += span.name;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "  %.3f ms", span.duration_ms);
+    out += buf;
+    if (span.open) out += " (open)";
+    for (const TraceSpanRecord::Attribute& attr : span.attributes) {
+      out += "  ";
+      out += attr.key;
+      out += '=';
+      out += attr.value;
+    }
+    out += '\n';
+    ++lines;
+  }
+  if (dropped_ > 0) {
+    out += "  (" + FormatNumber(uint64_t{dropped_}) +
+           " spans dropped at the session cap)\n";
+  }
+  return out;
+}
+
+namespace {
+void WriteSpanJson(const std::vector<TraceSpanRecord>& spans,
+                   const std::vector<std::vector<int>>& children, int index,
+                   JsonWriter* json) {
+  const TraceSpanRecord& span = spans[static_cast<size_t>(index)];
+  json->BeginObject();
+  json->Key("name").Value(std::string_view(span.name));
+  json->Key("start_ms").Value(span.start_ms);
+  json->Key("duration_ms").Value(span.duration_ms);
+  if (span.open) json->Key("open").Value(true);
+  if (!span.attributes.empty()) {
+    json->Key("attributes").BeginObject();
+    for (const TraceSpanRecord::Attribute& attr : span.attributes) {
+      json->Key(attr.key);
+      if (attr.numeric) {
+        json->Raw(attr.value);
+      } else {
+        json->Value(std::string_view(attr.value));
+      }
+    }
+    json->EndObject();
+  }
+  if (!children[static_cast<size_t>(index)].empty()) {
+    json->Key("children").BeginArray();
+    for (int child : children[static_cast<size_t>(index)]) {
+      WriteSpanJson(spans, children, child, json);
+    }
+    json->EndArray();
+  }
+  json->EndObject();
+}
+}  // namespace
+
+std::string TraceSession::ToJson() const {
+  std::vector<std::vector<int>> children(spans_.size());
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[static_cast<size_t>(spans_[i].parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("spans").BeginArray();
+  for (int root : roots) WriteSpanJson(spans_, children, root, &json);
+  json.EndArray();
+  json.Key("dropped_spans").Value(uint64_t{dropped_});
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,149 @@
+#ifndef RDFOPT_COMMON_TRACE_H_
+#define RDFOPT_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace rdfopt {
+
+/// Per-query tracing for the answering pipeline (see DESIGN.md
+/// "Observability"). A `TraceSession` collects a tree of timed spans —
+/// parse → minimize → cover-search → reformulate → evaluate, with
+/// per-cover-candidate and per-operator children — each carrying key/value
+/// attributes (row counters, estimated vs. actual costs).
+///
+/// Instrumented code opens spans through the RAII `TraceSpan`, which reads
+/// the thread-local current session. When no session is installed the span
+/// constructor is a single pointer load and branch, and attributes are never
+/// formatted: tracing is zero-cost when off. Sessions are single-threaded —
+/// install one per thread that answers queries.
+
+/// One recorded span. Spans are stored flat in open order; the tree is
+/// encoded by `parent` (index into the session's span vector, -1 for roots).
+struct TraceSpanRecord {
+  struct Attribute {
+    std::string key;
+    std::string value;
+    /// True when `value` is the textual form of a number (emitted unquoted
+    /// in JSON).
+    bool numeric = false;
+  };
+
+  std::string name;
+  int parent = -1;
+  int depth = 0;
+  double start_ms = 0.0;     ///< Offset from the session clock's start.
+  double duration_ms = 0.0;  ///< Filled when the span closes.
+  bool open = false;         ///< Still running (unclosed at export time).
+  std::vector<Attribute> attributes;
+
+  const Attribute* FindAttribute(std::string_view key) const;
+};
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The session receiving this thread's spans; null when tracing is off.
+  static TraceSession* Current();
+  /// Installs `session` (null uninstalls) and returns the previous one.
+  static TraceSession* Install(TraceSession* session);
+
+  /// Drops all recorded spans and restarts the session clock; call between
+  /// queries to get one tree per query.
+  void Clear();
+
+  const std::vector<TraceSpanRecord>& spans() const { return spans_; }
+  /// First span with `name`, or null (test/inspection convenience).
+  const TraceSpanRecord* FindSpan(std::string_view name) const;
+
+  /// Spans not recorded because the session hit `max_spans` (their children
+  /// attach to the nearest recorded ancestor).
+  size_t dropped_spans() const { return dropped_; }
+  void set_max_spans(size_t max_spans) { max_spans_ = max_spans; }
+
+  /// Indented tree, one span per line: name, duration, attributes. With
+  /// `max_lines` > 0 the output is truncated with an elision marker.
+  std::string ToString(size_t max_lines = 0) const;
+  /// Nested JSON: {"spans":[{"name":...,"duration_ms":...,"attributes":{...},
+  /// "children":[...]}],"dropped_spans":N}.
+  std::string ToJson() const;
+
+  // Internals used by TraceSpan; not part of the instrumentation API.
+  int OpenSpan(const char* name);
+  void CloseSpan(int index);
+  void AddAttribute(int index, std::string_view key, std::string value,
+                    bool numeric);
+
+ private:
+  Stopwatch clock_;
+  std::vector<TraceSpanRecord> spans_;
+  std::vector<int> open_stack_;
+  size_t max_spans_ = 50'000;
+  size_t dropped_ = 0;
+};
+
+/// RAII span handle. Constructing one on a thread with no installed session
+/// records nothing and costs one thread-local read.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : session_(TraceSession::Current()) {
+    if (session_ != nullptr) index_ = session_->OpenSpan(name);
+  }
+  ~TraceSpan() {
+    if (session_ != nullptr && index_ >= 0) session_->CloseSpan(index_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// True when the span is being recorded; guard attribute computations
+  /// that themselves allocate (e.g. building a cover key string).
+  bool active() const { return session_ != nullptr && index_ >= 0; }
+
+  void Attr(std::string_view key, std::string_view value) {
+    if (active()) {
+      session_->AddAttribute(index_, key, std::string(value), false);
+    }
+  }
+  void Attr(std::string_view key, const char* value) {
+    Attr(key, std::string_view(value));
+  }
+  void Attr(std::string_view key, double value);
+  void Attr(std::string_view key, uint64_t value);  // Also size_t.
+  void Attr(std::string_view key, int value) {
+    Attr(key, static_cast<uint64_t>(value < 0 ? 0 : value));
+  }
+  void Attr(std::string_view key, bool value) {
+    if (active()) {
+      session_->AddAttribute(index_, key, value ? "true" : "false", true);
+    }
+  }
+
+ private:
+  TraceSession* session_;
+  int index_ = -1;
+};
+
+/// Installs a session for the current scope and restores the previous one on
+/// exit (shell `.trace on`, bench --json runs, tests).
+class ScopedTraceSession {
+ public:
+  explicit ScopedTraceSession(TraceSession* session)
+      : previous_(TraceSession::Install(session)) {}
+  ~ScopedTraceSession() { TraceSession::Install(previous_); }
+  ScopedTraceSession(const ScopedTraceSession&) = delete;
+  ScopedTraceSession& operator=(const ScopedTraceSession&) = delete;
+
+ private:
+  TraceSession* previous_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_COMMON_TRACE_H_

@@ -4,9 +4,42 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "engine/operators.h"
 
 namespace rdfopt {
+
+namespace {
+/// Registry epilogue of one Evaluate* call: the counter deltas it produced
+/// plus its latency observation. `before` is the caller-supplied struct's
+/// state at entry (callers may pass an accumulating EvalMetrics).
+void RecordEngineMetrics(const EvalMetrics& after, const EvalMetrics& before) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static MetricCounter* evaluations =
+      registry.GetCounter("engine.evaluations");
+  static MetricCounter* rows_scanned =
+      registry.GetCounter("engine.rows_scanned");
+  static MetricCounter* join_input_rows =
+      registry.GetCounter("engine.join_input_rows");
+  static MetricCounter* union_terms =
+      registry.GetCounter("engine.union_terms");
+  static MetricCounter* rows_materialized =
+      registry.GetCounter("engine.rows_materialized");
+  static MetricCounter* duplicates_removed =
+      registry.GetCounter("engine.duplicates_removed");
+  static MetricHistogram* evaluate_ms =
+      registry.GetHistogram("engine.evaluate_ms");
+  evaluations->Increment();
+  rows_scanned->Add(after.rows_scanned - before.rows_scanned);
+  join_input_rows->Add(after.join_input_rows - before.join_input_rows);
+  union_terms->Add(after.union_terms - before.union_terms);
+  rows_materialized->Add(after.rows_materialized - before.rows_materialized);
+  duplicates_removed->Add(after.duplicates_removed -
+                          before.duplicates_removed);
+  evaluate_ms->Observe(after.elapsed_ms - before.elapsed_ms);
+}
+}  // namespace
 
 Status Evaluator::CheckTimeout(const Exec& exec) const {
   if (exec.timer.ElapsedSeconds() > profile_->timeout_seconds) {
@@ -114,11 +147,14 @@ Result<Relation> Evaluator::RunCQ(const ConjunctiveQuery& cq,
     RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
     const TriplePattern& atom = body.atoms[idx];
     if (first) {
+      TraceSpan span("op.scan");
       size_t scan_size = ScanAtomInputSize(*store_, atom);
       exec->metrics->rows_scanned += scan_size;
       SpinFor(profile_->tuple_us_per_row * static_cast<double>(scan_size));
       acc = ScanAtom(*store_, atom);
       first = false;
+      span.Attr("rows_scanned", scan_size);
+      span.Attr("output_rows", acc.num_rows());
     } else {
       // Join strategy: index nested loop when the accumulated side is much
       // smaller than the atom's scan and binds at least one of its
@@ -129,19 +165,27 @@ Result<Relation> Evaluator::RunCQ(const ConjunctiveQuery& cq,
           (atom.p.is_var() && acc.ColumnIndex(atom.p.var()) >= 0) ||
           (atom.o.is_var() && acc.ColumnIndex(atom.o.var()) >= 0);
       if (binds_position && acc.num_rows() * 8 < scan_size) {
+        TraceSpan span("op.index_join");
         size_t probed = 0;
         size_t driving = acc.num_rows();
         acc = IndexJoinAtom(*store_, acc, atom, &probed);
         exec->metrics->join_input_rows += driving + probed;
         SpinFor(profile_->tuple_us_per_row *
                 static_cast<double>(driving + probed));
+        span.Attr("join_input_rows", driving + probed);
+        span.Attr("output_rows", acc.num_rows());
       } else {
+        TraceSpan span("op.hash_join");
         exec->metrics->rows_scanned += scan_size;
         Relation scanned = ScanAtom(*store_, atom);
         exec->metrics->join_input_rows += acc.num_rows() + scanned.num_rows();
         SpinFor(profile_->tuple_us_per_row *
                 static_cast<double>(acc.num_rows() + scanned.num_rows()));
+        size_t inputs = acc.num_rows() + scanned.num_rows();
         acc = HashJoin(acc, scanned);
+        span.Attr("rows_scanned", scan_size);
+        span.Attr("join_input_rows", inputs);
+        span.Attr("output_rows", acc.num_rows());
       }
     }
     if (acc.num_rows() == 0) break;
@@ -155,6 +199,13 @@ Result<Relation> Evaluator::RunCQ(const ConjunctiveQuery& cq,
 }
 
 Result<Relation> Evaluator::RunUCQ(const UnionQuery& ucq, Exec* exec) const {
+  // Per-component UCQ span: its counter attributes are the deltas this
+  // component contributed, so per-span accounting rolls up exactly into the
+  // lump-sum EvalMetrics the caller receives.
+  TraceSpan span("engine.ucq");
+  EvalMetrics before;
+  if (span.active()) before = *exec->metrics;
+
   if (ucq.disjuncts.size() > profile_->max_union_terms) {
     return Status::QueryTooComplex(
         "UCQ has " + std::to_string(ucq.disjuncts.size()) +
@@ -176,6 +227,16 @@ Result<Relation> Evaluator::RunUCQ(const UnionQuery& ucq, Exec* exec) const {
     UnionInto(&acc, rel, disjunct.head_bindings);
   }
   exec->metrics->duplicates_removed += acc.Deduplicate();
+  if (span.active()) {
+    const EvalMetrics& m = *exec->metrics;
+    span.Attr("union_terms", ucq.disjuncts.size());
+    span.Attr("rows_scanned", m.rows_scanned - before.rows_scanned);
+    span.Attr("join_input_rows",
+              m.join_input_rows - before.join_input_rows);
+    span.Attr("duplicates_removed",
+              m.duplicates_removed - before.duplicates_removed);
+    span.Attr("output_rows", acc.num_rows());
+  }
   return acc;
 }
 
@@ -184,10 +245,12 @@ Result<Relation> Evaluator::EvaluateCQ(const ConjunctiveQuery& cq,
   EvalMetrics scratch;
   Exec exec;
   exec.metrics = metrics != nullptr ? metrics : &scratch;
+  const EvalMetrics before = *exec.metrics;
   RDFOPT_ASSIGN_OR_RETURN(Relation full, RunCQ(cq, &exec));
   Relation out = ProjectWithBindings(full, cq.head, cq.head_bindings);
   exec.metrics->duplicates_removed += out.Deduplicate();
   exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  RecordEngineMetrics(*exec.metrics, before);
   return out;
 }
 
@@ -196,8 +259,10 @@ Result<Relation> Evaluator::EvaluateUCQ(const UnionQuery& ucq,
   EvalMetrics scratch;
   Exec exec;
   exec.metrics = metrics != nullptr ? metrics : &scratch;
+  const EvalMetrics before = *exec.metrics;
   RDFOPT_ASSIGN_OR_RETURN(Relation out, RunUCQ(ucq, &exec));
   exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  RecordEngineMetrics(*exec.metrics, before);
   return out;
 }
 
@@ -206,6 +271,9 @@ Result<Relation> Evaluator::EvaluateJUCQ(const JoinOfUnions& jucq,
   EvalMetrics scratch;
   Exec exec;
   exec.metrics = metrics != nullptr ? metrics : &scratch;
+  const EvalMetrics before = *exec.metrics;
+  TraceSpan span("engine.jucq");
+  span.Attr("components", jucq.components.size());
 
   std::vector<Relation> components;
   components.reserve(jucq.components.size());
@@ -225,6 +293,8 @@ Result<Relation> Evaluator::EvaluateJUCQ(const JoinOfUnions& jucq,
     }
     for (size_t i = 0; i < components.size(); ++i) {
       if (i == largest) continue;
+      TraceSpan mat_span("engine.materialize");
+      mat_span.Attr("rows_materialized", components[i].num_rows());
       RDFOPT_RETURN_NOT_OK(ChargeMaterialization(components[i], &exec));
     }
   }
@@ -259,17 +329,30 @@ Result<Relation> Evaluator::EvaluateJUCQ(const JoinOfUnions& jucq,
   Relation acc = std::move(components[first]);
   for (size_t step = 1; step < components.size(); ++step) {
     RDFOPT_RETURN_NOT_OK(CheckTimeout(exec));
+    TraceSpan join_span("engine.join");
     size_t next = pick(&acc);
     used[next] = true;
     size_t inputs = acc.num_rows() + components[next].num_rows();
     exec.metrics->join_input_rows += inputs;
     SpinFor(profile_->tuple_us_per_row * static_cast<double>(inputs));
     acc = HashJoin(acc, components[next]);
+    join_span.Attr("join_input_rows", inputs);
+    join_span.Attr("output_rows", acc.num_rows());
   }
 
   Relation out = ProjectWithBindings(acc, jucq.head, {});
   exec.metrics->duplicates_removed += out.Deduplicate();
   exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  if (span.active()) {
+    const EvalMetrics& m = *exec.metrics;
+    span.Attr("union_terms", m.union_terms - before.union_terms);
+    span.Attr("rows_materialized",
+              m.rows_materialized - before.rows_materialized);
+    span.Attr("duplicates_removed",
+              m.duplicates_removed - before.duplicates_removed);
+    span.Attr("output_rows", out.num_rows());
+  }
+  RecordEngineMetrics(*exec.metrics, before);
   return out;
 }
 

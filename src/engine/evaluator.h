@@ -15,6 +15,12 @@ namespace rdfopt {
 
 /// Counters reported by one query evaluation; the observable behaviour the
 /// engine profiles differentiate and the calibration harness fits against.
+///
+/// These are the lump-sum roll-ups of the per-span counters the evaluator
+/// records when tracing is on (common/trace.h): every engine.ucq /
+/// op.* span carries the deltas it contributed, and their sum is exactly
+/// this struct. `elapsed_ms` is the authoritative engine-measured
+/// evaluation time; AnswerOutcome::evaluate_ms is derived from it.
 struct EvalMetrics {
   size_t rows_scanned = 0;        ///< Index entries read by atom scans.
   size_t join_input_rows = 0;     ///< Total rows fed into join operators.

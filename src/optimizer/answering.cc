@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "optimizer/gcov.h"
 #include "reformulation/minimize.h"
 #include "reformulation/subsumption.h"
@@ -12,6 +14,34 @@ namespace rdfopt {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Registry epilogue for one Answer() call (success or failure).
+void RecordAnswerMetrics(const AnswerOutcome* outcome, const Status& status) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static MetricCounter* queries = registry.GetCounter("optimizer.queries");
+  static MetricCounter* errors = registry.GetCounter("optimizer.errors");
+  static MetricCounter* covers =
+      registry.GetCounter("optimizer.covers_examined");
+  static MetricCounter* timeouts =
+      registry.GetCounter("optimizer.search_timeouts");
+  static MetricHistogram* optimize_ms =
+      registry.GetHistogram("optimizer.optimize_ms");
+  static MetricHistogram* reformulate_ms =
+      registry.GetHistogram("optimizer.reformulate_ms");
+  static MetricHistogram* total_ms =
+      registry.GetHistogram("optimizer.total_ms");
+  queries->Increment();
+  if (outcome == nullptr) {
+    (void)status;
+    errors->Increment();
+    return;
+  }
+  covers->Add(outcome->covers_examined);
+  if (outcome->optimizer_timed_out) timeouts->Increment();
+  optimize_ms->Observe(outcome->optimize_ms);
+  reformulate_ms->Observe(outcome->reformulate_ms);
+  total_ms->Observe(outcome->total_ms());
+}
 }  // namespace
 
 std::string_view StrategyName(Strategy strategy) {
@@ -92,6 +122,15 @@ double CachingCoverCostOracle::FragmentCost(const std::vector<int>& fragment) {
 }
 
 double CachingCoverCostOracle::CoverCost(const Cover& cover) {
+  TraceSpan span("cover.candidate");
+  if (span.active()) span.Attr("cover", cover.Key());
+  double cost = CoverCostImpl(cover);
+  span.Attr("est_cost", cost);
+  span.Attr("fragments", cover.fragments.size());
+  return cost;
+}
+
+double CachingCoverCostOracle::CoverCostImpl(const Cover& cover) {
   std::vector<UcqCostInputs> components;
   std::vector<std::pair<double, std::vector<VarId>>> join_inputs;
   components.reserve(cover.fragments.size());
@@ -190,11 +229,15 @@ Result<AnswerOutcome> QueryAnswerer::AnswerBySaturation(
         "saturation strategy requested but no saturated store was provided");
   }
   AnswerOutcome outcome;
-  Stopwatch timer;
-  RDFOPT_ASSIGN_OR_RETURN(
-      outcome.answers, saturated_evaluator_.EvaluateCQ(query.cq,
-                                                       &outcome.eval));
-  outcome.evaluate_ms = timer.ElapsedMillis();
+  {
+    TraceSpan span("answer.evaluate");
+    RDFOPT_ASSIGN_OR_RETURN(
+        outcome.answers, saturated_evaluator_.EvaluateCQ(query.cq,
+                                                         &outcome.eval));
+    span.Attr("rows", outcome.answers.num_rows());
+  }
+  // Derived, not independently timed (see AnswerOutcome::evaluate_ms).
+  outcome.evaluate_ms = outcome.eval.elapsed_ms;
   outcome.union_terms = 1;
   outcome.num_components = 1;
   return outcome;
@@ -208,19 +251,40 @@ Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
 
   Stopwatch reformulate_timer;
   VarTable vars;
-  RDFOPT_ASSIGN_OR_RETURN(
-      JoinOfUnions jucq,
-      oracle->AssembleJucq(cover, &vars, &outcome.pruned_union_terms));
-  outcome.reformulate_ms = reformulate_timer.ElapsedMillis();
-  outcome.num_components = jucq.components.size();
-  for (const UnionQuery& component : jucq.components) {
-    outcome.union_terms += component.size();
+  JoinOfUnions jucq;
+  {
+    TraceSpan span("answer.reformulate");
+    RDFOPT_ASSIGN_OR_RETURN(
+        jucq, oracle->AssembleJucq(cover, &vars,
+                                   &outcome.pruned_union_terms));
+    outcome.reformulate_ms = reformulate_timer.ElapsedMillis();
+    outcome.num_components = jucq.components.size();
+    for (const UnionQuery& component : jucq.components) {
+      outcome.union_terms += component.size();
+    }
+    span.Attr("components", outcome.num_components);
+    span.Attr("union_terms", outcome.union_terms);
+    if (outcome.pruned_union_terms > 0) {
+      span.Attr("pruned_union_terms", outcome.pruned_union_terms);
+    }
   }
 
-  Stopwatch evaluate_timer;
-  RDFOPT_ASSIGN_OR_RETURN(outcome.answers,
-                          evaluator_.EvaluateJUCQ(jucq, &outcome.eval));
-  outcome.evaluate_ms = evaluate_timer.ElapsedMillis();
+  {
+    TraceSpan span("answer.evaluate");
+    if (span.active()) {
+      // Estimated vs. actual: the chosen cover's predicted cost (cached —
+      // the search already computed every fragment) next to the measured
+      // evaluation below. This is the Fig 9 misprediction view per query.
+      span.Attr("est_cost", oracle->CoverCost(cover));
+      span.Attr("cover", cover.Key());
+    }
+    RDFOPT_ASSIGN_OR_RETURN(outcome.answers,
+                            evaluator_.EvaluateJUCQ(jucq, &outcome.eval));
+    span.Attr("actual_ms", outcome.eval.elapsed_ms);
+    span.Attr("rows", outcome.answers.num_rows());
+  }
+  // Derived, not independently timed (see AnswerOutcome::evaluate_ms).
+  outcome.evaluate_ms = outcome.eval.elapsed_ms;
   if (oracle->options().keep_reformulation) {
     outcome.jucq = std::move(jucq);
     outcome.jucq_vars = std::move(vars);
@@ -229,6 +293,28 @@ Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
 }
 
 Result<AnswerOutcome> QueryAnswerer::Answer(
+    const Query& query, const AnswerOptions& options) const {
+  TraceSpan span("answer.query");
+  if (span.active()) {
+    span.Attr("strategy", StrategyName(options.strategy));
+    span.Attr("atoms", query.cq.atoms.size());
+  }
+  Result<AnswerOutcome> result = AnswerImpl(query, options);
+  if (result.ok()) {
+    const AnswerOutcome& outcome = result.ValueOrDie();
+    RecordAnswerMetrics(&outcome, Status::OK());
+    span.Attr("answers", outcome.answers.num_rows());
+    span.Attr("total_ms", outcome.total_ms());
+  } else {
+    RecordAnswerMetrics(nullptr, result.status());
+    if (span.active()) {
+      span.Attr("error", StatusCodeName(result.status().code()));
+    }
+  }
+  return result;
+}
+
+Result<AnswerOutcome> QueryAnswerer::AnswerImpl(
     const Query& query, const AnswerOptions& options) const {
   if (query.cq.atoms.empty()) {
     return Status::InvalidArgument("query has no atoms");
@@ -242,7 +328,9 @@ Result<AnswerOutcome> QueryAnswerer::Answer(
   const Query* effective = &query;
   size_t minimized_atoms = 0;
   if (options.minimize_query) {
+    TraceSpan minimize_span("answer.minimize");
     MinimizationResult m = MinimizeQuery(query.cq, *schema_, *vocab_);
+    minimize_span.Attr("removed_atoms", m.removed_atoms.size());
     if (!m.removed_atoms.empty()) {
       minimized.vars = query.vars;
       minimized.cq = std::move(m.query);
@@ -270,12 +358,21 @@ Result<AnswerOutcome> QueryAnswerer::Answer(
       return AnswerByCover(*effective, ScqCover(n), &oracle, std::move(base));
     case Strategy::kEcov:
     case Strategy::kGcov: {
-      CoverSearchResult search =
-          options.strategy == Strategy::kEcov
-              ? ExhaustiveCoverSearch(effective->cq, &oracle,
-                                      options.optimizer_time_budget_s)
-              : GreedyCoverSearch(effective->cq, &oracle,
-                                  options.optimizer_time_budget_s);
+      CoverSearchResult search;
+      {
+        TraceSpan span("answer.cover_search");
+        search = options.strategy == Strategy::kEcov
+                     ? ExhaustiveCoverSearch(effective->cq, &oracle,
+                                             options.optimizer_time_budget_s)
+                     : GreedyCoverSearch(effective->cq, &oracle,
+                                         options.optimizer_time_budget_s);
+        span.Attr("covers_examined", search.covers_examined);
+        span.Attr("best_cost", search.best_cost);
+        if (search.timed_out) span.Attr("timed_out", true);
+        if (span.active() && !search.best_cover.fragments.empty()) {
+          span.Attr("best_cover", search.best_cover.Key());
+        }
+      }
       if (search.best_cover.fragments.empty()) {
         return Status::Timeout("cover search produced no cover within " +
                                std::to_string(

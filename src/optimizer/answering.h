@@ -67,12 +67,18 @@ struct AnswerOptions {
 /// experiment table/figure.
 struct AnswerOutcome {
   Relation answers{std::vector<VarId>{}};
+  /// Evaluator-measured counters and wall-clock. `eval.elapsed_ms` is the
+  /// *authoritative* evaluation time, measured inside the engine around the
+  /// whole JUCQ evaluation.
   EvalMetrics eval;
   /// Cover selected (for kUcq/kScq: the corresponding fixed cover).
   Cover chosen_cover;
   double optimize_ms = 0.0;     ///< Cover search (zero for fixed strategies).
   double reformulate_ms = 0.0;  ///< Building the final JUCQ's UCQs.
-  double evaluate_ms = 0.0;     ///< Engine evaluation.
+  /// Engine evaluation time. Derived: always equal to `eval.elapsed_ms`
+  /// (kept as a top-level field so the phase split optimize/reformulate/
+  /// evaluate reads uniformly); do not time it independently.
+  double evaluate_ms = 0.0;
   size_t covers_examined = 0;
   bool optimizer_timed_out = false;
   /// Total union terms across the evaluated JUCQ's components.
@@ -118,6 +124,9 @@ class CachingCoverCostOracle : public CoverCostOracle {
                                     size_t* pruned = nullptr);
 
  private:
+  /// CoverCost minus the per-candidate trace span.
+  double CoverCostImpl(const Cover& cover);
+
   struct FragmentEntry {
     bool feasible = false;
     UnionQuery ucq;  // Head = all original variables of the fragment.
@@ -141,6 +150,14 @@ class CachingCoverCostOracle : public CoverCostOracle {
 
 /// The query answering front end of Figure 1: reformulation algorithm +
 /// cover optimizer + evaluation engine behind one call.
+///
+/// Observability: when a TraceSession is installed on the calling thread
+/// (common/trace.h), Answer records a span tree — answer.query with
+/// minimize / cover_search (one cover.candidate child per examined cover,
+/// carrying its estimated cost) / reformulate / evaluate children, the
+/// latter nesting the engine's per-component and per-operator spans — and
+/// every call reports into MetricsRegistry::Global() (optimizer.* counters,
+/// optimizer.*_ms histograms).
 class QueryAnswerer {
  public:
   /// `saturated` may be null if kSaturation is never requested. All pointees
@@ -157,6 +174,10 @@ class QueryAnswerer {
   const CardinalityEstimator& estimator() const { return estimator_; }
 
  private:
+  /// Strategy dispatch; `Answer` wraps it with the query-level trace span
+  /// and the registry metrics epilogue.
+  Result<AnswerOutcome> AnswerImpl(const Query& query,
+                                   const AnswerOptions& options) const;
   Result<AnswerOutcome> AnswerBySaturation(const Query& query) const;
   Result<AnswerOutcome> AnswerByCover(const Query& query, const Cover& cover,
                                       CachingCoverCostOracle* oracle,

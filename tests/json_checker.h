@@ -1,0 +1,186 @@
+#ifndef RDFOPT_TESTS_JSON_CHECKER_H_
+#define RDFOPT_TESTS_JSON_CHECKER_H_
+
+// Minimal strict JSON validator (recursive descent over the RFC 8259
+// grammar) used by the observability tests to check that
+// MetricsRegistry::ToJson / TraceSession::ToJson emit well-formed
+// documents without pulling in a JSON library.
+
+#include <cctype>
+#include <string>
+
+namespace rdfopt::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool Validate(std::string* error) {
+    pos_ = 0;
+    error_.clear();
+    SkipWs();
+    bool ok = ParseValue() && (SkipWs(), pos_ == text_.size());
+    if (!ok && error_.empty()) {
+      error_ = "trailing content at offset " + std::to_string(pos_);
+    }
+    if (!ok && error != nullptr) *error = error_;
+    return ok;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) return Fail("literal");
+    }
+    return true;
+  }
+
+  bool ParseValue() {
+    if (pos_ >= text_.size()) return Fail("value expected");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("':'");
+      ++pos_;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("'}' or ','");
+      if (text_[pos_] == '}') return ++pos_, true;
+      if (text_[pos_] != ',') return Fail("','");
+      ++pos_;
+    }
+  }
+
+  bool ParseArray() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("']' or ','");
+      if (text_[pos_] == ']') return ++pos_, true;
+      if (text_[pos_] != ',') return Fail("','");
+      ++pos_;
+    }
+  }
+
+  bool ParseString() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("'\"'");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') return ++pos_, true;
+      if (c < 0x20) return Fail("unescaped control char");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("escape");
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("\\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape");
+        }
+      }
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("digit");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("fraction digit");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("exponent digit");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+inline bool IsValidJson(const std::string& text, std::string* error = nullptr) {
+  return JsonChecker(text).Validate(error);
+}
+
+}  // namespace rdfopt::testing
+
+#endif  // RDFOPT_TESTS_JSON_CHECKER_H_

@@ -1,0 +1,148 @@
+#include "common/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_checker.h"
+
+namespace rdfopt {
+namespace {
+
+using rdfopt::testing::IsValidJson;
+
+TEST(MetricCounterTest, AddIncrementValueReset) {
+  MetricCounter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add(5);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 6u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricCounterTest, ConcurrentAddsDoNotLoseUpdates) {
+  MetricCounter counter;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricHistogramTest, EmptyHistogramIsZero) {
+  MetricHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(MetricHistogramTest, CountSumMinMaxAreExact) {
+  MetricHistogram h;
+  h.Observe(2.0);
+  h.Observe(8.0);
+  h.Observe(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(MetricHistogramTest, QuantilesAreOrderedAndBounded) {
+  MetricHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  double p50 = h.Quantile(0.50);
+  double p95 = h.Quantile(0.95);
+  double p99 = h.Quantile(0.99);
+  // The exponential buckets are coarse, so only assert ordering plus loose
+  // bounds around the true quantiles (50, 95, 99 of uniform 1..100).
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 70.0);
+  EXPECT_GE(p95, 50.0);
+  EXPECT_LE(p99, 100.0);  // Clamped to the observed max.
+  EXPECT_GE(h.Quantile(0.0), 1.0);  // Clamped to the observed min.
+  EXPECT_LE(h.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(MetricHistogramTest, SingleSampleQuantilesCollapse) {
+  MetricHistogram h;
+  h.Observe(3.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.25);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 3.25);
+}
+
+TEST(MetricHistogramTest, ResetClears) {
+  MetricHistogram h;
+  h.Observe(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
+  MetricsRegistry registry;
+  MetricCounter* a = registry.GetCounter("test.counter");
+  MetricCounter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  MetricHistogram* ha = registry.GetHistogram("test.histogram");
+  MetricHistogram* hb = registry.GetHistogram("test.histogram");
+  EXPECT_EQ(ha, hb);
+  // Pointers survive Reset (instruments are zeroed in place).
+  a->Add(3);
+  registry.Reset();
+  EXPECT_EQ(a, registry.GetCounter("test.counter"));
+  EXPECT_EQ(a->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsValidAndContainsInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("optimizer.queries")->Add(7);
+  MetricHistogram* h = registry.GetHistogram("engine.evaluate_ms");
+  h->Observe(1.5);
+  h->Observe(4.0);
+
+  std::string compact = registry.ToJson();
+  std::string error;
+  ASSERT_TRUE(IsValidJson(compact, &error)) << error << "\n" << compact;
+  EXPECT_NE(compact.find("\"optimizer.queries\":7"), std::string::npos);
+  EXPECT_NE(compact.find("\"engine.evaluate_ms\""), std::string::npos);
+  EXPECT_NE(compact.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(compact.find("\"p95\""), std::string::npos);
+
+  std::string pretty = registry.ToJson(/*indent=*/2);
+  ASSERT_TRUE(IsValidJson(pretty, &error)) << error << "\n" << pretty;
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryToJsonIsValid) {
+  MetricsRegistry registry;
+  std::string error;
+  EXPECT_TRUE(IsValidJson(registry.ToJson(), &error)) << error;
+  EXPECT_TRUE(IsValidJson(registry.ToJson(/*indent=*/2), &error)) << error;
+}
+
+TEST(MetricsRegistryTest, GlobalToJsonIsValid) {
+  // Other tests in the process may already have reported into the global
+  // registry; whatever its contents, the snapshot must be well-formed.
+  MetricsRegistry::Global().GetCounter("test.global_probe")->Increment();
+  std::string error;
+  std::string json = MetricsRegistry::Global().ToJson();
+  EXPECT_TRUE(IsValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("test.global_probe"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,0 +1,342 @@
+#include "common/trace.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "json_checker.h"
+#include "optimizer/answering.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+namespace rdfopt {
+namespace {
+
+using rdfopt::testing::IsValidJson;
+
+TEST(TraceSpanTest, NoSessionMeansNoRecordingAndNoCrash) {
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.active());
+  // Attributes on an inactive span are discarded without formatting.
+  span.Attr("key", "value");
+  span.Attr("cost", 1.5);
+  span.Attr("rows", uint64_t{42});
+  span.Attr("flag", true);
+}
+
+TEST(TraceSpanTest, SpansNestByConstructionOrder) {
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  {
+    TraceSpan outer("outer");
+    ASSERT_TRUE(outer.active());
+    {
+      TraceSpan middle("middle");
+      TraceSpan inner("inner");
+      (void)middle;
+      (void)inner;
+    }
+    TraceSpan sibling("sibling");
+    (void)sibling;
+  }
+  ASSERT_EQ(session.spans().size(), 4u);
+  const TraceSpanRecord& outer = session.spans()[0];
+  const TraceSpanRecord& middle = session.spans()[1];
+  const TraceSpanRecord& inner = session.spans()[2];
+  const TraceSpanRecord& sibling = session.spans()[3];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, -1);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(middle.parent, 0);
+  EXPECT_EQ(middle.depth, 1);
+  EXPECT_EQ(inner.parent, 1);
+  EXPECT_EQ(inner.depth, 2);
+  EXPECT_EQ(sibling.parent, 0);
+  EXPECT_EQ(sibling.depth, 1);
+  for (const TraceSpanRecord& span : session.spans()) {
+    EXPECT_FALSE(span.open);
+    EXPECT_GE(span.duration_ms, 0.0);
+    EXPECT_GE(span.start_ms, 0.0);
+  }
+  // Children start after and end before their parent closes.
+  EXPECT_GE(inner.start_ms, outer.start_ms);
+  EXPECT_LE(inner.start_ms + inner.duration_ms,
+            outer.start_ms + outer.duration_ms + 1e-6);
+}
+
+TEST(TraceSpanTest, AttributesAreRecordedWithNumericTags) {
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  {
+    TraceSpan span("attrs");
+    span.Attr("label", "hello");
+    span.Attr("cost", 12.5);
+    span.Attr("rows", uint64_t{7});
+    span.Attr("flag", true);
+  }
+  const TraceSpanRecord* span = session.FindSpan("attrs");
+  ASSERT_NE(span, nullptr);
+  ASSERT_EQ(span->attributes.size(), 4u);
+  const TraceSpanRecord::Attribute* label = span->FindAttribute("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->value, "hello");
+  EXPECT_FALSE(label->numeric);
+  const TraceSpanRecord::Attribute* cost = span->FindAttribute("cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->value, "12.5");
+  EXPECT_TRUE(cost->numeric);
+  const TraceSpanRecord::Attribute* rows = span->FindAttribute("rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->value, "7");
+  EXPECT_TRUE(rows->numeric);
+  EXPECT_EQ(span->FindAttribute("missing"), nullptr);
+}
+
+TEST(TraceSpanTest, NonFiniteAttributesStayValidJson) {
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  {
+    TraceSpan span("inf");
+    span.Attr("cost", std::numeric_limits<double>::infinity());
+  }
+  const TraceSpanRecord* span = session.FindSpan("inf");
+  ASSERT_NE(span, nullptr);
+  EXPECT_FALSE(span->attributes[0].numeric);  // Quoted, not a bare `inf`.
+  std::string error;
+  EXPECT_TRUE(IsValidJson(session.ToJson(), &error)) << error;
+}
+
+TEST(TraceSessionTest, SpanCapDropsButKeepsCounting) {
+  TraceSession session;
+  session.set_max_spans(2);
+  ScopedTraceSession scoped(&session);
+  {
+    TraceSpan a("a");
+    TraceSpan b("b");
+    TraceSpan c("c");  // Dropped.
+    EXPECT_TRUE(a.active());
+    EXPECT_TRUE(b.active());
+    EXPECT_FALSE(c.active());
+    c.Attr("ignored", uint64_t{1});
+  }
+  EXPECT_EQ(session.spans().size(), 2u);
+  EXPECT_EQ(session.dropped_spans(), 1u);
+  EXPECT_NE(session.ToString().find("dropped"), std::string::npos);
+}
+
+TEST(TraceSessionTest, ClearResetsSpansAndClock) {
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  { TraceSpan span("first"); }
+  ASSERT_EQ(session.spans().size(), 1u);
+  session.Clear();
+  EXPECT_TRUE(session.spans().empty());
+  EXPECT_EQ(session.dropped_spans(), 0u);
+  { TraceSpan span("second"); }
+  ASSERT_EQ(session.spans().size(), 1u);
+  EXPECT_EQ(session.spans()[0].name, "second");
+  EXPECT_EQ(session.spans()[0].parent, -1);
+}
+
+TEST(TraceSessionTest, InstallReturnsPreviousAndScopedRestores) {
+  TraceSession a;
+  TraceSession b;
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+  {
+    ScopedTraceSession scope_a(&a);
+    EXPECT_EQ(TraceSession::Current(), &a);
+    {
+      ScopedTraceSession scope_b(&b);
+      EXPECT_EQ(TraceSession::Current(), &b);
+    }
+    EXPECT_EQ(TraceSession::Current(), &a);
+  }
+  EXPECT_EQ(TraceSession::Current(), nullptr);
+}
+
+TEST(TraceSessionTest, ToStringIndentsAndTruncates) {
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+    (void)outer;
+    (void)inner;
+  }
+  std::string tree = session.ToString();
+  EXPECT_NE(tree.find("outer"), std::string::npos);
+  EXPECT_NE(tree.find("\n  inner"), std::string::npos);  // One level in.
+  std::string truncated = session.ToString(/*max_lines=*/1);
+  EXPECT_NE(truncated.find("more spans"), std::string::npos);
+}
+
+TEST(TraceSessionTest, ToJsonIsValidAndNested) {
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  {
+    TraceSpan outer("outer");
+    outer.Attr("note", "quote\"and\\slash\n");
+    TraceSpan inner("inner");
+    inner.Attr("rows", uint64_t{3});
+  }
+  std::string json = session.ToJson();
+  std::string error;
+  EXPECT_TRUE(IsValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+// Cross-strategy observability: the same query answered through UCQ, SCQ
+// and GCov must produce identical answers, and every outcome's rolled-up
+// EvalMetrics must stay internally consistent with the outcome-level
+// accounting and the global metrics registry.
+class CrossStrategyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph();
+    LubmOptions options;
+    options.num_universities = 1;
+    GenerateLubm(options, graph_);
+    graph_->FinalizeSchema();
+    store_ = new TripleStore(TripleStore::Build(graph_->data_triples()));
+    SaturationResult sat =
+        Saturate(*store_, graph_->schema(), graph_->vocab());
+    saturated_ = new TripleStore(std::move(sat.store));
+    stats_ = new Statistics(Statistics::Compute(*store_));
+    profile_ = new EngineProfile(PostgresLikeProfile());
+    answerer_ = new QueryAnswerer(store_, saturated_, &graph_->schema(),
+                                  &graph_->vocab(), stats_, profile_);
+  }
+
+  Query MustParse(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &graph_->dict());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.TakeValue();
+  }
+
+  static std::set<std::vector<ValueId>> RowSet(const Relation& r) {
+    std::set<std::vector<ValueId>> rows;
+    for (size_t i = 0; i < r.num_rows(); ++i) {
+      rows.insert(std::vector<ValueId>(r.row(i).begin(), r.row(i).end()));
+    }
+    return rows;
+  }
+
+  static Graph* graph_;
+  static TripleStore* store_;
+  static TripleStore* saturated_;
+  static Statistics* stats_;
+  static EngineProfile* profile_;
+  static QueryAnswerer* answerer_;
+};
+
+Graph* CrossStrategyTest::graph_ = nullptr;
+TripleStore* CrossStrategyTest::store_ = nullptr;
+TripleStore* CrossStrategyTest::saturated_ = nullptr;
+Statistics* CrossStrategyTest::stats_ = nullptr;
+EngineProfile* CrossStrategyTest::profile_ = nullptr;
+QueryAnswerer* CrossStrategyTest::answerer_ = nullptr;
+
+TEST_F(CrossStrategyTest, StrategiesAgreeAndMetricsStayConsistent) {
+  Query q = MustParse(LubmMotivatingQ1().text);
+  MetricCounter* engine_union_terms =
+      MetricsRegistry::Global().GetCounter("engine.union_terms");
+  MetricCounter* queries =
+      MetricsRegistry::Global().GetCounter("optimizer.queries");
+
+  std::set<std::vector<ValueId>> reference;
+  bool have_reference = false;
+  for (Strategy s : {Strategy::kUcq, Strategy::kScq, Strategy::kGcov}) {
+    AnswerOptions options;
+    options.strategy = s;
+    uint64_t union_terms_before = engine_union_terms->value();
+    uint64_t queries_before = queries->value();
+    Result<AnswerOutcome> r = answerer_->Answer(q, options);
+    ASSERT_TRUE(r.ok()) << StrategyName(s) << ": " << r.status().ToString();
+    const AnswerOutcome& o = r.ValueOrDie();
+
+    // Identical answer sets across strategies.
+    if (!have_reference) {
+      reference = RowSet(o.answers);
+      have_reference = true;
+    } else {
+      EXPECT_EQ(RowSet(o.answers), reference) << StrategyName(s);
+    }
+
+    // Rolled-up EvalMetrics vs. outcome-level accounting: the evaluator
+    // counted exactly the union terms the reformulation assembled, and
+    // evaluate_ms is derived from the authoritative eval.elapsed_ms.
+    EXPECT_EQ(o.eval.union_terms, o.union_terms) << StrategyName(s);
+    EXPECT_DOUBLE_EQ(o.evaluate_ms, o.eval.elapsed_ms) << StrategyName(s);
+    EXPECT_GT(o.eval.rows_scanned + o.eval.join_input_rows, 0u)
+        << StrategyName(s);
+
+    // Registry deltas match the outcome.
+    EXPECT_EQ(engine_union_terms->value() - union_terms_before,
+              o.union_terms)
+        << StrategyName(s);
+    EXPECT_EQ(queries->value() - queries_before, 1u) << StrategyName(s);
+  }
+}
+
+TEST_F(CrossStrategyTest, GcovTraceCarriesPipelinePhasesAndCounters) {
+  Query q = MustParse(LubmMotivatingQ1().text);
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  AnswerOptions options;
+  options.strategy = Strategy::kGcov;
+  Result<AnswerOutcome> r = answerer_->Answer(q, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const AnswerOutcome& o = r.ValueOrDie();
+
+  const TraceSpanRecord* root = session.FindSpan("answer.query");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(root->FindAttribute("strategy"), nullptr);
+  EXPECT_EQ(root->FindAttribute("strategy")->value, "GCov");
+
+  const TraceSpanRecord* search = session.FindSpan("answer.cover_search");
+  ASSERT_NE(search, nullptr);
+  ASSERT_NE(search->FindAttribute("covers_examined"), nullptr);
+  EXPECT_EQ(search->FindAttribute("covers_examined")->value,
+            std::to_string(o.covers_examined));
+  EXPECT_NE(session.FindSpan("cover.candidate"), nullptr);
+  EXPECT_NE(session.FindSpan("answer.reformulate"), nullptr);
+  const TraceSpanRecord* evaluate = session.FindSpan("answer.evaluate");
+  ASSERT_NE(evaluate, nullptr);
+  EXPECT_NE(evaluate->FindAttribute("est_cost"), nullptr);
+  EXPECT_NE(evaluate->FindAttribute("actual_ms"), nullptr);
+  ASSERT_NE(session.FindSpan("engine.jucq"), nullptr);
+
+  // Per-component spans roll up into the lump-sum EvalMetrics: the
+  // engine.ucq spans' union_terms sum to the outcome's count, and there is
+  // one per JUCQ component.
+  size_t component_spans = 0;
+  uint64_t span_union_terms = 0;
+  uint64_t span_rows_scanned = 0;
+  for (const TraceSpanRecord& span : session.spans()) {
+    if (span.name != "engine.ucq") continue;
+    ++component_spans;
+    const TraceSpanRecord::Attribute* terms =
+        span.FindAttribute("union_terms");
+    ASSERT_NE(terms, nullptr);
+    span_union_terms += std::stoull(terms->value);
+    const TraceSpanRecord::Attribute* scanned =
+        span.FindAttribute("rows_scanned");
+    ASSERT_NE(scanned, nullptr);
+    span_rows_scanned += std::stoull(scanned->value);
+  }
+  EXPECT_EQ(component_spans, o.num_components);
+  EXPECT_EQ(span_union_terms, o.union_terms);
+  EXPECT_EQ(span_union_terms, o.eval.union_terms);
+  EXPECT_EQ(span_rows_scanned, o.eval.rows_scanned);
+
+  std::string error;
+  EXPECT_TRUE(IsValidJson(session.ToJson(), &error)) << error;
+}
+
+}  // namespace
+}  // namespace rdfopt
