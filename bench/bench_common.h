@@ -15,7 +15,7 @@
 // Every binary also accepts `--json <path>`: each strategy execution is
 // then traced and appended to <path> as one JSON record
 //   {"query","engine","strategy","ok","answers","total_ms","optimize_ms",
-//    "reformulate_ms","evaluate_ms","union_terms","num_components",
+//    "reformulate_ms","plan_ms","evaluate_ms","union_terms","num_components",
 //    "covers_examined","spans":{...},"metrics":{...}}
 // (the file is a JSON array of records), making the BENCH_*.json
 // trajectories reproducible straight from the harness.
@@ -166,6 +166,7 @@ struct StrategyRun {
   double total_ms = 0.0;
   double optimize_ms = 0.0;
   double reformulate_ms = 0.0;
+  double plan_ms = 0.0;
   double evaluate_ms = 0.0;
   size_t union_terms = 0;
   size_t num_components = 0;
@@ -190,6 +191,7 @@ inline std::string StrategyRunRecord(const std::string& query_name,
   json.Key("total_ms").Value(run.total_ms);
   json.Key("optimize_ms").Value(run.optimize_ms);
   json.Key("reformulate_ms").Value(run.reformulate_ms);
+  json.Key("plan_ms").Value(run.plan_ms);
   json.Key("evaluate_ms").Value(run.evaluate_ms);
   json.Key("union_terms").Value(uint64_t{run.union_terms});
   json.Key("num_components").Value(uint64_t{run.num_components});
@@ -229,6 +231,7 @@ inline StrategyRun RunStrategy(const QueryAnswerer& answerer,
     run.total_ms = o.total_ms();
     run.optimize_ms = o.optimize_ms;
     run.reformulate_ms = o.reformulate_ms;
+    run.plan_ms = o.plan_ms;
     run.evaluate_ms = o.evaluate_ms;
     run.union_terms = o.union_terms;
     run.num_components = o.num_components;

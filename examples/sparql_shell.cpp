@@ -12,7 +12,9 @@
 //   .strategy ucq|scq|ecov|gcov|saturation
 //   .prune on|off          data-aware disjunct pruning
 //   .minimize on|off       constraint-aware query minimization
-//   .explain on|off        print the JUCQ plan before the answers
+//   .explain on|off|analyze  print the physical plan before the answers;
+//                          `analyze` also shows the actual rows each plan
+//                          node produced during execution
 //   .sql on|off            print the SQL deployment of the JUCQ
 //   .trace on|off          print the span tree after each query
 //   .metrics [reset]       dump (or zero) the process metrics registry
@@ -121,6 +123,7 @@ int main(int argc, char** argv) {
 
   AnswerOptions options;
   bool explain = false;
+  bool explain_analyze = false;
   bool emit_sql = false;
   bool trace = false;
   TraceSession trace_session;
@@ -136,9 +139,11 @@ int main(int argc, char** argv) {
       if (op == ".quit" || op == ".exit") break;
       if (op == ".help") {
         std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
-                    "| .subsume on|off | .minimize on|off | .explain on|off "
-                    "| .sql on|off | .trace on|off | .metrics [reset] "
-                    "| .calibrate | .stats | .quit\n");
+                    "| .subsume on|off | .minimize on|off "
+                    "| .explain on|off|analyze | .sql on|off | .trace on|off "
+                    "| .metrics [reset] | .calibrate | .stats | .quit\n"
+                    ".explain analyze prints the executed plan with "
+                    "estimated AND actual rows per node\n");
       } else if (op == ".strategy") {
         if (arg == "ucq") options.strategy = Strategy::kUcq;
         else if (arg == "scq") options.strategy = Strategy::kScq;
@@ -158,9 +163,11 @@ int main(int argc, char** argv) {
         options.prune_subsumed_disjuncts = (arg == "on");
         std::printf("subsume = %s\n", arg == "on" ? "on" : "off");
       } else if (op == ".explain") {
-        explain = (arg == "on");
+        explain = (arg == "on" || arg == "analyze");
+        explain_analyze = (arg == "analyze");
         options.keep_reformulation = explain || emit_sql;
-        std::printf("explain = %s\n", explain ? "on" : "off");
+        std::printf("explain = %s\n",
+                    explain_analyze ? "analyze" : (explain ? "on" : "off"));
       } else if (op == ".sql") {
         emit_sql = (arg == "on");
         options.keep_reformulation = explain || emit_sql;
@@ -244,9 +251,19 @@ int main(int argc, char** argv) {
     const AnswerOutcome& o = outcome.ValueOrDie();
     if (o.jucq.has_value()) {
       if (explain) {
-        std::printf("%s", ExplainJucqPlan(*o.jucq, *o.jucq_vars,
-                                          graph.dict(), estimator, profile)
-                              .c_str());
+        if (o.plan.has_value()) {
+          // The exact plan that was executed: under `analyze` its nodes
+          // carry the actual row counts the run just recorded.
+          ExplainOptions explain_opts;
+          explain_opts.analyze = explain_analyze;
+          std::printf("%s", ExplainPlan(*o.plan, *o.jucq_vars, graph.dict(),
+                                        explain_opts)
+                                .c_str());
+        } else {
+          std::printf("%s", ExplainJucqPlan(*o.jucq, *o.jucq_vars,
+                                            graph.dict(), estimator, profile)
+                                .c_str());
+        }
       }
       if (emit_sql) {
         std::printf("-- SQL deployment over Triples(s,p,o)/Dict(id,value):\n"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "engine/planner.h"
+
 namespace rdfopt {
 
 namespace {
@@ -27,6 +29,9 @@ double CardinalityEstimator::EstimateDistinct(const TriplePattern& atom,
   const bool in_p = atom.p.is_var() && atom.p.var() == v;
   const bool in_o = atom.o.is_var() && atom.o.var() == v;
   if (!in_s && !in_p && !in_o) return 1.0;
+  // Without statistics (an Evaluator's fallback estimator) the scan size is
+  // the only distinct-count bound available.
+  if (stats_ == nullptr) return std::max(1.0, card);
 
   if (!atom.p.is_var()) {
     const PropertyStats ps = stats_->ForProperty(atom.p.value());
@@ -86,34 +91,12 @@ double CardinalityEstimator::EstimateUCQ(const UnionQuery& ucq) const {
 double CardinalityEstimator::EstimateCqPlanWork(
     const ConjunctiveQuery& cq) const {
   if (cq.atoms.empty()) return 0.0;
-  // Greedy order mirroring Evaluator::JoinOrder: cheapest scan first, then
-  // connected atoms by ascending scan size.
   const size_t n = cq.atoms.size();
   std::vector<double> cards(n);
   for (size_t i = 0; i < n; ++i) cards[i] = EstimateAtom(cq.atoms[i]);
-
-  std::vector<bool> used(n, false);
-  std::vector<size_t> order;
-  order.reserve(n);
-  while (order.size() < n) {
-    int best = -1;
-    bool best_connected = false;
-    for (size_t i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      bool connected = order.empty();
-      for (size_t j : order) {
-        connected = connected || cq.atoms[i].SharesVariableWith(cq.atoms[j]);
-      }
-      if (best < 0 || (connected && !best_connected) ||
-          (connected == best_connected &&
-           cards[i] < cards[static_cast<size_t>(best)])) {
-        best = static_cast<int>(i);
-        best_connected = connected;
-      }
-    }
-    used[static_cast<size_t>(best)] = true;
-    order.push_back(static_cast<size_t>(best));
-  }
+  // The engine's greedy order (engine/planner.h) — the plan the work
+  // estimate must follow.
+  const std::vector<size_t> order = GreedyAtomOrder(cq.atoms, cards);
 
   double work = cards[order[0]];
   double inter = cards[order[0]];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -38,6 +39,22 @@ void RecordEngineMetrics(const EvalMetrics& after, const EvalMetrics& before) {
   duplicates_removed->Add(after.duplicates_removed -
                           before.duplicates_removed);
   evaluate_ms->Observe(after.elapsed_ms - before.elapsed_ms);
+}
+
+bool IsConstantAtom(const TriplePattern& atom) {
+  return !atom.s.is_var() && !atom.p.is_var() && !atom.o.is_var();
+}
+
+/// A zero-arity relation with a single (true) row.
+Relation TrueRow() {
+  Relation rel{std::vector<VarId>{}};
+  rel.AppendEmptyRow();
+  return rel;
+}
+
+void NoteResult(PlanNode* node, const Relation& rel) {
+  node->actual_rows = rel.num_rows();
+  node->executed = true;
 }
 }  // namespace
 
@@ -75,347 +92,252 @@ Status Evaluator::ChargeMaterialization(const Relation& rel,
   return Status::OK();
 }
 
-std::vector<size_t> Evaluator::JoinOrder(const ConjunctiveQuery& cq) const {
-  const size_t n = cq.atoms.size();
-  std::vector<size_t> sizes(n);
-  for (size_t i = 0; i < n; ++i) {
-    sizes[i] = ScanAtomInputSize(*store_, cq.atoms[i]);
-  }
-  std::vector<bool> used(n, false);
-  std::vector<size_t> order;
-  order.reserve(n);
-  while (order.size() < n) {
-    int best = -1;
-    bool best_connected = false;
-    for (size_t i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      bool connected = false;
-      for (size_t j : order) {
-        connected |= cq.atoms[i].SharesVariableWith(cq.atoms[j]);
-      }
-      if (order.empty()) connected = true;
-      // Prefer connected atoms; among equals, the smallest scan.
-      if (best < 0 || (connected && !best_connected) ||
-          (connected == best_connected &&
-           sizes[i] < sizes[static_cast<size_t>(best)])) {
-        best = static_cast<int>(i);
-        best_connected = connected;
-      }
+Result<Relation> Evaluator::ExecAtomScan(PlanNode* node, Exec* exec) const {
+  const TriplePattern& atom = node->atom;
+  if (IsConstantAtom(atom)) {
+    // Boolean existence guard: a point lookup, free of charge (neither
+    // metrics nor emulated per-tuple work — the engine folds constant
+    // filters into plan constants).
+    Relation out{std::vector<VarId>{}};
+    if (store_->CountMatches(atom.s.value(), atom.p.value(),
+                             atom.o.value()) > 0) {
+      out.AppendEmptyRow();
     }
-    used[static_cast<size_t>(best)] = true;
-    order.push_back(static_cast<size_t>(best));
-  }
-  return order;
-}
-
-Result<Relation> Evaluator::RunCQ(const ConjunctiveQuery& cq,
-                                  Exec* exec) const {
-  RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
-
-  // All-constant atoms act as boolean filters.
-  bool filtered_out = false;
-  std::vector<const TriplePattern*> var_atoms;
-  for (const TriplePattern& atom : cq.atoms) {
-    if (!atom.s.is_var() && !atom.p.is_var() && !atom.o.is_var()) {
-      if (store_->CountMatches(atom.s.value(), atom.p.value(),
-                               atom.o.value()) == 0) {
-        filtered_out = true;
-      }
-    } else {
-      var_atoms.push_back(&atom);
-    }
-  }
-
-  ConjunctiveQuery body;
-  body.atoms.reserve(var_atoms.size());
-  for (const TriplePattern* a : var_atoms) body.atoms.push_back(*a);
-
-  if (filtered_out || body.atoms.empty()) {
-    // Either a failed filter, or a fully-constant CQ: when all filters pass
-    // and there is no variable atom, the result is one empty (true) row.
-    Relation out{body.atoms.empty() && !filtered_out
-                     ? std::vector<VarId>{}
-                     : body.AllVariables()};
-    if (!filtered_out && body.atoms.empty()) out.AppendEmptyRow();
+    NoteResult(node, out);
     return out;
   }
-
-  std::vector<size_t> order = JoinOrder(body);
-  Relation acc{std::vector<VarId>{}};
-  bool first = true;
-  for (size_t idx : order) {
-    RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
-    const TriplePattern& atom = body.atoms[idx];
-    if (first) {
-      TraceSpan span("op.scan");
-      size_t scan_size = ScanAtomInputSize(*store_, atom);
-      exec->metrics->rows_scanned += scan_size;
-      SpinFor(profile_->tuple_us_per_row * static_cast<double>(scan_size));
-      acc = ScanAtom(*store_, atom);
-      first = false;
-      span.Attr("rows_scanned", scan_size);
-      span.Attr("output_rows", acc.num_rows());
-    } else {
-      // Join strategy: index nested loop when the accumulated side is much
-      // smaller than the atom's scan and binds at least one of its
-      // variables; hash join over a full index scan otherwise.
-      size_t scan_size = ScanAtomInputSize(*store_, atom);
-      bool binds_position =
-          (atom.s.is_var() && acc.ColumnIndex(atom.s.var()) >= 0) ||
-          (atom.p.is_var() && acc.ColumnIndex(atom.p.var()) >= 0) ||
-          (atom.o.is_var() && acc.ColumnIndex(atom.o.var()) >= 0);
-      if (binds_position && acc.num_rows() * 8 < scan_size) {
-        TraceSpan span("op.index_join");
-        size_t probed = 0;
-        size_t driving = acc.num_rows();
-        acc = IndexJoinAtom(*store_, acc, atom, &probed);
-        exec->metrics->join_input_rows += driving + probed;
-        SpinFor(profile_->tuple_us_per_row *
-                static_cast<double>(driving + probed));
-        span.Attr("join_input_rows", driving + probed);
-        span.Attr("output_rows", acc.num_rows());
-      } else {
-        TraceSpan span("op.hash_join");
-        exec->metrics->rows_scanned += scan_size;
-        Relation scanned = ScanAtom(*store_, atom);
-        exec->metrics->join_input_rows += acc.num_rows() + scanned.num_rows();
-        SpinFor(profile_->tuple_us_per_row *
-                static_cast<double>(acc.num_rows() + scanned.num_rows()));
-        size_t inputs = acc.num_rows() + scanned.num_rows();
-        acc = HashJoin(acc, scanned);
-        span.Attr("rows_scanned", scan_size);
-        span.Attr("join_input_rows", inputs);
-        span.Attr("output_rows", acc.num_rows());
-      }
-    }
-    if (acc.num_rows() == 0) break;
+  RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+  TraceSpan span("op.scan");
+  span.Attr("node", node->id);
+  size_t scan_size = ScanAtomInputSize(*store_, atom);
+  exec->metrics->rows_scanned += scan_size;
+  // The pipelined driving scan pays per-tuple executor overhead by itself;
+  // a scan feeding a hash join is charged at the join.
+  if (node->driving_scan) {
+    SpinFor(profile_->tuple_us_per_row * static_cast<double>(scan_size));
   }
-  if (acc.num_rows() == 0) {
-    // Normalize: an empty result still exposes every variable as a column so
-    // downstream projection finds its sources.
-    return Relation{body.AllVariables()};
-  }
-  return acc;
-}
-
-Result<Relation> Evaluator::RunUCQ(const UnionQuery& ucq, Exec* exec) const {
-  // Per-component UCQ span: its counter attributes are the deltas this
-  // component contributed, so per-span accounting rolls up exactly into the
-  // lump-sum EvalMetrics the caller receives.
-  TraceSpan span("engine.ucq");
-  EvalMetrics before;
-  if (span.active()) before = *exec->metrics;
-
-  if (ucq.disjuncts.size() > profile_->max_union_terms) {
-    return Status::QueryTooComplex(
-        "UCQ has " + std::to_string(ucq.disjuncts.size()) +
-        " union terms, over the per-query plan limit of " +
-        std::to_string(profile_->max_union_terms) + " on " + profile_->name);
-  }
-  exec->metrics->union_terms += ucq.disjuncts.size();
-  // Per-union-term plan setup overhead (profile emulation), charged upfront.
-  SpinFor(profile_->union_term_overhead_us *
-          static_cast<double>(ucq.disjuncts.size()));
-
-  Relation acc{std::vector<VarId>(ucq.head)};
-  for (const ConjunctiveQuery& disjunct : ucq.disjuncts) {
-    RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
-    RDFOPT_ASSIGN_OR_RETURN(Relation rel, RunCQ(disjunct, exec));
-    // Per-tuple executor overhead for rows appended to the union.
-    SpinFor(profile_->tuple_us_per_row *
-            static_cast<double>(rel.num_rows()));
-    UnionInto(&acc, rel, disjunct.head_bindings);
-  }
-  exec->metrics->duplicates_removed += acc.Deduplicate();
-  if (span.active()) {
-    const EvalMetrics& m = *exec->metrics;
-    span.Attr("union_terms", ucq.disjuncts.size());
-    span.Attr("rows_scanned", m.rows_scanned - before.rows_scanned);
-    span.Attr("join_input_rows",
-              m.join_input_rows - before.join_input_rows);
-    span.Attr("duplicates_removed",
-              m.duplicates_removed - before.duplicates_removed);
-    span.Attr("output_rows", acc.num_rows());
-  }
-  return acc;
-}
-
-Result<Relation> Evaluator::EvaluateCQ(const ConjunctiveQuery& cq,
-                                       EvalMetrics* metrics) const {
-  EvalMetrics scratch;
-  Exec exec;
-  exec.metrics = metrics != nullptr ? metrics : &scratch;
-  const EvalMetrics before = *exec.metrics;
-  RDFOPT_ASSIGN_OR_RETURN(Relation full, RunCQ(cq, &exec));
-  Relation out = ProjectWithBindings(full, cq.head, cq.head_bindings);
-  exec.metrics->duplicates_removed += out.Deduplicate();
-  exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
-  RecordEngineMetrics(*exec.metrics, before);
+  Relation out = ScanAtom(*store_, atom);
+  span.Attr("rows_scanned", scan_size);
+  span.Attr("output_rows", out.num_rows());
+  NoteResult(node, out);
   return out;
 }
 
-Result<Relation> Evaluator::EvaluateUCQ(const UnionQuery& ucq,
+Result<Relation> Evaluator::ExecIndexJoin(PlanNode* node, Exec* exec) const {
+  RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+  RDFOPT_ASSIGN_OR_RETURN(Relation left, ExecNode(node->children[0].get(),
+                                                  exec));
+  if (left.num_rows() == 0) {
+    // Short-circuit: an empty intermediate ends the chain; the atom is
+    // never probed.
+    Relation out{node->out_columns};
+    NoteResult(node, out);
+    return out;
+  }
+  TraceSpan span("op.index_join");
+  span.Attr("node", node->id);
+  size_t probed = 0;
+  size_t driving = left.num_rows();
+  Relation out = IndexJoinAtom(*store_, left, node->atom, &probed);
+  exec->metrics->join_input_rows += driving + probed;
+  SpinFor(profile_->tuple_us_per_row * static_cast<double>(driving + probed));
+  span.Attr("join_input_rows", driving + probed);
+  span.Attr("output_rows", out.num_rows());
+  NoteResult(node, out);
+  return out;
+}
+
+Result<Relation> Evaluator::ExecHashJoin(PlanNode* node, Exec* exec) const {
+  RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+  RDFOPT_ASSIGN_OR_RETURN(Relation left, ExecNode(node->children[0].get(),
+                                                  exec));
+  if (!node->component_join) {
+    if (left.num_rows() == 0) {
+      // Short-circuit within a disjunct: skip the right subtree entirely
+      // (its nodes keep executed == false).
+      Relation out{node->out_columns};
+      NoteResult(node, out);
+      return out;
+    }
+    if (left.columns().empty()) {
+      // Passed boolean guard: forward the right side unchanged, free of
+      // charge — the guard never materializes as a join at runtime.
+      RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(node->children[1].get(),
+                                                     exec));
+      NoteResult(node, out);
+      return out;
+    }
+  }
+  RDFOPT_ASSIGN_OR_RETURN(Relation right, ExecNode(node->children[1].get(),
+                                                   exec));
+  RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+  // Component joins are engine.join steps of the JUCQ combination; joins
+  // within a disjunct are op.hash_join.
+  TraceSpan span(node->component_join ? "engine.join" : "op.hash_join");
+  span.Attr("node", node->id);
+  size_t inputs = left.num_rows() + right.num_rows();
+  exec->metrics->join_input_rows += inputs;
+  SpinFor(profile_->tuple_us_per_row * static_cast<double>(inputs));
+  Relation out = HashJoin(left, right);
+  span.Attr("join_input_rows", inputs);
+  span.Attr("output_rows", out.num_rows());
+  NoteResult(node, out);
+  return out;
+}
+
+Result<Relation> Evaluator::ExecUnionAll(PlanNode* node, Exec* exec) const {
+  if (node->over_limit) {
+    return Status::QueryTooComplex(
+        UnionLimitMessage(node->union_terms, *profile_));
+  }
+  exec->metrics->union_terms += node->union_terms;
+  // Per-union-term plan setup overhead (profile emulation), charged upfront.
+  SpinFor(profile_->union_term_overhead_us *
+          static_cast<double>(node->union_terms));
+
+  Relation acc{std::vector<VarId>(node->head)};
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+    RDFOPT_ASSIGN_OR_RETURN(Relation rel, ExecNode(node->children[i].get(),
+                                                   exec));
+    // Per-tuple executor overhead for rows appended to the union.
+    SpinFor(profile_->tuple_us_per_row * static_cast<double>(rel.num_rows()));
+    UnionInto(&acc, rel, node->disjuncts[i].head_bindings);
+  }
+  NoteResult(node, acc);
+  return acc;
+}
+
+Result<Relation> Evaluator::ExecProject(PlanNode* node, Exec* exec) const {
+  Relation in = TrueRow();  // The atom-less (always true) conjunction.
+  if (!node->children.empty()) {
+    RDFOPT_ASSIGN_OR_RETURN(in, ExecNode(node->children[0].get(), exec));
+  }
+  Relation out = ProjectWithBindings(in, node->head, node->bindings);
+  NoteResult(node, out);
+  return out;
+}
+
+Result<Relation> Evaluator::ExecDedup(PlanNode* node, Exec* exec) const {
+  // Component roots carry the per-component UCQ span: its counter
+  // attributes are the deltas this component contributed, so per-span
+  // accounting rolls up exactly into the lump-sum EvalMetrics the caller
+  // receives. The span covers the whole component, error paths included.
+  std::optional<TraceSpan> span;
+  EvalMetrics before;
+  if (node->component >= 0) {
+    span.emplace("engine.ucq");
+    span->Attr("node", node->id);
+    if (span->active()) before = *exec->metrics;
+  }
+  RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(node->children[0].get(),
+                                                 exec));
+  exec->metrics->duplicates_removed += out.Deduplicate();
+  if (span.has_value() && span->active()) {
+    const EvalMetrics& m = *exec->metrics;
+    PlanNode* child = node->children[0].get();
+    span->Attr("union_terms", child->kind == PlanNodeKind::kUnionAll
+                                  ? child->union_terms
+                                  : size_t{0});
+    span->Attr("rows_scanned", m.rows_scanned - before.rows_scanned);
+    span->Attr("join_input_rows",
+               m.join_input_rows - before.join_input_rows);
+    span->Attr("duplicates_removed",
+               m.duplicates_removed - before.duplicates_removed);
+    span->Attr("output_rows", out.num_rows());
+  }
+  NoteResult(node, out);
+  return out;
+}
+
+Result<Relation> Evaluator::ExecMaterialize(PlanNode* node, Exec* exec) const {
+  RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(node->children[0].get(),
+                                                 exec));
+  TraceSpan span("engine.materialize");
+  span.Attr("node", node->id);
+  span.Attr("rows_materialized", out.num_rows());
+  RDFOPT_RETURN_NOT_OK(ChargeMaterialization(out, exec));
+  NoteResult(node, out);
+  return out;
+}
+
+Result<Relation> Evaluator::ExecNode(PlanNode* node, Exec* exec) const {
+  switch (node->kind) {
+    case PlanNodeKind::kAtomScan:
+      return ExecAtomScan(node, exec);
+    case PlanNodeKind::kIndexJoinAtom:
+      return ExecIndexJoin(node, exec);
+    case PlanNodeKind::kHashJoin:
+      return ExecHashJoin(node, exec);
+    case PlanNodeKind::kUnionAll:
+      return ExecUnionAll(node, exec);
+    case PlanNodeKind::kProject:
+      return ExecProject(node, exec);
+    case PlanNodeKind::kDedup:
+      return ExecDedup(node, exec);
+    case PlanNodeKind::kMaterializeBarrier:
+      return ExecMaterialize(node, exec);
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<Relation> Evaluator::ExecutePlan(PhysicalPlan* plan,
                                         EvalMetrics* metrics) const {
   EvalMetrics scratch;
   Exec exec;
   exec.metrics = metrics != nullptr ? metrics : &scratch;
   const EvalMetrics before = *exec.metrics;
-  RDFOPT_ASSIGN_OR_RETURN(Relation out, RunUCQ(ucq, &exec));
+  plan->ResetActuals();
+
+  std::optional<TraceSpan> span;
+  if (plan->shape == PlanShape::kJucq) {
+    span.emplace("engine.jucq");
+    span->Attr("components", plan->num_components);
+  }
+  // An infeasible plan (union over the profile's limit) is rejected before
+  // any execution, exactly as the engine would refuse the statement.
+  RDFOPT_RETURN_NOT_OK(plan->feasibility);
+
+  RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(plan->root.get(), &exec));
   exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  if (span.has_value() && span->active()) {
+    const EvalMetrics& m = *exec.metrics;
+    span->Attr("union_terms", m.union_terms - before.union_terms);
+    span->Attr("rows_materialized",
+               m.rows_materialized - before.rows_materialized);
+    span->Attr("duplicates_removed",
+               m.duplicates_removed - before.duplicates_removed);
+    span->Attr("output_rows", out.num_rows());
+  }
   RecordEngineMetrics(*exec.metrics, before);
   return out;
+}
+
+Result<Relation> Evaluator::EvaluateCQ(const ConjunctiveQuery& cq,
+                                       EvalMetrics* metrics) const {
+  PhysicalPlan plan = planner().PlanCQ(cq);
+  return ExecutePlan(&plan, metrics);
+}
+
+Result<Relation> Evaluator::EvaluateUCQ(const UnionQuery& ucq,
+                                        EvalMetrics* metrics) const {
+  PhysicalPlan plan = planner().PlanUCQ(ucq);
+  return ExecutePlan(&plan, metrics);
 }
 
 Result<Relation> Evaluator::EvaluateJUCQ(const JoinOfUnions& jucq,
                                          EvalMetrics* metrics) const {
-  EvalMetrics scratch;
-  Exec exec;
-  exec.metrics = metrics != nullptr ? metrics : &scratch;
-  const EvalMetrics before = *exec.metrics;
-  TraceSpan span("engine.jucq");
-  span.Attr("components", jucq.components.size());
-
-  std::vector<Relation> components;
-  components.reserve(jucq.components.size());
-  for (const UnionQuery& ucq : jucq.components) {
-    RDFOPT_ASSIGN_OR_RETURN(Relation rel, RunUCQ(ucq, &exec));
-    components.push_back(std::move(rel));
-  }
-
-  // The largest component result is pipelined; all others are materialized
-  // (paper §4.1(v)).
-  if (components.size() > 1) {
-    size_t largest = 0;
-    for (size_t i = 1; i < components.size(); ++i) {
-      if (components[i].num_rows() > components[largest].num_rows()) {
-        largest = i;
-      }
-    }
-    for (size_t i = 0; i < components.size(); ++i) {
-      if (i == largest) continue;
-      TraceSpan mat_span("engine.materialize");
-      mat_span.Attr("rows_materialized", components[i].num_rows());
-      RDFOPT_RETURN_NOT_OK(ChargeMaterialization(components[i], &exec));
-    }
-  }
-
-  // Greedy join order over components: smallest first, then smallest
-  // sharing a column with the accumulated result.
-  std::vector<bool> used(components.size(), false);
-  auto pick = [&](const Relation* acc) {
-    int best = -1;
-    bool best_connected = false;
-    for (size_t i = 0; i < components.size(); ++i) {
-      if (used[i]) continue;
-      bool connected = acc == nullptr;
-      if (acc != nullptr) {
-        for (VarId v : components[i].columns()) {
-          connected |= acc->ColumnIndex(v) >= 0;
-        }
-      }
-      if (best < 0 || (connected && !best_connected) ||
-          (connected == best_connected &&
-           components[i].num_rows() <
-               components[static_cast<size_t>(best)].num_rows())) {
-        best = static_cast<int>(i);
-        best_connected = connected;
-      }
-    }
-    return static_cast<size_t>(best);
-  };
-
-  size_t first = pick(nullptr);
-  used[first] = true;
-  Relation acc = std::move(components[first]);
-  for (size_t step = 1; step < components.size(); ++step) {
-    RDFOPT_RETURN_NOT_OK(CheckTimeout(exec));
-    TraceSpan join_span("engine.join");
-    size_t next = pick(&acc);
-    used[next] = true;
-    size_t inputs = acc.num_rows() + components[next].num_rows();
-    exec.metrics->join_input_rows += inputs;
-    SpinFor(profile_->tuple_us_per_row * static_cast<double>(inputs));
-    acc = HashJoin(acc, components[next]);
-    join_span.Attr("join_input_rows", inputs);
-    join_span.Attr("output_rows", acc.num_rows());
-  }
-
-  Relation out = ProjectWithBindings(acc, jucq.head, {});
-  exec.metrics->duplicates_removed += out.Deduplicate();
-  exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
-  if (span.active()) {
-    const EvalMetrics& m = *exec.metrics;
-    span.Attr("union_terms", m.union_terms - before.union_terms);
-    span.Attr("rows_materialized",
-              m.rows_materialized - before.rows_materialized);
-    span.Attr("duplicates_removed",
-              m.duplicates_removed - before.duplicates_removed);
-    span.Attr("output_rows", out.num_rows());
-  }
-  RecordEngineMetrics(*exec.metrics, before);
-  return out;
+  PhysicalPlan plan = planner().PlanJUCQ(jucq);
+  return ExecutePlan(&plan, metrics);
 }
 
 double Evaluator::ExplainCost(const JoinOfUnions& jucq,
                               const CardinalityEstimator& estimator) const {
-  const CostConstants& k = profile_->cost;
-  double total = k.c_db;
-  std::vector<std::pair<double, std::vector<VarId>>> component_sizes;
-
-  for (const UnionQuery& ucq : jucq.components) {
-    if (ucq.disjuncts.size() > profile_->max_union_terms) {
-      return std::numeric_limits<double>::infinity();
-    }
-    double ucq_cost = k.c_union_term * static_cast<double>(ucq.size());
-    for (const ConjunctiveQuery& cq : ucq.disjuncts) {
-      // Walk the greedy join plan, costing every step from estimated
-      // intermediate cardinalities (this is what distinguishes the engine's
-      // model from the paper's input-linear §4.1 formulas).
-      std::vector<size_t> order = JoinOrder(cq);
-      double inter = 0.0;
-      ConjunctiveQuery prefix;
-      for (size_t step = 0; step < order.size(); ++step) {
-        const TriplePattern& atom = cq.atoms[order[step]];
-        double scanned = estimator.EstimateAtom(atom);
-        prefix.atoms.push_back(atom);
-        if (step == 0) {
-          ucq_cost += k.c_t * scanned;
-          inter = scanned;
-          continue;
-        }
-        double out = estimator.EstimateCQ(prefix);
-        // The planner picks the cheaper of a hash join over a full scan and
-        // an index nested-loop probe driven by the intermediate.
-        double hash_cost = k.c_t * scanned + k.c_j * (inter + scanned);
-        double inl_cost = (k.c_t + k.c_j) * inter + k.c_j * out;
-        ucq_cost += std::min(hash_cost, inl_cost);
-        inter = out;
-      }
-    }
-    double rows = estimator.EstimateUCQ(ucq);
-    ucq_cost += k.c_l * rows;  // Dedup of the component result.
-    total += ucq_cost;
-    component_sizes.emplace_back(
-        rows, std::vector<VarId>(ucq.head.begin(), ucq.head.end()));
+  PhysicalPlan plan = Planner(&estimator, profile_).PlanJUCQ(jucq);
+  if (!plan.feasibility.ok()) {
+    return std::numeric_limits<double>::infinity();
   }
-
-  if (component_sizes.size() > 1) {
-    // Materialize all but the largest; join linearly in the inputs.
-    size_t largest = 0;
-    double join_inputs = 0.0;
-    for (size_t i = 0; i < component_sizes.size(); ++i) {
-      join_inputs += component_sizes[i].first;
-      if (component_sizes[i].first > component_sizes[largest].first) {
-        largest = i;
-      }
-    }
-    for (size_t i = 0; i < component_sizes.size(); ++i) {
-      if (i != largest) total += k.c_m * component_sizes[i].first;
-    }
-    total += k.c_j * join_inputs;
-  }
-  total += k.c_l * estimator.EstimateJoin(component_sizes);
-  return total;
+  return plan.est_cost();
 }
 
 }  // namespace rdfopt

@@ -1,12 +1,15 @@
 #ifndef RDFOPT_ENGINE_EVALUATOR_H_
 #define RDFOPT_ENGINE_EVALUATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "cost/cardinality.h"
 #include "engine/engine_profile.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
 #include "engine/relation.h"
 #include "sparql/query.h"
 #include "storage/triple_store.h"
@@ -30,8 +33,9 @@ struct EvalMetrics {
   double elapsed_ms = 0.0;        ///< Wall-clock evaluation time.
 };
 
-/// The embedded query evaluation engine: evaluates CQs, UCQs and JUCQs
-/// against a TripleStore under an EngineProfile, with set semantics.
+/// The embedded query evaluation engine: executes PhysicalPlans (see
+/// engine/plan.h) against a TripleStore under an EngineProfile, with set
+/// semantics.
 ///
 /// Stands in for the paper's external RDBMSs (see DESIGN.md §3). The profile
 /// contributes (a) hard limits — max union terms, materialization memory
@@ -41,16 +45,21 @@ struct EvalMetrics {
 /// (`materialization_weight`), so that measured wall-clock genuinely differs
 /// across profiles the way the paper's three systems did.
 ///
-/// Plans: within a CQ, atoms are scanned through the best permutation index
-/// and hash-joined in a greedy order (smallest scan first, then the smallest
-/// connected atom — the join ordering the paper leaves to the RDBMS). A
-/// JUCQ evaluates each component UCQ, materializes all but the largest result
-/// (the paper's pipelining assumption, §4.1(v)), joins them and projects.
+/// All planning decisions (atom order, operator choice, JUCQ component
+/// order and pipelining) are made by the Planner; the evaluator is a pure
+/// plan executor that walks the tree, charges the profile's emulated costs
+/// and writes actual row counts back into the plan nodes. The convenience
+/// Evaluate* entry points plan-then-execute in one call.
 class Evaluator {
  public:
-  /// Pointees must outlive the evaluator.
-  Evaluator(const TripleStore* store, const EngineProfile* profile)
-      : store_(store), profile_(profile) {}
+  /// Pointees must outlive the evaluator. When `estimator` is null the
+  /// evaluator owns a statistics-free estimator over `store` (exact atom
+  /// counts; join estimates degrade gracefully), enough for planning.
+  Evaluator(const TripleStore* store, const EngineProfile* profile,
+            const CardinalityEstimator* estimator = nullptr)
+      : store_(store), profile_(profile), external_estimator_(estimator) {
+    if (external_estimator_ == nullptr) owned_estimator_.emplace(store, nullptr);
+  }
 
   /// Evaluates a CQ, projects onto its head (honouring head_bindings) and
   /// deduplicates. `metrics` may be null.
@@ -66,13 +75,28 @@ class Evaluator {
   Result<Relation> EvaluateJUCQ(const JoinOfUnions& jucq,
                                 EvalMetrics* metrics) const;
 
-  /// The engine's *internal* cost estimate of running `jucq` ("EXPLAIN").
-  /// Unlike the paper's §4.1 model it walks the plan the engine would pick,
-  /// costing each join step from estimated intermediate cardinalities. Used
-  /// as the alternative cost model of Fig 9.
+  /// Executes a previously built plan: walks the tree, charges profile
+  /// limits/emulation, records trace spans tagged with plan-node ids and
+  /// writes `actual_rows`/`executed` into the nodes (prior actuals are
+  /// reset first, so a cached plan can be re-executed). `metrics` may be
+  /// null. Returns the plan's feasibility error without executing anything
+  /// when some union exceeds the profile's plan limit.
+  Result<Relation> ExecutePlan(PhysicalPlan* plan, EvalMetrics* metrics) const;
+
+  /// The engine's *internal* cost estimate of running `jucq` ("EXPLAIN"):
+  /// the est_cost annotation of the plan the engine would execute. Used as
+  /// the alternative cost model of Fig 9. Infinity when infeasible.
   double ExplainCost(const JoinOfUnions& jucq,
                      const CardinalityEstimator& estimator) const;
 
+  /// A planner over this evaluator's estimator and profile — the plans it
+  /// builds are exactly the plans Evaluate* executes.
+  Planner planner() const { return Planner(&estimator(), profile_); }
+
+  const CardinalityEstimator& estimator() const {
+    return external_estimator_ != nullptr ? *external_estimator_
+                                          : *owned_estimator_;
+  }
   const EngineProfile& profile() const { return *profile_; }
   const TripleStore& store() const { return *store_; }
 
@@ -80,7 +104,7 @@ class Evaluator {
   struct Exec {
     Stopwatch timer;
     size_t materialized_cells = 0;
-    EvalMetrics* metrics = nullptr;  // Never null inside Run* (scratch used).
+    EvalMetrics* metrics = nullptr;  // Never null inside ExecNode.
   };
 
   Status CheckTimeout(const Exec& exec) const;
@@ -90,18 +114,20 @@ class Evaluator {
   /// Physically consumes `micros` of CPU, emulating fixed plan overheads.
   static void SpinFor(double micros);
 
-  /// Full evaluation of the conjunction over all its variables (no head
-  /// projection); empty results still carry the full column set.
-  Result<Relation> RunCQ(const ConjunctiveQuery& cq, Exec* exec) const;
-  /// Union of projected disjuncts, deduplicated.
-  Result<Relation> RunUCQ(const UnionQuery& ucq, Exec* exec) const;
-
-  /// Greedy join order of the CQ's atoms: cheapest scan first, then the
-  /// cheapest atom sharing a variable with what is joined so far.
-  std::vector<size_t> JoinOrder(const ConjunctiveQuery& cq) const;
+  /// Recursive plan-tree interpreter; writes actuals into `node`.
+  Result<Relation> ExecNode(PlanNode* node, Exec* exec) const;
+  Result<Relation> ExecAtomScan(PlanNode* node, Exec* exec) const;
+  Result<Relation> ExecIndexJoin(PlanNode* node, Exec* exec) const;
+  Result<Relation> ExecHashJoin(PlanNode* node, Exec* exec) const;
+  Result<Relation> ExecUnionAll(PlanNode* node, Exec* exec) const;
+  Result<Relation> ExecProject(PlanNode* node, Exec* exec) const;
+  Result<Relation> ExecDedup(PlanNode* node, Exec* exec) const;
+  Result<Relation> ExecMaterialize(PlanNode* node, Exec* exec) const;
 
   const TripleStore* store_;
   const EngineProfile* profile_;
+  const CardinalityEstimator* external_estimator_;
+  std::optional<CardinalityEstimator> owned_estimator_;
 };
 
 }  // namespace rdfopt

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "engine/planner.h"
 #include "sparql/printer.h"
 
 namespace rdfopt {
@@ -21,120 +22,220 @@ std::string FormatRows(double rows) {
   return buf;
 }
 
-// Greedy join order used by the evaluator (duplicated here in its
-// descriptive form: cheapest scan first, then cheapest connected atom).
-std::vector<size_t> PlanOrder(const ConjunctiveQuery& cq,
-                              const CardinalityEstimator& estimator) {
-  const size_t n = cq.atoms.size();
-  std::vector<double> cards(n);
-  for (size_t i = 0; i < n; ++i) cards[i] = estimator.EstimateAtom(cq.atoms[i]);
-  std::vector<bool> used(n, false);
-  std::vector<size_t> order;
-  while (order.size() < n) {
-    int best = -1;
-    bool best_connected = false;
-    for (size_t i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      bool connected = order.empty();
-      for (size_t j : order) {
-        connected = connected || cq.atoms[i].SharesVariableWith(cq.atoms[j]);
-      }
-      if (best < 0 || (connected && !best_connected) ||
-          (connected == best_connected &&
-           cards[i] < cards[static_cast<size_t>(best)])) {
-        best = static_cast<int>(i);
-        best_connected = connected;
-      }
-    }
-    used[static_cast<size_t>(best)] = true;
-    order.push_back(static_cast<size_t>(best));
+/// One JUCQ component as found in the plan tree, in execution order.
+struct ComponentRef {
+  const PlanNode* dedup = nullptr;  // kDedup with component >= 0.
+  bool materialized = false;
+};
+
+void CollectComponents(const PlanNode* node, bool under_barrier,
+                       std::vector<ComponentRef>* out) {
+  if (node == nullptr) return;
+  if (node->kind == PlanNodeKind::kDedup && node->component >= 0) {
+    out->push_back({node, under_barrier});
+    return;
   }
-  return order;
+  if (node->kind == PlanNodeKind::kMaterializeBarrier) {
+    CollectComponents(node->children[0].get(), true, out);
+    return;
+  }
+  for (const auto& child : node->children) {
+    CollectComponents(child.get(), under_barrier, out);
+  }
 }
 
-void ExplainDisjunct(const ConjunctiveQuery& cq, const VarTable& vars,
-                     const Dictionary& dict,
-                     const CardinalityEstimator& estimator,
-                     std::string* out) {
-  std::vector<size_t> order = PlanOrder(cq, estimator);
-  ConjunctiveQuery prefix;
-  double inter = 0.0;
-  for (size_t step = 0; step < order.size(); ++step) {
-    const TriplePattern& atom = cq.atoms[order[step]];
-    double scanned = estimator.EstimateAtom(atom);
-    prefix.atoms.push_back(atom);
-    *out += "      ";
-    if (step == 0) {
-      *out += "scan   " + ToString(atom, vars, dict) + "  [~" +
-              FormatRows(scanned) + " rows]\n";
-      inter = scanned;
-      continue;
+class PlanPrinter {
+ public:
+  PlanPrinter(const PhysicalPlan& plan, const VarTable& vars,
+              const Dictionary& dict, const ExplainOptions& opts)
+      : plan_(plan), vars_(vars), dict_(dict), opts_(opts) {}
+
+  std::string Render() {
+    switch (plan_.shape) {
+      case PlanShape::kJucq:
+        out_ = "JUCQ plan (" + std::to_string(plan_.num_components) +
+               " component(s)) on " + plan_.profile_name + "\n";
+        RenderJucq();
+        break;
+      case PlanShape::kUcq:
+        out_ = "UCQ plan (" + std::to_string(plan_.union_terms) +
+               " term(s)) on " + plan_.profile_name + "\n";
+        RenderComponent(plan_.root.get(), /*materialized=*/false);
+        break;
+      case PlanShape::kCq:
+        out_ = "CQ plan on " + plan_.profile_name + "\n";
+        RenderCq();
+        break;
     }
-    double rows_out = estimator.EstimateCQ(prefix);
-    // Mirror the evaluator's heuristic: probe when the intermediate is much
-    // smaller than the scan.
-    const bool probe = inter * 8.0 < scanned;
-    *out += std::string(probe ? "probe  " : "hash   ") +
-            ToString(atom, vars, dict) + "  [" +
-            (probe ? "index nested loop, ~" + FormatRows(inter) + " probes"
-                   : "scan ~" + FormatRows(scanned) + " + hash join") +
-            " -> ~" + FormatRows(rows_out) + " rows]\n";
-    inter = rows_out;
+    return std::move(out_);
   }
-}
+
+ private:
+  /// "  [#7]" plus, under ANALYZE, the recorded actual row count.
+  std::string NodeSuffix(const PlanNode& node) const {
+    std::string s = "  [#" + std::to_string(node.id) + "]";
+    if (opts_.analyze) {
+      s += node.executed ? " (actual " + std::to_string(node.actual_rows) +
+                               " rows)"
+                         : " (not executed)";
+    }
+    return s;
+  }
+
+  std::string HeadList(const std::vector<VarId>& head) const {
+    std::string s;
+    for (size_t i = 0; i < head.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += "?" + vars_.name(head[i]);
+    }
+    return s;
+  }
+
+  void RenderJucq() {
+    // Root: Dedup > Project > (component tree).
+    const PlanNode* dedup = plan_.root.get();
+    const PlanNode* project = dedup->children[0].get();
+    std::vector<ComponentRef> exec_order;
+    if (!project->children.empty()) {
+      CollectComponents(project->children[0].get(), false, &exec_order);
+    }
+    // Components print in their original index order; the join order is
+    // stated on the final line.
+    std::vector<ComponentRef> display = exec_order;
+    std::sort(display.begin(), display.end(),
+              [](const ComponentRef& a, const ComponentRef& b) {
+                return a.dedup->component < b.dedup->component;
+              });
+    for (const ComponentRef& ref : display) {
+      RenderComponent(ref.dedup, ref.materialized);
+    }
+    if (exec_order.size() > 1) {
+      out_ += "  final: hash join of the component results (join order:";
+      for (size_t i = 0; i < exec_order.size(); ++i) {
+        out_ += (i > 0 ? ", " : " ") +
+                std::to_string(exec_order[i].dedup->component);
+      }
+      out_ += "), project to q(" + HeadList(dedup->out_columns) +
+              "), duplicate elimination" + NodeSuffix(*dedup) + "\n";
+    }
+  }
+
+  void RenderCq() {
+    const PlanNode* dedup = plan_.root.get();
+    const PlanNode* project = dedup->children[0].get();
+    if (!project->children.empty()) {
+      RenderChain(project->children[0].get());
+    }
+    out_ += "  project to q(" + HeadList(dedup->out_columns) +
+            "), duplicate elimination" + NodeSuffix(*dedup) + "\n";
+  }
+
+  /// One component: its UNION header, sampled term chains, over-limit flag.
+  /// `dedup` is the component root (kDedup over kUnionAll).
+  void RenderComponent(const PlanNode* dedup, bool materialized) {
+    const PlanNode* u = dedup->children[0].get();
+    out_ += "  ";
+    if (plan_.shape == PlanShape::kJucq) {
+      out_ += "component " + std::to_string(dedup->component) + ": ";
+    }
+    out_ += "UNION of " + std::to_string(u->union_terms) + " term(s), ~" +
+            FormatRows(dedup->est_rows) + " rows";
+    if (plan_.num_components > 1) {
+      out_ += materialized ? " [materialized]" : " [pipelined]";
+    }
+    if (u->over_limit) {
+      out_ += "  ** exceeds the plan limit of " +
+              std::to_string(plan_.union_term_limit) + " terms **";
+    }
+    out_ += NodeSuffix(*dedup) + "\n";
+
+    const size_t shown =
+        std::min(opts_.max_union_children_shown, u->children.size());
+    for (size_t d = 0; d < shown; ++d) {
+      out_ += "    term " + std::to_string(d) + ": " +
+              ToString(u->disjuncts[d], vars_, dict_) + "\n";
+      RenderChain(u->children[d].get());
+    }
+    if (u->union_terms > shown) {
+      out_ += "    ... " + std::to_string(u->union_terms - shown) +
+              " more term(s)\n";
+    }
+  }
+
+  /// Join chain of one disjunct, one line per step in execution order.
+  void RenderChain(const PlanNode* node) {
+    switch (node->kind) {
+      case PlanNodeKind::kAtomScan:
+        if (node->out_columns.empty() && !node->atom.s.is_var() &&
+            !node->atom.p.is_var() && !node->atom.o.is_var()) {
+          out_ += "      check  " + ToString(node->atom, vars_, dict_) +
+                  "  [boolean filter]" + NodeSuffix(*node) + "\n";
+        } else {
+          out_ += "      scan   " + ToString(node->atom, vars_, dict_) +
+                  "  [~" + FormatRows(node->est_rows) + " rows]" +
+                  NodeSuffix(*node) + "\n";
+        }
+        break;
+      case PlanNodeKind::kIndexJoinAtom:
+        RenderChain(node->children[0].get());
+        out_ += "      probe  " + ToString(node->atom, vars_, dict_) +
+                "  [index nested loop, ~" +
+                FormatRows(node->children[0]->est_rows) + " probes -> ~" +
+                FormatRows(node->est_rows) + " rows]" + NodeSuffix(*node) +
+                "\n";
+        break;
+      case PlanNodeKind::kHashJoin: {
+        const PlanNode* left = node->children[0].get();
+        if (node->out_columns.empty() || left->out_columns.empty()) {
+          // Boolean guards: constant filters checked before the scan runs.
+          RenderChain(left);
+          RenderChain(node->children[1].get());
+          break;
+        }
+        RenderChain(left);
+        const PlanNode* scan = node->children[1].get();
+        out_ += "      hash   " + ToString(scan->atom, vars_, dict_) +
+                "  [scan ~" + FormatRows(scan->est_rows) +
+                " + hash join -> ~" + FormatRows(node->est_rows) + " rows]" +
+                NodeSuffix(*node) + "\n";
+        break;
+      }
+      case PlanNodeKind::kProject:
+        // An atom-less disjunct: one constant (true) row.
+        out_ += "      const  [1 row]" + NodeSuffix(*node) + "\n";
+        break;
+      default:
+        out_ += "      " + std::string(PlanNodeKindName(node->kind)) +
+                NodeSuffix(*node) + "\n";
+        break;
+    }
+  }
+
+  const PhysicalPlan& plan_;
+  const VarTable& vars_;
+  const Dictionary& dict_;
+  const ExplainOptions& opts_;
+  std::string out_;
+};
 
 }  // namespace
+
+std::string ExplainPlan(const PhysicalPlan& plan, const VarTable& vars,
+                        const Dictionary& dict, const ExplainOptions& opts) {
+  if (plan.root == nullptr) return "(empty plan)\n";
+  return PlanPrinter(plan, vars, dict, opts).Render();
+}
 
 std::string ExplainJucqPlan(const JoinOfUnions& jucq, const VarTable& vars,
                             const Dictionary& dict,
                             const CardinalityEstimator& estimator,
                             const EngineProfile& profile,
                             size_t max_disjuncts_shown) {
-  std::string out = "JUCQ plan (" + std::to_string(jucq.components.size()) +
-                    " component(s)) on " + profile.name + "\n";
-
-  // Component result estimates determine pipelining.
-  std::vector<double> est(jucq.components.size());
-  size_t largest = 0;
-  for (size_t c = 0; c < jucq.components.size(); ++c) {
-    est[c] = estimator.EstimateUCQ(jucq.components[c]);
-    if (est[c] > est[largest]) largest = c;
-  }
-
-  for (size_t c = 0; c < jucq.components.size(); ++c) {
-    const UnionQuery& component = jucq.components[c];
-    out += "  component " + std::to_string(c) + ": UNION of " +
-           std::to_string(component.size()) + " term(s), ~" +
-           FormatRows(est[c]) + " rows";
-    if (jucq.components.size() > 1) {
-      out += (c == largest) ? " [pipelined]" : " [materialized]";
-    }
-    if (component.size() > profile.max_union_terms) {
-      out += "  ** exceeds the plan limit of " +
-             std::to_string(profile.max_union_terms) + " terms **";
-    }
-    out += "\n";
-    size_t shown = std::min<size_t>(max_disjuncts_shown,
-                                    component.disjuncts.size());
-    for (size_t d = 0; d < shown; ++d) {
-      out += "    term " + std::to_string(d) + ": " +
-             ToString(component.disjuncts[d], vars, dict) + "\n";
-      ExplainDisjunct(component.disjuncts[d], vars, dict, estimator, &out);
-    }
-    if (component.disjuncts.size() > shown) {
-      out += "    ... " + std::to_string(component.disjuncts.size() - shown) +
-             " more term(s)\n";
-    }
-  }
-  if (jucq.components.size() > 1) {
-    out += "  final: hash join of the component results, project to q(";
-    for (size_t i = 0; i < jucq.head.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += "?" + vars.name(jucq.head[i]);
-    }
-    out += "), duplicate elimination\n";
-  }
-  return out;
+  Planner planner(&estimator, &profile);
+  PhysicalPlan plan = planner.PlanJUCQ(jucq);
+  ExplainOptions opts;
+  opts.max_union_children_shown = max_disjuncts_shown;
+  return ExplainPlan(plan, vars, dict, opts);
 }
 
 }  // namespace rdfopt

@@ -5,21 +5,35 @@
 
 #include "cost/cardinality.h"
 #include "engine/engine_profile.h"
+#include "engine/plan.h"
 #include "rdf/dictionary.h"
 #include "sparql/query.h"
 
 namespace rdfopt {
 
-/// Human-readable plan explanation of a JUCQ, mirroring what the evaluator
-/// will do: per component, the number of union terms and estimated rows;
-/// per (sampled) disjunct, the greedy join order with scan/probe choices
-/// and estimated intermediate cardinalities; at the top, the component join
-/// order, which component is pipelined and which are materialized. Think
-/// `EXPLAIN` for the embedded engine — used by the SPARQL shell and by
-/// debugging sessions around the cost model.
-///
-/// `max_disjuncts_shown` bounds the per-component detail (a 2000-term UCQ
-/// prints two sampled disjuncts plus a summary line).
+/// Rendering options for ExplainPlan.
+struct ExplainOptions {
+  /// EXPLAIN ANALYZE: append the actual row count the executor recorded in
+  /// each plan node (or "not executed" for short-circuited subtrees). The
+  /// plan must have been run through Evaluator::ExecutePlan first.
+  bool analyze = false;
+  /// Per-union detail bound: a 2000-term UNION prints this many sampled
+  /// term chains plus a "... N more term(s)" summary line.
+  size_t max_union_children_shown = 3;
+};
+
+/// Human-readable rendering of a PhysicalPlan — `EXPLAIN` for the embedded
+/// engine, used by the SPARQL shell and by debugging sessions around the
+/// cost model. This is a pure pretty-printer: every ordering and operator
+/// choice shown is read off the plan tree the executor runs, never
+/// re-derived. Each operator line ends with the plan-node id (`[#7]`), the
+/// correlation key to the `node` attribute on trace spans.
+std::string ExplainPlan(const PhysicalPlan& plan, const VarTable& vars,
+                        const Dictionary& dict,
+                        const ExplainOptions& opts = {});
+
+/// Plans `jucq` with the engine's planner and renders it (estimate-only).
+/// Convenience wrapper kept for callers holding a query rather than a plan.
 std::string ExplainJucqPlan(const JoinOfUnions& jucq, const VarTable& vars,
                             const Dictionary& dict,
                             const CardinalityEstimator& estimator,

@@ -1,0 +1,36 @@
+#include "engine/plan.h"
+
+namespace rdfopt {
+
+std::string_view PlanNodeKindName(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kAtomScan:
+      return "AtomScan";
+    case PlanNodeKind::kIndexJoinAtom:
+      return "IndexJoinAtom";
+    case PlanNodeKind::kHashJoin:
+      return "HashJoin";
+    case PlanNodeKind::kUnionAll:
+      return "UnionAll";
+    case PlanNodeKind::kProject:
+      return "Project";
+    case PlanNodeKind::kDedup:
+      return "Dedup";
+    case PlanNodeKind::kMaterializeBarrier:
+      return "MaterializeBarrier";
+  }
+  return "Unknown";
+}
+
+namespace {
+void ResetNode(PlanNode* node) {
+  if (node == nullptr) return;
+  node->actual_rows = 0;
+  node->executed = false;
+  for (auto& child : node->children) ResetNode(child.get());
+}
+}  // namespace
+
+void PhysicalPlan::ResetActuals() { ResetNode(root.get()); }
+
+}  // namespace rdfopt

@@ -1,0 +1,133 @@
+#ifndef RDFOPT_ENGINE_PLAN_H_
+#define RDFOPT_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// The typed physical-plan tree shared by every consumer of the engine (see
+/// DESIGN.md §3): the Planner builds it once per query, the cost model's
+/// per-step walk annotates it with estimates, EXPLAIN pretty-prints it, the
+/// trace layer tags spans with its node ids, and the Evaluator executes it,
+/// writing actual row counts back into the same nodes. Estimate/execution
+/// agreement — the premise of the paper's §4 cost model — is therefore true
+/// by construction: there is no second derivation of any ordering decision.
+
+/// Physical operator of one plan node.
+enum class PlanNodeKind {
+  kAtomScan,            ///< Index scan of one triple pattern (or, for an
+                        ///< all-constant atom, a boolean existence filter).
+  kIndexJoinAtom,       ///< Index nested-loop join: probe the atom's best
+                        ///< permutation index once per row of the child.
+  kHashJoin,            ///< Hash join of the two children (build on smaller).
+  kUnionAll,            ///< Bag union of the children projected onto `head`
+                        ///< (per-child constant bindings applied).
+  kProject,             ///< Projection onto `head` with constant bindings.
+  kDedup,               ///< Duplicate elimination (set semantics).
+  kMaterializeBarrier,  ///< Child result is spooled: charged against the
+                        ///< engine's materialization budget and overheads.
+};
+
+std::string_view PlanNodeKindName(PlanNodeKind kind);
+
+/// One node of the physical plan. Which payload fields are meaningful
+/// depends on `kind`; estimates are filled by the Planner, actuals by the
+/// Evaluator when the plan is executed.
+struct PlanNode {
+  explicit PlanNode(PlanNodeKind k) : kind(k) {}
+
+  PlanNodeKind kind;
+  /// Preorder id, unique within the plan; the correlation key between
+  /// EXPLAIN output and trace spans (spans carry a `node` attribute).
+  int id = -1;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- Operator payload -------------------------------------------------
+  TriplePattern atom;   ///< kAtomScan, kIndexJoinAtom.
+  /// kAtomScan: true for the pipelined driving scan at the base of a join
+  /// chain (charged per-tuple executor overhead); scans feeding a hash join
+  /// are charged through the join instead, mirroring the engine emulation.
+  bool driving_scan = false;
+  std::vector<VarId> head;  ///< kUnionAll, kProject.
+  /// kProject: constants for head variables not covered by the child.
+  std::vector<std::pair<VarId, ValueId>> bindings;
+  /// kUnionAll: the source disjunct of each child, in child order — carries
+  /// the per-child head bindings the union applies and lets EXPLAIN print
+  /// the term the child chain evaluates.
+  std::vector<ConjunctiveQuery> disjuncts;
+  /// kUnionAll: the union exceeds the engine profile's plan limit; the plan
+  /// is rendered (EXPLAIN must show infeasible plans) but not executable.
+  /// Only a sample of the disjuncts is planned as children then, so
+  /// `union_terms` (not `children.size()`) is the authoritative term count.
+  bool over_limit = false;
+  /// kUnionAll: total number of disjuncts of the union.
+  size_t union_terms = 0;
+  /// kDedup: index of the JUCQ component this node is the root of, or -1.
+  /// Component roots carry the per-component `engine.ucq` trace span.
+  int component = -1;
+  /// kHashJoin: joins two component results (traced as `engine.join`)
+  /// rather than two relations inside one disjunct (`op.hash_join`).
+  bool component_join = false;
+
+  /// Output schema, fixed at plan time; also the column set of the empty
+  /// relation produced when a subtree is short-circuited.
+  std::vector<VarId> out_columns;
+
+  // --- Estimates (Planner) and actuals (Evaluator) ----------------------
+  double est_rows = 0.0;  ///< Estimated output rows.
+  double est_cost = 0.0;  ///< Cumulative §4.1-model cost of the subtree.
+  size_t actual_rows = 0;
+  bool executed = false;  ///< False until the executor produced this node's
+                          ///< result (short-circuited nodes stay false).
+};
+
+/// Root query shape of a plan; selects the top-level trace span and the
+/// EXPLAIN header.
+enum class PlanShape { kCq, kUcq, kJucq };
+
+/// A complete physical plan: the tree plus plan-wide metadata.
+struct PhysicalPlan {
+  std::unique_ptr<PlanNode> root;
+  PlanShape shape = PlanShape::kCq;
+  /// OK, or kQueryTooComplex when some union exceeds the profile's plan
+  /// limit (the plan still renders; executing it returns this status).
+  Status feasibility = Status::OK();
+  std::string profile_name;
+  /// The profile's per-union plan limit the plan was built against (shown
+  /// by EXPLAIN next to over-limit unions).
+  size_t union_term_limit = 0;
+  size_t num_components = 0;  ///< JUCQ component count (1 for CQ/UCQ).
+  size_t union_terms = 0;     ///< Total disjuncts across kUnionAll nodes.
+  int num_nodes = 0;
+
+  /// Total estimated cost of the plan (the engine's EXPLAIN estimate).
+  double est_cost() const { return root != nullptr ? root->est_cost : 0.0; }
+
+  /// Clears `executed`/`actual_rows` on every node so the plan can be
+  /// executed again (plan caching, benchmarks).
+  void ResetActuals();
+
+  /// Depth-first preorder visit of every node.
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    VisitPre(root.get(), fn);
+  }
+
+ private:
+  template <typename Fn>
+  static void VisitPre(const PlanNode* node, Fn& fn) {
+    if (node == nullptr) return;
+    fn(*node);
+    for (const auto& child : node->children) VisitPre(child.get(), fn);
+  }
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_ENGINE_PLAN_H_

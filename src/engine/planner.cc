@@ -1,0 +1,435 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rdfopt {
+
+namespace {
+
+/// Distinct variables of `atom` in first-occurrence s,p,o order — the
+/// column order ScanAtom produces.
+std::vector<VarId> AtomColumns(const TriplePattern& atom) {
+  std::vector<VarId> raw;
+  atom.AppendVariables(&raw);
+  std::vector<VarId> out;
+  for (VarId v : raw) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+bool IsConstantAtom(const TriplePattern& atom) {
+  return !atom.s.is_var() && !atom.p.is_var() && !atom.o.is_var();
+}
+
+bool Contains(const std::vector<VarId>& cols, VarId v) {
+  return std::find(cols.begin(), cols.end(), v) != cols.end();
+}
+
+/// Join output columns: left columns, then right-only columns (the order
+/// HashJoin and IndexJoinAtom produce).
+std::vector<VarId> JoinColumns(const std::vector<VarId>& left,
+                               const std::vector<VarId>& right) {
+  std::vector<VarId> out = left;
+  for (VarId v : right) {
+    if (!Contains(out, v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::unique_ptr<PlanNode> MakeNode(PlanNodeKind kind) {
+  return std::make_unique<PlanNode>(kind);
+}
+
+/// How many disjuncts of an over-limit union are still planned, so EXPLAIN
+/// can show sample terms of a plan that will never execute.
+constexpr size_t kOverLimitSampleTerms = 3;
+
+}  // namespace
+
+std::vector<size_t> GreedyAtomOrder(const std::vector<TriplePattern>& atoms,
+                                    const std::vector<double>& cards) {
+  const size_t n = atoms.size();
+  std::vector<bool> used(n, false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  while (order.size() < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = order.empty();
+      for (size_t j : order) {
+        connected = connected || atoms[i].SharesVariableWith(atoms[j]);
+      }
+      // Prefer connected atoms; among equals, the smallest scan.
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           cards[i] < cards[static_cast<size_t>(best)])) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    order.push_back(static_cast<size_t>(best));
+  }
+  return order;
+}
+
+std::string UnionLimitMessage(size_t union_terms,
+                              const EngineProfile& profile) {
+  return "UCQ has " + std::to_string(union_terms) +
+         " union terms, over the per-query plan limit of " +
+         std::to_string(profile.max_union_terms) + " on " + profile.name;
+}
+
+std::unique_ptr<PlanNode> Planner::BuildCqChain(
+    const ConjunctiveQuery& cq) const {
+  const CostConstants& k = profile_->cost;
+
+  // All-constant atoms act as boolean existence guards, checked before any
+  // scan happens: a left-deep chain short-circuits the whole disjunct when
+  // one of them fails.
+  std::unique_ptr<PlanNode> chain;
+  double guard_selectivity = 1.0;
+  std::vector<TriplePattern> body;
+  for (const TriplePattern& atom : cq.atoms) {
+    if (!IsConstantAtom(atom)) {
+      body.push_back(atom);
+      continue;
+    }
+    auto guard = MakeNode(PlanNodeKind::kAtomScan);
+    guard->atom = atom;
+    guard->est_rows = std::min(1.0, estimator_->EstimateAtom(atom));
+    guard->est_cost = k.c_t * guard->est_rows;
+    guard_selectivity *= guard->est_rows;
+    if (chain == nullptr) {
+      chain = std::move(guard);
+    } else {
+      auto both = MakeNode(PlanNodeKind::kHashJoin);
+      both->est_rows = guard_selectivity;
+      both->est_cost = chain->est_cost + guard->est_cost;
+      both->children.push_back(std::move(chain));
+      both->children.push_back(std::move(guard));
+      chain = std::move(both);
+    }
+  }
+  if (body.empty()) return chain;  // Null for the atom-less (true) CQ.
+
+  std::vector<double> cards(body.size());
+  for (size_t i = 0; i < body.size(); ++i) {
+    cards[i] = estimator_->EstimateAtom(body[i]);
+  }
+  const std::vector<size_t> order = GreedyAtomOrder(body, cards);
+
+  // Driving scan: the pipelined base of the chain; charged per-tuple
+  // executor overhead by itself (scans feeding hash joins are charged at
+  // the join instead).
+  const TriplePattern& first = body[order[0]];
+  auto scan = MakeNode(PlanNodeKind::kAtomScan);
+  scan->atom = first;
+  scan->driving_scan = true;
+  scan->out_columns = AtomColumns(first);
+  scan->est_rows = cards[order[0]];
+  scan->est_cost = k.c_t * cards[order[0]];
+  if (chain == nullptr) {
+    chain = std::move(scan);
+  } else {
+    // Guard pass-through: boolean AND of the constant filters with the
+    // driving scan; the executor forwards the scan unchanged when the
+    // guards hold.
+    auto guarded = MakeNode(PlanNodeKind::kHashJoin);
+    guarded->out_columns = scan->out_columns;
+    guarded->est_rows = guard_selectivity * scan->est_rows;
+    guarded->est_cost = chain->est_cost + scan->est_cost;
+    guarded->children.push_back(std::move(chain));
+    guarded->children.push_back(std::move(scan));
+    chain = std::move(guarded);
+  }
+
+  ConjunctiveQuery prefix;
+  prefix.atoms.push_back(first);
+  double inter = cards[order[0]];
+  for (size_t step = 1; step < order.size(); ++step) {
+    const TriplePattern& atom = body[order[step]];
+    const double scanned = cards[order[step]];
+    prefix.atoms.push_back(atom);
+    const double out = estimator_->EstimateCQ(prefix);
+    const std::vector<VarId> atom_cols = AtomColumns(atom);
+    bool binds_position = false;
+    for (VarId v : atom_cols) {
+      binds_position = binds_position || Contains(chain->out_columns, v);
+    }
+    std::vector<VarId> out_columns = JoinColumns(chain->out_columns, atom_cols);
+
+    std::unique_ptr<PlanNode> node;
+    if (binds_position && inter * 8.0 < scanned) {
+      node = MakeNode(PlanNodeKind::kIndexJoinAtom);
+      node->atom = atom;
+      node->est_cost = chain->est_cost + (k.c_t + k.c_j) * inter + k.c_j * out;
+      node->children.push_back(std::move(chain));
+    } else {
+      auto probe = MakeNode(PlanNodeKind::kAtomScan);
+      probe->atom = atom;
+      probe->out_columns = atom_cols;
+      probe->est_rows = scanned;
+      probe->est_cost = k.c_t * scanned;
+      node = MakeNode(PlanNodeKind::kHashJoin);
+      node->est_cost =
+          chain->est_cost + probe->est_cost + k.c_j * (inter + scanned);
+      node->children.push_back(std::move(chain));
+      node->children.push_back(std::move(probe));
+    }
+    node->out_columns = std::move(out_columns);
+    node->est_rows = guard_selectivity * out;
+    chain = std::move(node);
+    inter = out;
+  }
+  return chain;
+}
+
+std::unique_ptr<PlanNode> Planner::BuildComponent(const UnionQuery& ucq,
+                                                  int component_index) const {
+  const CostConstants& k = profile_->cost;
+  auto u = MakeNode(PlanNodeKind::kUnionAll);
+  u->head = ucq.head;
+  u->out_columns = ucq.head;
+  u->union_terms = ucq.disjuncts.size();
+  u->over_limit = ucq.disjuncts.size() > profile_->max_union_terms;
+
+  // An over-limit union can never execute; plan only a few sample disjuncts
+  // so EXPLAIN can still render the infeasible plan.
+  const size_t planned =
+      u->over_limit ? std::min(ucq.disjuncts.size(), kOverLimitSampleTerms)
+                    : ucq.disjuncts.size();
+  double est_sum = 0.0;
+  double cost = k.c_union_term * static_cast<double>(ucq.disjuncts.size());
+  for (size_t d = 0; d < planned; ++d) {
+    std::unique_ptr<PlanNode> chain = BuildCqChain(ucq.disjuncts[d]);
+    if (chain == nullptr) {
+      // Atom-less disjunct: a single always-true row.
+      chain = MakeNode(PlanNodeKind::kProject);
+      chain->est_rows = 1.0;
+    }
+    est_sum += chain->est_rows;
+    cost += chain->est_cost;
+    u->disjuncts.push_back(ucq.disjuncts[d]);
+    u->children.push_back(std::move(chain));
+  }
+  u->est_rows = est_sum;
+  u->est_cost = cost;
+
+  auto dedup = MakeNode(PlanNodeKind::kDedup);
+  dedup->component = component_index;
+  dedup->out_columns = ucq.head;
+  dedup->est_rows = est_sum;
+  dedup->est_cost = cost + k.c_l * est_sum;
+  dedup->children.push_back(std::move(u));
+  return dedup;
+}
+
+Planner::ComponentCombination Planner::CombineComponents(
+    const std::vector<std::pair<double, std::vector<VarId>>>& components)
+    const {
+  const CostConstants& k = profile_->cost;
+  ComponentCombination comb;
+  const size_t n = components.size();
+  if (n == 0) return comb;
+
+  // The largest estimated result is pipelined; all others are materialized
+  // (paper §4.1(v)). First-max tie-break, as the evaluator always had.
+  for (size_t i = 1; i < n; ++i) {
+    if (components[i].first > components[comb.pipelined].first) {
+      comb.pipelined = i;
+    }
+  }
+
+  // Greedy join order: smallest estimate first, then the smallest component
+  // sharing a column with the accumulated result.
+  std::vector<bool> used(n, false);
+  std::vector<VarId> acc_cols;
+  while (comb.order.size() < n) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool connected = comb.order.empty();
+      for (VarId v : components[i].second) {
+        connected = connected || Contains(acc_cols, v);
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           components[i].first <
+               components[static_cast<size_t>(best)].first)) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    comb.order.push_back(static_cast<size_t>(best));
+    acc_cols = JoinColumns(acc_cols,
+                           components[static_cast<size_t>(best)].second);
+  }
+
+  if (n > 1) {
+    double join_inputs = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      join_inputs += components[i].first;
+      if (i != comb.pipelined) {
+        comb.combine_cost += k.c_m * components[i].first;
+      }
+    }
+    comb.combine_cost += k.c_j * join_inputs;
+  }
+  comb.est_rows = estimator_->EstimateJoin(components);
+  return comb;
+}
+
+void Planner::Finalize(PhysicalPlan* plan) const {
+  plan->profile_name = profile_->name;
+  plan->union_term_limit = profile_->max_union_terms;
+  int next_id = 0;
+  // Preorder ids (non-const walk; ForEachNode is const-only).
+  struct Assign {
+    int* next;
+    void operator()(PlanNode* node) {
+      if (node == nullptr) return;
+      node->id = (*next)++;
+      for (auto& child : node->children) (*this)(child.get());
+    }
+  };
+  Assign{&next_id}(plan->root.get());
+  plan->num_nodes = next_id;
+}
+
+PhysicalPlan Planner::PlanCQ(const ConjunctiveQuery& cq) const {
+  const CostConstants& k = profile_->cost;
+  PhysicalPlan plan;
+  plan.shape = PlanShape::kCq;
+  plan.profile_name = profile_->name;
+  plan.num_components = 1;
+
+  std::unique_ptr<PlanNode> chain = BuildCqChain(cq);
+  auto project = MakeNode(PlanNodeKind::kProject);
+  project->head = cq.head;
+  project->bindings = cq.head_bindings;
+  project->out_columns = cq.head;
+  if (chain != nullptr) {
+    project->est_rows = chain->est_rows;
+    project->est_cost = chain->est_cost;
+    project->children.push_back(std::move(chain));
+  } else {
+    project->est_rows = 1.0;  // The atom-less CQ has one (true) row.
+  }
+
+  auto dedup = MakeNode(PlanNodeKind::kDedup);
+  dedup->out_columns = cq.head;
+  dedup->est_rows = project->est_rows;
+  dedup->est_cost = project->est_cost + k.c_l * project->est_rows;
+  dedup->children.push_back(std::move(project));
+  plan.root = std::move(dedup);
+  Finalize(&plan);
+  return plan;
+}
+
+PhysicalPlan Planner::PlanUCQ(const UnionQuery& ucq) const {
+  PhysicalPlan plan;
+  plan.shape = PlanShape::kUcq;
+  plan.profile_name = profile_->name;
+  plan.num_components = 1;
+  plan.union_terms = ucq.disjuncts.size();
+  if (ucq.disjuncts.size() > profile_->max_union_terms) {
+    plan.feasibility = Status::QueryTooComplex(
+        UnionLimitMessage(ucq.disjuncts.size(), *profile_));
+  }
+  plan.root = BuildComponent(ucq, /*component_index=*/0);
+  Finalize(&plan);
+  return plan;
+}
+
+PhysicalPlan Planner::PlanJUCQ(const JoinOfUnions& jucq) const {
+  const CostConstants& k = profile_->cost;
+  PhysicalPlan plan;
+  plan.shape = PlanShape::kJucq;
+  plan.profile_name = profile_->name;
+  plan.num_components = jucq.components.size();
+
+  std::vector<std::unique_ptr<PlanNode>> roots;
+  std::vector<std::pair<double, std::vector<VarId>>> inputs;
+  roots.reserve(jucq.components.size());
+  inputs.reserve(jucq.components.size());
+  for (size_t c = 0; c < jucq.components.size(); ++c) {
+    const UnionQuery& component = jucq.components[c];
+    plan.union_terms += component.disjuncts.size();
+    if (component.disjuncts.size() > profile_->max_union_terms &&
+        plan.feasibility.ok()) {
+      plan.feasibility = Status::QueryTooComplex(
+          UnionLimitMessage(component.disjuncts.size(), *profile_));
+    }
+    std::unique_ptr<PlanNode> root =
+        BuildComponent(component, static_cast<int>(c));
+    inputs.emplace_back(root->est_rows, component.head);
+    roots.push_back(std::move(root));
+  }
+
+  std::unique_ptr<PlanNode> tree;
+  ComponentCombination comb = CombineComponents(inputs);
+  if (roots.size() == 1) {
+    tree = std::move(roots[0]);
+  } else if (!roots.empty()) {
+    // All-but-the-largest component results are materialized.
+    for (size_t i = 0; i < roots.size(); ++i) {
+      if (i == comb.pipelined) continue;
+      auto barrier = MakeNode(PlanNodeKind::kMaterializeBarrier);
+      barrier->out_columns = roots[i]->out_columns;
+      barrier->est_rows = roots[i]->est_rows;
+      barrier->est_cost = roots[i]->est_cost + k.c_m * roots[i]->est_rows;
+      barrier->children.push_back(std::move(roots[i]));
+      roots[i] = std::move(barrier);
+    }
+    // Left-deep hash-join chain in the greedy component order.
+    std::vector<std::pair<double, std::vector<VarId>>> joined;
+    tree = std::move(roots[comb.order[0]]);
+    joined.push_back(inputs[comb.order[0]]);
+    for (size_t step = 1; step < comb.order.size(); ++step) {
+      const size_t next = comb.order[step];
+      auto join = MakeNode(PlanNodeKind::kHashJoin);
+      join->component_join = true;
+      join->out_columns =
+          JoinColumns(tree->out_columns, roots[next]->out_columns);
+      joined.push_back(inputs[next]);
+      join->est_rows = estimator_->EstimateJoin(joined);
+      // Each component's rows are fed into the join pipeline once; the
+      // first join also accounts for its left (first) component.
+      join->est_cost = tree->est_cost + roots[next]->est_cost +
+                       k.c_j * inputs[next].first +
+                       (step == 1 ? k.c_j * inputs[comb.order[0]].first : 0.0);
+      join->children.push_back(std::move(tree));
+      join->children.push_back(std::move(roots[next]));
+      tree = std::move(join);
+    }
+  }
+
+  auto project = MakeNode(PlanNodeKind::kProject);
+  project->head = jucq.head;
+  project->out_columns = jucq.head;
+  if (tree != nullptr) {
+    project->est_rows = tree->est_rows;
+    project->est_cost = tree->est_cost;
+    project->children.push_back(std::move(tree));
+  }
+
+  auto dedup = MakeNode(PlanNodeKind::kDedup);
+  dedup->out_columns = jucq.head;
+  dedup->est_rows = comb.est_rows;
+  // c_db is the per-query engine round-trip constant, charged once at the
+  // plan root (this keeps ExplainCost the sum it always was).
+  dedup->est_cost = project->est_cost + k.c_l * comb.est_rows + k.c_db;
+  dedup->children.push_back(std::move(project));
+  plan.root = std::move(dedup);
+  Finalize(&plan);
+  return plan;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,93 @@
+#ifndef RDFOPT_ENGINE_PLANNER_H_
+#define RDFOPT_ENGINE_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cost/cardinality.h"
+#include "engine/engine_profile.h"
+#include "engine/plan.h"
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// THE greedy atom ordering of the engine (DESIGN.md §3): the first atom is
+/// the one with the smallest estimated scan, every further pick prefers
+/// atoms sharing a variable with what is ordered so far and, among equals,
+/// the smallest scan (ties resolved to the lowest index). This used to be
+/// re-derived in the evaluator, the explainer and the engine cost walk; it
+/// now exists exactly once and every consumer goes through the plan built
+/// from it. `cards` must hold one estimated scan size per atom.
+std::vector<size_t> GreedyAtomOrder(const std::vector<TriplePattern>& atoms,
+                                    const std::vector<double>& cards);
+
+/// The kQueryTooComplex message the engine reports for a union over the
+/// profile's plan limit; shared by the planner (plan feasibility) and the
+/// executor so both surfaces show the identical error.
+std::string UnionLimitMessage(size_t union_terms, const EngineProfile& profile);
+
+/// Builds PhysicalPlan trees for CQs, UCQs and JUCQs from estimated
+/// cardinalities and an engine profile. All ordering and operator-choice
+/// decisions are made here, at plan time, from estimates:
+///
+///  * atom order per disjunct: GreedyAtomOrder above;
+///  * operator per join step: index nested loop when the atom binds a
+///    variable of the intermediate and the estimated intermediate is 8x
+///    smaller than the atom's scan, hash join over a full scan otherwise;
+///  * JUCQ component order: CombineComponents (smallest estimate first,
+///    then smallest sharing a column), with the largest-estimate component
+///    pipelined and all others behind a MaterializeBarrier (paper §4.1(v)).
+///
+/// Every node is annotated with its estimated output rows and the
+/// cumulative §4.1-model cost of its subtree, so the same tree serves as
+/// the engine's EXPLAIN estimate (Evaluator::ExplainCost) and as the
+/// executable plan — estimate and execution cannot drift apart.
+class Planner {
+ public:
+  /// Pointees must outlive the planner.
+  Planner(const CardinalityEstimator* estimator, const EngineProfile* profile)
+      : estimator_(estimator), profile_(profile) {}
+
+  PhysicalPlan PlanCQ(const ConjunctiveQuery& cq) const;
+  PhysicalPlan PlanUCQ(const UnionQuery& ucq) const;
+  PhysicalPlan PlanJUCQ(const JoinOfUnions& jucq) const;
+
+  /// The JUCQ component-combination decision, exposed separately so the
+  /// cover cost oracle can price a candidate cover from cached per-fragment
+  /// costs without re-planning the fragments. Inputs are
+  /// (estimated rows, output columns) per component, in component order.
+  struct ComponentCombination {
+    std::vector<size_t> order;  ///< Join order (indices into the input).
+    size_t pipelined = 0;       ///< Component not materialized (largest est).
+    /// Materialization (c_m) + join (c_j) cost of combining the components;
+    /// zero for a single component.
+    double combine_cost = 0.0;
+    double est_rows = 0.0;  ///< Estimated rows of the joined result.
+  };
+  ComponentCombination CombineComponents(
+      const std::vector<std::pair<double, std::vector<VarId>>>& components)
+      const;
+
+  const CardinalityEstimator& estimator() const { return *estimator_; }
+  const EngineProfile& profile() const { return *profile_; }
+
+ private:
+  /// Join tree over the disjunct's atoms (constant atoms become boolean
+  /// existence guards below the driving scan); no projection or dedup.
+  /// Null for a disjunct with no atoms (the always-true CQ).
+  std::unique_ptr<PlanNode> BuildCqChain(const ConjunctiveQuery& cq) const;
+  /// Dedup(UnionAll(disjunct chains)) — one JUCQ component (or a whole UCQ).
+  std::unique_ptr<PlanNode> BuildComponent(const UnionQuery& ucq,
+                                           int component_index) const;
+  /// Preorder ids + node count + plan-level aggregates.
+  void Finalize(PhysicalPlan* plan) const;
+
+  const CardinalityEstimator* estimator_;
+  const EngineProfile* profile_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_ENGINE_PLANNER_H_

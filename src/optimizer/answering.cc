@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "engine/planner.h"
 #include "optimizer/gcov.h"
 #include "reformulation/minimize.h"
 #include "reformulation/subsumption.h"
@@ -106,6 +107,16 @@ CachingCoverCostOracle::GetFragment(const std::vector<int>& fragment) {
               ? ComputeUcqCostInputsLiteral(entry.ucq, *estimator_)
               : ComputeUcqCostInputs(entry.ucq, *estimator_);
       entry.feasible = true;
+      if (options_.use_engine_cost_model) {
+        // Plan the fragment's component once; its cost and result estimate
+        // do not depend on the head a cover projects it to, so every
+        // candidate cover containing this fragment prices it from the cache
+        // instead of re-planning.
+        Planner planner(estimator_, &evaluator_->profile());
+        PhysicalPlan plan = planner.PlanUCQ(entry.ucq);
+        entry.engine_cost = plan.est_cost();
+        entry.engine_est_rows = plan.root->est_rows;
+      }
     }
   }
   return cache_.emplace(key, std::move(entry)).first->second;
@@ -133,6 +144,8 @@ double CachingCoverCostOracle::CoverCost(const Cover& cover) {
 double CachingCoverCostOracle::CoverCostImpl(const Cover& cover) {
   std::vector<UcqCostInputs> components;
   std::vector<std::pair<double, std::vector<VarId>>> join_inputs;
+  std::vector<std::pair<double, std::vector<VarId>>> engine_inputs;
+  double engine_component_cost = 0.0;
   components.reserve(cover.fragments.size());
   for (size_t i = 0; i < cover.fragments.size(); ++i) {
     const FragmentEntry& entry = GetFragment(cover.fragments[i]);
@@ -142,15 +155,24 @@ double CachingCoverCostOracle::CoverCostImpl(const Cover& cover) {
     }
     components.push_back(entry.inputs);
     ConjunctiveQuery cover_query = BuildCoverQuery(cq_, cover, i);
+    if (options_.use_engine_cost_model) {
+      engine_component_cost += entry.engine_cost;
+      engine_inputs.emplace_back(entry.engine_est_rows, cover_query.head);
+    }
     join_inputs.emplace_back(entry.inputs.est_result,
                              std::move(cover_query.head));
   }
 
   if (options_.use_engine_cost_model) {
-    VarTable ignored;
-    Result<JoinOfUnions> jucq = AssembleJucq(cover, &ignored);
-    if (!jucq.ok()) return kInf;
-    return evaluator_->ExplainCost(jucq.ValueOrDie(), *estimator_);
+    // Fig 9 alternative: the est_cost annotation of the plan the engine
+    // would run, assembled from the cached per-fragment component costs
+    // plus the planner's component-combination pricing — no reformulation
+    // or re-planning per candidate.
+    const CostConstants& k = evaluator_->profile().cost;
+    Planner::ComponentCombination comb =
+        evaluator_->planner().CombineComponents(engine_inputs);
+    return k.c_db + engine_component_cost + comb.combine_cost +
+           k.c_l * comb.est_rows;
   }
 
   PaperCostModel model(evaluator_->profile().cost);
@@ -219,7 +241,11 @@ QueryAnswerer::QueryAnswerer(const TripleStore* data,
       vocab_(vocab),
       reformulator_(schema, vocab),
       estimator_(data, statistics),
-      evaluator_(data, profile),
+      // The answerer's evaluator plans with the statistics-backed estimator
+      // (estimator_ is declared before evaluator_, so this is safe); the
+      // saturation evaluator keeps its own statistics-free one — data-store
+      // statistics would be wrong for the saturated store.
+      evaluator_(data, profile, &estimator_),
       saturated_evaluator_(saturated, profile) {}
 
 Result<AnswerOutcome> QueryAnswerer::AnswerBySaturation(
@@ -269,6 +295,16 @@ Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
     }
   }
 
+  Stopwatch plan_timer;
+  PhysicalPlan plan;
+  {
+    TraceSpan span("answer.plan");
+    plan = evaluator_.planner().PlanJUCQ(jucq);
+    outcome.plan_ms = plan_timer.ElapsedMillis();
+    span.Attr("nodes", plan.num_nodes);
+    span.Attr("est_cost", plan.est_cost());
+  }
+
   {
     TraceSpan span("answer.evaluate");
     if (span.active()) {
@@ -279,7 +315,7 @@ Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
       span.Attr("cover", cover.Key());
     }
     RDFOPT_ASSIGN_OR_RETURN(outcome.answers,
-                            evaluator_.EvaluateJUCQ(jucq, &outcome.eval));
+                            evaluator_.ExecutePlan(&plan, &outcome.eval));
     span.Attr("actual_ms", outcome.eval.elapsed_ms);
     span.Attr("rows", outcome.answers.num_rows());
   }
@@ -288,6 +324,7 @@ Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
   if (oracle->options().keep_reformulation) {
     outcome.jucq = std::move(jucq);
     outcome.jucq_vars = std::move(vars);
+    outcome.plan = std::move(plan);
   }
   return outcome;
 }

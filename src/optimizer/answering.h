@@ -75,6 +75,7 @@ struct AnswerOutcome {
   Cover chosen_cover;
   double optimize_ms = 0.0;     ///< Cover search (zero for fixed strategies).
   double reformulate_ms = 0.0;  ///< Building the final JUCQ's UCQs.
+  double plan_ms = 0.0;         ///< Building the physical plan.
   /// Engine evaluation time. Derived: always equal to `eval.elapsed_ms`
   /// (kept as a top-level field so the phase split optimize/reformulate/
   /// evaluate reads uniformly); do not time it independently.
@@ -92,9 +93,13 @@ struct AnswerOutcome {
   /// variables; populated only with AnswerOptions::keep_reformulation.
   std::optional<JoinOfUnions> jucq;
   std::optional<VarTable> jucq_vars;
+  /// The executed physical plan, with per-node actual row counts — feeds
+  /// EXPLAIN / EXPLAIN ANALYZE in the shell. Populated only with
+  /// AnswerOptions::keep_reformulation.
+  std::optional<PhysicalPlan> plan;
 
   double total_ms() const {
-    return optimize_ms + reformulate_ms + evaluate_ms;
+    return optimize_ms + reformulate_ms + plan_ms + evaluate_ms;
   }
 };
 
@@ -131,6 +136,12 @@ class CachingCoverCostOracle : public CoverCostOracle {
     bool feasible = false;
     UnionQuery ucq;  // Head = all original variables of the fragment.
     UcqCostInputs inputs;
+    /// Engine-model (Fig 9 alternative) cost and result estimate of the
+    /// fragment's component plan. Head-independent, so cacheable per
+    /// fragment: candidate covers are priced from these without re-planning
+    /// the fragment. Computed only under use_engine_cost_model.
+    double engine_cost = 0.0;
+    double engine_est_rows = 0.0;
   };
   using FragmentKey = uint64_t;  // Atom-index bitmask.
 

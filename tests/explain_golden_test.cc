@@ -1,0 +1,119 @@
+// Golden-file tests pinning the EXPLAIN and EXPLAIN ANALYZE output for two
+// fixed LUBM queries. The rendered text is the user-facing contract of the
+// plan layer (shell `.explain`, docs); any change to the plan shape, the
+// join orders or the formatting shows up as a readable diff against
+// tests/golden/*.txt.
+//
+// To regenerate after an intentional change:
+//   RDFOPT_UPDATE_GOLDENS=1 ./rdfopt_tests --gtest_filter='ExplainGolden*'
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/explain.h"
+#include "optimizer/answering.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+#ifndef RDFOPT_GOLDEN_DIR
+#define RDFOPT_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace rdfopt {
+namespace {
+
+class ExplainGoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph();
+    LubmOptions options;
+    options.num_universities = 1;
+    GenerateLubm(options, graph_);
+    graph_->FinalizeSchema();
+    store_ = new TripleStore(TripleStore::Build(graph_->data_triples()));
+    stats_ = new Statistics(Statistics::Compute(*store_));
+    profile_ = new EngineProfile(PostgresLikeProfile());
+    answerer_ = new QueryAnswerer(store_, /*saturated=*/nullptr,
+                                  &graph_->schema(), &graph_->vocab(), stats_,
+                                  profile_);
+  }
+
+  /// Executes `text` under SCQ with the plan kept, so both the estimate-only
+  /// EXPLAIN and the post-execution EXPLAIN ANALYZE render from the same
+  /// (executed) plan. SCQ is a fixed cover: no optimizer search, fully
+  /// deterministic output.
+  AnswerOutcome MustAnswerScq(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &graph_->dict());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    AnswerOptions options;
+    options.strategy = Strategy::kScq;
+    options.keep_reformulation = true;
+    Result<AnswerOutcome> r = answerer_->Answer(q.ValueOrDie(), options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.TakeValue();
+  }
+
+  static void CheckGolden(const std::string& name,
+                          const std::string& actual) {
+    const std::string path = std::string(RDFOPT_GOLDEN_DIR) + "/" + name;
+    if (std::getenv("RDFOPT_UPDATE_GOLDENS") != nullptr) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path
+                           << " (regenerate with RDFOPT_UPDATE_GOLDENS=1)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), actual)
+        << name << " drifted; if intentional, regenerate with "
+        << "RDFOPT_UPDATE_GOLDENS=1";
+  }
+
+  static Graph* graph_;
+  static TripleStore* store_;
+  static Statistics* stats_;
+  static EngineProfile* profile_;
+  static QueryAnswerer* answerer_;
+};
+
+Graph* ExplainGoldenTest::graph_ = nullptr;
+TripleStore* ExplainGoldenTest::store_ = nullptr;
+Statistics* ExplainGoldenTest::stats_ = nullptr;
+EngineProfile* ExplainGoldenTest::profile_ = nullptr;
+QueryAnswerer* ExplainGoldenTest::answerer_ = nullptr;
+
+TEST_F(ExplainGoldenTest, MotivatingQ1ExplainAndAnalyze) {
+  AnswerOutcome o = MustAnswerScq(LubmMotivatingQ1().text);
+  ASSERT_TRUE(o.plan.has_value());
+  CheckGolden("lubm_q1_scq_explain.txt",
+              ExplainPlan(*o.plan, *o.jucq_vars, graph_->dict()));
+  ExplainOptions analyze;
+  analyze.analyze = true;
+  CheckGolden("lubm_q1_scq_explain_analyze.txt",
+              ExplainPlan(*o.plan, *o.jucq_vars, graph_->dict(), analyze));
+}
+
+TEST_F(ExplainGoldenTest, MotivatingQ2ExplainAndAnalyze) {
+  // The paper's q2: its one-component UCQ reformulation is over every
+  // profile's plan limit, but the SCQ cover stays feasible — six components,
+  // exercising the materialize/pipeline split and the component join order.
+  AnswerOutcome o = MustAnswerScq(LubmMotivatingQ2().text);
+  ASSERT_TRUE(o.plan.has_value());
+  CheckGolden("lubm_q2_scq_explain.txt",
+              ExplainPlan(*o.plan, *o.jucq_vars, graph_->dict()));
+  ExplainOptions analyze;
+  analyze.analyze = true;
+  CheckGolden("lubm_q2_scq_explain_analyze.txt",
+              ExplainPlan(*o.plan, *o.jucq_vars, graph_->dict(), analyze));
+}
+
+}  // namespace
+}  // namespace rdfopt
