@@ -16,9 +16,13 @@
 // then traced and appended to <path> as one JSON record
 //   {"query","engine","strategy","ok","answers","total_ms","optimize_ms",
 //    "reformulate_ms","plan_ms","evaluate_ms","union_terms","num_components",
-//    "covers_examined","spans":{...},"metrics":{...}}
+//    "covers_examined","worker_threads","spans":{...},"metrics":{...}}
 // (the file is a JSON array of records), making the BENCH_*.json
 // trajectories reproducible straight from the harness.
+//
+// `--threads N` sets EngineProfile::worker_threads on every profile the
+// harness hands out (default 1 = sequential). Answers and counters are
+// identical at any setting (DESIGN.md §9); only wall-clock changes.
 
 #include <cstdio>
 #include <cstdlib>
@@ -87,6 +91,41 @@ class BenchJsonWriter {
   std::FILE* file_;
   bool first_ = true;
 };
+
+/// The evaluator worker-thread count selected by `--threads N` (default 1 =
+/// sequential). Applied to every engine profile a bench copies through
+/// RunStrategyMatrix / WithBenchThreads; recorded in the --json sidecar.
+inline size_t& BenchWorkerThreadsSlot() {
+  static size_t threads = 1;
+  return threads;
+}
+inline size_t BenchWorkerThreads() { return BenchWorkerThreadsSlot(); }
+
+/// Scans argv for `--threads N` and removes the pair from argv (so later
+/// flag parsers — e.g. google-benchmark's — never see it). Call before
+/// InitBenchJson. Answers are identical at any setting (DESIGN.md §9); only
+/// wall-clock changes.
+inline void InitBenchThreads(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0) continue;
+    if (i + 1 >= *argc) {
+      std::fprintf(stderr, "--threads requires a count argument\n");
+      return;
+    }
+    long long parsed = std::atoll(argv[i + 1]);
+    if (parsed >= 1) BenchWorkerThreadsSlot() = static_cast<size_t>(parsed);
+    for (int j = i + 2; j < *argc; ++j) argv[j - 2] = argv[j];
+    *argc -= 2;
+    return;
+  }
+}
+
+/// A copy of `profile` with the --threads worker count applied.
+inline EngineProfile WithBenchThreads(const EngineProfile& profile) {
+  EngineProfile copy = profile;
+  copy.worker_threads = BenchWorkerThreads();
+  return copy;
+}
 
 /// Scans argv for `--json <path>` and installs the process-wide writer.
 /// Call first thing in main(); without the flag this is a no-op.
@@ -197,6 +236,7 @@ inline std::string StrategyRunRecord(const std::string& query_name,
   json.Key("num_components").Value(uint64_t{run.num_components});
   json.Key("covers_examined").Value(uint64_t{run.covers_examined});
   json.Key("optimizer_timed_out").Value(run.optimizer_timed_out);
+  json.Key("worker_threads").Value(uint64_t{BenchWorkerThreads()});
   if (!trace_json.empty()) json.Key("spans").Raw(trace_json);
   json.Key("metrics").Raw(MetricsRegistry::Global().ToJson());
   json.EndObject();
@@ -286,7 +326,7 @@ inline void RunStrategyMatrix(BenchEnv* env,
   for (const BenchmarkQuery& bq : queries) {
     Query query = ParseOrDie(bq.text, &env->graph.dict());
     for (int p = 0; p < 3; ++p) {
-      const EngineProfile& profile = *ThreeProfiles()[p];
+      EngineProfile profile = WithBenchThreads(*ThreeProfiles()[p]);
       QueryAnswerer answerer = env->MakeAnswerer(profile);
       StrategyRun ucq = RunStrategy(answerer, query, Strategy::kUcq, {},
                                     bq.name, profile.name);

@@ -45,6 +45,7 @@ int Main() {
 }  // namespace rdfopt::bench
 
 int main(int argc, char** argv) {
+  rdfopt::bench::InitBenchThreads(&argc, argv);
   rdfopt::bench::InitBenchJson(argc, argv);
   return rdfopt::bench::Main();
 }

@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchThreads(&argc, argv);
   InitBenchJson(argc, argv);
   BenchEnv env = BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_TRIPLES", 1'000'000));
   RunStrategyMatrix(&env, rdfopt::LubmQuerySet(), "Figure 4 (LUBM small)");

@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchThreads(&argc, argv);
   InitBenchJson(argc, argv);
   BenchEnv env =
       BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_LARGE_TRIPLES", 2'000'000));

@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchThreads(&argc, argv);
   InitBenchJson(argc, argv);
   BenchEnv env = BenchEnv::Dblp(EnvSize("RDFOPT_DBLP_TRIPLES", 500'000));
   RunStrategyMatrix(&env, rdfopt::DblpQuerySet(), "Figure 6 (DBLP)");

@@ -20,7 +20,7 @@ int Main(const std::vector<BenchmarkQuery>& queries, const char* title,
   std::printf("%-5s %12s %12s | %12s %12s %12s %12s\n", "q", "ECov#",
               "GCov#", "ECov ms", "GCov ms", "UCQ-build", "SCQ-build");
 
-  const EngineProfile& profile = PostgresLikeProfile();
+  const EngineProfile profile = WithBenchThreads(PostgresLikeProfile());
   Reformulator reformulator(&env->graph.schema(), &env->graph.vocab());
   Evaluator evaluator(&env->store, &profile);
   CardinalityEstimator estimator(&env->store, &env->stats);
@@ -82,6 +82,7 @@ int Main(const std::vector<BenchmarkQuery>& queries, const char* title,
 
 int main(int argc, char** argv) {
   using namespace rdfopt::bench;
+  InitBenchThreads(&argc, argv);
   InitBenchJson(argc, argv);
   BenchEnv env = BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_TRIPLES", 1'000'000));
   return Main(rdfopt::LubmQuerySet(), "Figure 7 (LUBM)", &env);

@@ -20,7 +20,7 @@ int Main() {
   std::printf("%-5s %12s %12s | %12s %12s\n", "q", "ECov#", "GCov#",
               "ECov ms", "GCov ms");
 
-  const EngineProfile& profile = PostgresLikeProfile();
+  const EngineProfile profile = WithBenchThreads(PostgresLikeProfile());
   Reformulator reformulator(&env.graph.schema(), &env.graph.vocab());
   Evaluator evaluator(&env.store, &profile);
   CardinalityEstimator estimator(&env.store, &env.stats);
@@ -53,6 +53,7 @@ int Main() {
 }  // namespace rdfopt::bench
 
 int main(int argc, char** argv) {
+  rdfopt::bench::InitBenchThreads(&argc, argv);
   rdfopt::bench::InitBenchJson(argc, argv);
   return rdfopt::bench::Main();
 }

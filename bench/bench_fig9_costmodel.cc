@@ -11,7 +11,7 @@ namespace {
 
 int Main() {
   BenchEnv env = BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_TRIPLES", 1'000'000));
-  const EngineProfile& profile = PostgresLikeProfile();
+  const EngineProfile profile = WithBenchThreads(PostgresLikeProfile());
   QueryAnswerer answerer = env.MakeAnswerer(profile);
 
   std::printf("\n== Figure 9: cost model comparison on %s (times in ms)\n",
@@ -44,6 +44,7 @@ int Main() {
 }  // namespace rdfopt::bench
 
 int main(int argc, char** argv) {
+  rdfopt::bench::InitBenchThreads(&argc, argv);
   rdfopt::bench::InitBenchJson(argc, argv);
   return rdfopt::bench::Main();
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/trace.h"
 #include "engine/evaluator.h"
 #include "engine/operators.h"
@@ -192,6 +193,27 @@ void BM_ExecutePlannedJucq(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutePlannedJucq);
 
+// The same prebuilt ~2256-disjunct UCQ plan executed with
+// EngineProfile::worker_threads = Arg (1 = the sequential path). Answers
+// and counters are identical across args (DESIGN.md §9); real time shows
+// the morsel-parallel speedup. `--threads N` adds N to the arg list.
+void BM_ExecuteUnionParallel(benchmark::State& state) {
+  MicroEnv& env = Env();
+  EngineProfile profile = PostgresLikeProfile();
+  profile.worker_threads = static_cast<size_t>(state.range(0));
+  Evaluator evaluator(&env.store, &profile);
+  VarTable vars;
+  JoinOfUnions jucq = ReformulatedQ1Jucq(env, &vars);
+  PhysicalPlan plan = evaluator.planner().PlanJUCQ(jucq);
+  for (auto _ : state) {
+    Result<Relation> r = evaluator.ExecutePlan(&plan, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(jucq.components[0].size()));
+}
+BENCHMARK(BM_ExecuteUnionParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 void BM_ReformulateTypeVariableAtom(benchmark::State& state) {
   MicroEnv& env = Env();
   Reformulator reformulator(&env.graph.schema(), &env.graph.vocab());
@@ -269,6 +291,26 @@ void BM_TripleStoreBuild(benchmark::State& state) {
 BENCHMARK(BM_TripleStoreBuild);
 
 }  // namespace
+
+/// `--threads N` beyond the statically registered 1/2/4 sweep adds one more
+/// BM_ExecuteUnionParallel configuration at that count.
+void RegisterExtraThreadArg() {
+  size_t threads = bench::BenchWorkerThreads();
+  if (threads == 1 || threads == 2 || threads == 4) return;
+  benchmark::RegisterBenchmark("BM_ExecuteUnionParallel",
+                               BM_ExecuteUnionParallel)
+      ->Arg(static_cast<int64_t>(threads))
+      ->UseRealTime();
+}
+
 }  // namespace rdfopt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  rdfopt::bench::InitBenchThreads(&argc, argv);
+  rdfopt::RegisterExtraThreadArg();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

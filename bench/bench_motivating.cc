@@ -76,7 +76,7 @@ std::string CoverLabel(const Cover& cover) {
 
 int Main() {
   BenchEnv env = BenchEnv::Lubm(EnvSize("RDFOPT_LUBM_TRIPLES", 1'000'000));
-  const EngineProfile& profile = PostgresLikeProfile();
+  const EngineProfile profile = WithBenchThreads(PostgresLikeProfile());
   Evaluator evaluator(&env.store, &profile);
   Reformulator reformulator(&env.graph.schema(), &env.graph.vocab());
 
@@ -168,6 +168,7 @@ int Main() {
 }  // namespace rdfopt::bench
 
 int main(int argc, char** argv) {
+  rdfopt::bench::InitBenchThreads(&argc, argv);
   rdfopt::bench::InitBenchJson(argc, argv);
   return rdfopt::bench::Main();
 }

@@ -15,7 +15,7 @@ void PrintWorkloadRows(const char* title, BenchEnv* env,
   std::printf("%-5s %8s %12s %14s\n", "q", "#atoms", "|q_ref|", "|q(db)|");
 
   Reformulator reformulator(&env->graph.schema(), &env->graph.vocab());
-  const EngineProfile& profile = NativeStoreProfile();
+  const EngineProfile profile = WithBenchThreads(NativeStoreProfile());
   Evaluator saturated_eval(&env->saturated, &profile);
 
   for (const BenchmarkQuery& bq : queries) {
@@ -57,6 +57,7 @@ int Main() {
 }  // namespace rdfopt::bench
 
 int main(int argc, char** argv) {
+  rdfopt::bench::InitBenchThreads(&argc, argv);
   rdfopt::bench::InitBenchJson(argc, argv);
   return rdfopt::bench::Main();
 }

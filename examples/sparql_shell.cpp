@@ -17,6 +17,8 @@
 //                          node produced during execution
 //   .sql on|off            print the SQL deployment of the JUCQ
 //   .trace on|off          print the span tree after each query
+//   .threads N             evaluator worker threads (1 = sequential;
+//                          answers are identical at any setting)
 //   .metrics [reset]       dump (or zero) the process metrics registry
 //   .calibrate             fit the cost-model constants on this machine
 //   .stats                 database statistics
@@ -141,7 +143,8 @@ int main(int argc, char** argv) {
         std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
                     "| .subsume on|off | .minimize on|off "
                     "| .explain on|off|analyze | .sql on|off | .trace on|off "
-                    "| .metrics [reset] | .calibrate | .stats | .quit\n"
+                    "| .threads N | .metrics [reset] | .calibrate | .stats "
+                    "| .quit\n"
                     ".explain analyze prints the executed plan with "
                     "estimated AND actual rows per node\n");
       } else if (op == ".strategy") {
@@ -176,6 +179,15 @@ int main(int argc, char** argv) {
         trace = (arg == "on");
         TraceSession::Install(trace ? &trace_session : nullptr);
         std::printf("trace = %s\n", trace ? "on" : "off");
+      } else if (op == ".threads") {
+        int n = std::atoi(arg.c_str());
+        if (n < 1) {
+          std::printf(".threads N — N >= 1 (1 = sequential)\n");
+          continue;
+        }
+        profile.worker_threads = static_cast<size_t>(n);
+        std::printf("threads = %d%s\n", n,
+                    n == 1 ? " (sequential)" : "");
       } else if (op == ".metrics") {
         if (arg == "reset") {
           MetricsRegistry::Global().Reset();

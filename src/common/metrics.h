@@ -27,6 +27,13 @@ namespace rdfopt {
 ///
 /// Counters are lock-free; histogram observation takes a short mutex.
 /// `Reset()` zeroes every instrument in place (for tests and the shell).
+///
+/// Concurrency contract: `Add`/`Increment`/`Observe` and the registry's
+/// `GetCounter`/`GetHistogram` may be called from any thread concurrently —
+/// the parallel union/JUCQ executor (engine/evaluator.cc, worker_threads >
+/// 1) reports from pool workers, so every increment must stay race-free.
+/// Totals are sums of atomic adds and therefore independent of the thread
+/// count and interleaving.
 
 class MetricCounter {
  public:

@@ -29,6 +29,10 @@ enum class StatusCode {
   /// Evaluation or search exceeded its time budget (paper: 2h query timeout,
   /// ECov timeout on the 10-atom DBLP query).
   kTimeout,
+  /// Work abandoned because a sibling task already failed (first-error-wins
+  /// cancellation in the parallel executor); never the root cause of a
+  /// failure and never reported past WorkerPool::ParallelFor.
+  kCancelled,
   kInternal,
 };
 
@@ -62,6 +66,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -55,6 +55,33 @@ const TraceSpanRecord* TraceSession::FindSpan(std::string_view name) const {
   return nullptr;
 }
 
+void TraceSession::AdoptChildSpans(const TraceSession& child,
+                                   double start_offset_ms) {
+  const int adopt_parent = open_stack_.empty() ? -1 : open_stack_.back();
+  const int adopt_depth =
+      adopt_parent < 0 ? 0
+                       : spans_[static_cast<size_t>(adopt_parent)].depth + 1;
+  // Child indices shift by the current size; dropped children stay dropped.
+  const int base = static_cast<int>(spans_.size());
+  for (const TraceSpanRecord& record : child.spans()) {
+    if (spans_.size() >= max_spans_) {
+      ++dropped_;
+      continue;
+    }
+    TraceSpanRecord adopted = record;
+    adopted.start_ms += start_offset_ms;
+    if (adopted.parent < 0) {
+      adopted.parent = adopt_parent;
+      adopted.depth = adopt_depth;
+    } else {
+      adopted.parent += base;
+      adopted.depth += adopt_depth;
+    }
+    spans_.push_back(std::move(adopted));
+  }
+  dropped_ += child.dropped_spans();
+}
+
 int TraceSession::OpenSpan(const char* name) {
   if (spans_.size() >= max_spans_) {
     ++dropped_;

@@ -19,8 +19,18 @@ namespace rdfopt {
 /// Instrumented code opens spans through the RAII `TraceSpan`, which reads
 /// the thread-local current session. When no session is installed the span
 /// constructor is a single pointer load and branch, and attributes are never
-/// formatted: tracing is zero-cost when off. Sessions are single-threaded —
-/// install one per thread that answers queries.
+/// formatted: tracing is zero-cost when off.
+///
+/// Threading model: a session's span buffer is written by exactly one thread
+/// at a time — install one session per thread that answers queries. Parallel
+/// workers inside one query (engine/evaluator.cc) do not write into the
+/// coordinator's session concurrently; each worker records into its own
+/// scratch session, and after the workers join the coordinator adopts those
+/// buffers in deterministic task order via AdoptChildSpans, re-parenting the
+/// workers' spans under its currently open span (e.g. `op.scan` spans from
+/// union workers end up under the one `engine.ucq` parent, exactly where the
+/// sequential executor would have put them). Reading the session clock
+/// (ElapsedMillis) is safe from any thread.
 
 /// One recorded span. Spans are stored flat in open order; the tree is
 /// encoded by `parent` (index into the session's span vector, -1 for roots).
@@ -58,6 +68,20 @@ class TraceSession {
   /// Drops all recorded spans and restarts the session clock; call between
   /// queries to get one tree per query.
   void Clear();
+
+  /// Milliseconds since construction or the last Clear(); the timeline span
+  /// start offsets are measured on. Thread-safe (pure read).
+  double ElapsedMillis() const { return clock_.ElapsedMillis(); }
+
+  /// Appends every span of `child` to this session, re-parenting the child's
+  /// roots under this session's innermost open span (or as roots). Child
+  /// span start offsets are shifted by `start_offset_ms`, the point on this
+  /// session's timeline where the child session's clock started. Closed-over
+  /// spans keep their recorded durations; the child session is not modified.
+  /// Spans over this session's cap are dropped (counted in dropped_spans),
+  /// and the child's own dropped count carries over. Must be called from the
+  /// thread that owns this session, after the child's writer has finished.
+  void AdoptChildSpans(const TraceSession& child, double start_offset_ms);
 
   const std::vector<TraceSpanRecord>& spans() const { return spans_; }
   /// First span with `name`, or null (test/inspection convenience).

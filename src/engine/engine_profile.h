@@ -56,6 +56,17 @@ struct EngineProfile {
   /// scaled to our ~100x smaller data).
   double timeout_seconds = 60.0;
 
+  /// Degree of intra-query parallelism: the total number of threads (the
+  /// coordinating caller plus worker_threads - 1 pool workers) that evaluate
+  /// independent UNION disjuncts and JUCQ components concurrently. 1 — the
+  /// default, and what every built-in profile uses — runs the exact
+  /// sequential executor the paper's single-connection RDBMS setup implies;
+  /// results, metrics and EXPLAIN ANALYZE actuals are byte-identical either
+  /// way (DESIGN.md §9), only wall-clock changes. Cost-model charging is
+  /// thread-count-invariant, so the ECov/GCov cover choice never depends on
+  /// this knob.
+  size_t worker_threads = 1;
+
   /// Calibrated §4.1 cost-model constants for this engine.
   CostConstants cost;
 };

@@ -1,8 +1,10 @@
 #include "engine/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 #include <utility>
 
 #include "common/metrics.h"
@@ -59,12 +61,31 @@ void NoteResult(PlanNode* node, const Relation& rel) {
 }  // namespace
 
 Status Evaluator::CheckTimeout(const Exec& exec) const {
-  if (exec.timer.ElapsedSeconds() > profile_->timeout_seconds) {
+  // One shared deadline and one cancellation flag per query: every worker
+  // task polls both here, so a timeout or a failure anywhere drains the
+  // whole query promptly (first-error-wins; kCancelled never outranks the
+  // root cause, see WorkerPool::ParallelFor).
+  if (exec.shared->cancelled.load(std::memory_order_acquire)) {
+    return Status::Cancelled("evaluation abandoned after a concurrent "
+                             "failure on " + profile_->name);
+  }
+  if (exec.shared->timer.ElapsedSeconds() > profile_->timeout_seconds) {
     return Status::Timeout("query exceeded the " +
                            std::to_string(profile_->timeout_seconds) +
                            "s timeout on " + profile_->name);
   }
   return Status::OK();
+}
+
+WorkerPool* Evaluator::pool() const {
+  const size_t threads = profile_->worker_threads;
+  if (threads <= 1) return nullptr;
+  // The coordinator itself executes tasks (help-first scheduling), so a
+  // total parallelism of N needs N-1 pool workers.
+  if (pool_ == nullptr || pool_->num_threads() != threads - 1) {
+    pool_ = std::make_shared<WorkerPool>(threads - 1);
+  }
+  return pool_.get();
 }
 
 void Evaluator::SpinFor(double micros) {
@@ -75,11 +96,40 @@ void Evaluator::SpinFor(double micros) {
   }
 }
 
+void Evaluator::WaitFor(double micros) {
+  if (micros <= 0.0) return;
+  // The OS overshoots sub-millisecond sleeps by ~100-150us; sleep to within
+  // the slack, then spin the precise remainder.
+  constexpr double kSlackUs = 400.0;
+  Stopwatch sw;
+  for (;;) {
+    double remaining = micros - static_cast<double>(sw.ElapsedMicros());
+    if (remaining <= kSlackUs) break;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(remaining - kSlackUs)));
+  }
+  while (sw.ElapsedMicros() < static_cast<int64_t>(micros)) {
+  }
+}
+
+void Evaluator::ChargeEmulated(Exec* exec, double micros) {
+  if (exec->debt != nullptr) {
+    *exec->debt += micros;
+  } else {
+    SpinFor(micros);
+  }
+}
+
 Status Evaluator::ChargeMaterialization(const Relation& rel,
                                         Exec* exec) const {
   exec->metrics->rows_materialized += rel.num_rows();
-  exec->materialized_cells += rel.num_cells();
-  if (exec->materialized_cells > profile_->max_materialized_cells) {
+  // The memory budget is one atomic cell counter shared by all workers of
+  // the query, so concurrent materializations are charged exactly once each.
+  const size_t charged =
+      exec->shared->materialized_cells.fetch_add(
+          rel.num_cells(), std::memory_order_relaxed) +
+      rel.num_cells();
+  if (charged > profile_->max_materialized_cells) {
     return Status::ResourceExhausted(
         "materialized intermediates exceed the memory budget of " +
         std::to_string(profile_->max_materialized_cells) + " cells on " +
@@ -87,8 +137,8 @@ Status Evaluator::ChargeMaterialization(const Relation& rel,
   }
   // Physical emulation of engines that spool intermediates (see
   // EngineProfile::materialization_us_per_row).
-  SpinFor(profile_->materialization_us_per_row *
-          static_cast<double>(rel.num_rows()));
+  ChargeEmulated(exec, profile_->materialization_us_per_row *
+                           static_cast<double>(rel.num_rows()));
   return Status::OK();
 }
 
@@ -114,7 +164,8 @@ Result<Relation> Evaluator::ExecAtomScan(PlanNode* node, Exec* exec) const {
   // The pipelined driving scan pays per-tuple executor overhead by itself;
   // a scan feeding a hash join is charged at the join.
   if (node->driving_scan) {
-    SpinFor(profile_->tuple_us_per_row * static_cast<double>(scan_size));
+    ChargeEmulated(exec, profile_->tuple_us_per_row *
+                             static_cast<double>(scan_size));
   }
   Relation out = ScanAtom(*store_, atom);
   span.Attr("rows_scanned", scan_size);
@@ -140,7 +191,8 @@ Result<Relation> Evaluator::ExecIndexJoin(PlanNode* node, Exec* exec) const {
   size_t driving = left.num_rows();
   Relation out = IndexJoinAtom(*store_, left, node->atom, &probed);
   exec->metrics->join_input_rows += driving + probed;
-  SpinFor(profile_->tuple_us_per_row * static_cast<double>(driving + probed));
+  ChargeEmulated(exec, profile_->tuple_us_per_row *
+                           static_cast<double>(driving + probed));
   span.Attr("join_input_rows", driving + probed);
   span.Attr("output_rows", out.num_rows());
   NoteResult(node, out);
@@ -149,40 +201,104 @@ Result<Relation> Evaluator::ExecIndexJoin(PlanNode* node, Exec* exec) const {
 
 Result<Relation> Evaluator::ExecHashJoin(PlanNode* node, Exec* exec) const {
   RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
-  RDFOPT_ASSIGN_OR_RETURN(Relation left, ExecNode(node->children[0].get(),
-                                                  exec));
-  if (!node->component_join) {
-    if (left.num_rows() == 0) {
-      // Short-circuit within a disjunct: skip the right subtree entirely
-      // (its nodes keep executed == false).
-      Relation out{node->out_columns};
-      NoteResult(node, out);
-      return out;
+  std::optional<Relation> left;
+  std::optional<Relation> right;
+  if (node->component_join && exec->shared->pool != nullptr) {
+    // Component UCQs are independent subqueries: evaluate both sides of the
+    // engine.join concurrently (the caller runs the left subtree itself).
+    RDFOPT_RETURN_NOT_OK(
+        ExecComponentChildrenParallel(node, exec, &left, &right));
+  } else {
+    RDFOPT_ASSIGN_OR_RETURN(Relation l, ExecNode(node->children[0].get(),
+                                                 exec));
+    left.emplace(std::move(l));
+    if (!node->component_join) {
+      if (left->num_rows() == 0) {
+        // Short-circuit within a disjunct: skip the right subtree entirely
+        // (its nodes keep executed == false).
+        Relation out{node->out_columns};
+        NoteResult(node, out);
+        return out;
+      }
+      if (left->columns().empty()) {
+        // Passed boolean guard: forward the right side unchanged, free of
+        // charge — the guard never materializes as a join at runtime.
+        RDFOPT_ASSIGN_OR_RETURN(Relation out,
+                                ExecNode(node->children[1].get(), exec));
+        NoteResult(node, out);
+        return out;
+      }
     }
-    if (left.columns().empty()) {
-      // Passed boolean guard: forward the right side unchanged, free of
-      // charge — the guard never materializes as a join at runtime.
-      RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(node->children[1].get(),
-                                                     exec));
-      NoteResult(node, out);
-      return out;
-    }
+    RDFOPT_ASSIGN_OR_RETURN(Relation r, ExecNode(node->children[1].get(),
+                                                 exec));
+    right.emplace(std::move(r));
   }
-  RDFOPT_ASSIGN_OR_RETURN(Relation right, ExecNode(node->children[1].get(),
-                                                   exec));
   RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
   // Component joins are engine.join steps of the JUCQ combination; joins
   // within a disjunct are op.hash_join.
   TraceSpan span(node->component_join ? "engine.join" : "op.hash_join");
   span.Attr("node", node->id);
-  size_t inputs = left.num_rows() + right.num_rows();
+  size_t inputs = left->num_rows() + right->num_rows();
   exec->metrics->join_input_rows += inputs;
-  SpinFor(profile_->tuple_us_per_row * static_cast<double>(inputs));
-  Relation out = HashJoin(left, right);
+  ChargeEmulated(exec, profile_->tuple_us_per_row * static_cast<double>(inputs));
+  Relation out = HashJoin(*left, *right);
   span.Attr("join_input_rows", inputs);
   span.Attr("output_rows", out.num_rows());
   NoteResult(node, out);
   return out;
+}
+
+Status Evaluator::ExecComponentChildrenParallel(
+    PlanNode* node, Exec* exec, std::optional<Relation>* left,
+    std::optional<Relation>* right) const {
+  TraceSession* parent_session = TraceSession::Current();
+  struct TaskOut {
+    EvalMetrics metrics;
+    std::optional<TraceSession> trace;
+    double trace_base_ms = 0.0;
+    std::optional<Relation> rel;
+  };
+  std::vector<TaskOut> outs(2);
+  auto run_child = [&](size_t i) -> Status {
+    TaskOut& out = outs[i];
+    Exec local;
+    local.shared = exec->shared;
+    local.metrics = &out.metrics;
+    // Both component subtrees run as worker tasks, so their emulated engine
+    // work becomes overlappable debt (paid once at task end — a component
+    // is one "connection's" worth of latency).
+    double debt = 0.0;
+    local.debt = &debt;
+    std::optional<ScopedTraceSession> scoped;
+    if (parent_session != nullptr) {
+      out.trace_base_ms = parent_session->ElapsedMillis();
+      out.trace.emplace();
+      scoped.emplace(&*out.trace);
+    }
+    Result<Relation> r = ExecNode(node->children[i].get(), &local);
+    WaitFor(debt);
+    if (!r.ok()) {
+      if (r.status().code() != StatusCode::kCancelled) {
+        exec->shared->cancelled.store(true, std::memory_order_release);
+      }
+      return r.status();
+    }
+    out.rel.emplace(r.TakeValue());
+    return Status::OK();
+  };
+  Status st = exec->shared->pool->ParallelFor(2, run_child);
+  // Deterministic merge: left subtree's spans and counters first, exactly
+  // the order the sequential executor records them in.
+  for (TaskOut& out : outs) {
+    if (parent_session != nullptr && out.trace.has_value()) {
+      parent_session->AdoptChildSpans(*out.trace, out.trace_base_ms);
+    }
+    exec->metrics->Accumulate(out.metrics);
+  }
+  RDFOPT_RETURN_NOT_OK(st);
+  *left = std::move(outs[0].rel);
+  *right = std::move(outs[1].rel);
+  return Status::OK();
 }
 
 Result<Relation> Evaluator::ExecUnionAll(PlanNode* node, Exec* exec) const {
@@ -191,19 +307,113 @@ Result<Relation> Evaluator::ExecUnionAll(PlanNode* node, Exec* exec) const {
         UnionLimitMessage(node->union_terms, *profile_));
   }
   exec->metrics->union_terms += node->union_terms;
-  // Per-union-term plan setup overhead (profile emulation), charged upfront.
-  SpinFor(profile_->union_term_overhead_us *
-          static_cast<double>(node->union_terms));
+
+  if (exec->shared->pool != nullptr && node->parallel_safe &&
+      node->children.size() > 1) {
+    return ExecUnionAllParallel(node, exec);
+  }
 
   Relation acc{std::vector<VarId>(node->head)};
   for (size_t i = 0; i < node->children.size(); ++i) {
     RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
+    // Per-union-term plan setup overhead (profile emulation). Charged
+    // exactly once per term on whichever thread executes it, so the total
+    // charged work — and the cost model's per-term c_union_term estimate —
+    // is independent of worker_threads; only wall-clock shrinks.
+    ChargeEmulated(exec, profile_->union_term_overhead_us);
     RDFOPT_ASSIGN_OR_RETURN(Relation rel, ExecNode(node->children[i].get(),
                                                    exec));
     // Per-tuple executor overhead for rows appended to the union.
-    SpinFor(profile_->tuple_us_per_row * static_cast<double>(rel.num_rows()));
-    UnionInto(&acc, rel, node->disjuncts[i].head_bindings);
+    ChargeEmulated(exec, profile_->tuple_us_per_row *
+                             static_cast<double>(rel.num_rows()));
+    ProjectInto(&acc, rel, node->disjuncts[i].head_bindings);
   }
+  NoteResult(node, acc);
+  return acc;
+}
+
+Result<Relation> Evaluator::ExecUnionAllParallel(PlanNode* node,
+                                                 Exec* exec) const {
+  const size_t n = node->children.size();
+  const size_t morsel = std::max<size_t>(1, node->morsel_size);
+  const size_t num_tasks = (n + morsel - 1) / morsel;
+  TraceSession* parent_session = TraceSession::Current();
+
+  struct TaskOut {
+    std::optional<Relation> acc;  ///< This morsel's union accumulator.
+    EvalMetrics metrics;
+    std::optional<TraceSession> trace;
+    double trace_base_ms = 0.0;
+  };
+  std::vector<TaskOut> outs(num_tasks);
+
+  auto run_morsel = [&](size_t m) -> Status {
+    TaskOut& out = outs[m];
+    Exec local;
+    local.shared = exec->shared;
+    local.metrics = &out.metrics;
+    std::optional<ScopedTraceSession> scoped;
+    if (parent_session != nullptr) {
+      // Worker spans land in a scratch buffer stamped against the parent
+      // timeline; the coordinator adopts them in morsel order below.
+      out.trace_base_ms = parent_session->ElapsedMillis();
+      out.trace.emplace();
+      scoped.emplace(&*out.trace);
+    }
+    // Emulated engine work of this morsel accumulates as debt and is paid
+    // in batched timed waits: concurrent morsels overlap their waits the
+    // way parallel engine connections overlap their latencies, so the query
+    // speeds up even when workers outnumber cores. The per-term amounts
+    // charged are exactly the sequential loop's.
+    double debt = 0.0;
+    local.debt = &debt;
+    constexpr double kFlushDebtUs = 4000.0;
+    Status st = [&]() -> Status {
+      Relation acc{std::vector<VarId>(node->head)};
+      const size_t begin = m * morsel;
+      const size_t end = std::min(n, begin + morsel);
+      for (size_t i = begin; i < end; ++i) {
+        RDFOPT_RETURN_NOT_OK(CheckTimeout(local));
+        ChargeEmulated(&local, profile_->union_term_overhead_us);
+        RDFOPT_ASSIGN_OR_RETURN(Relation rel,
+                                ExecNode(node->children[i].get(), &local));
+        ChargeEmulated(&local, profile_->tuple_us_per_row *
+                                   static_cast<double>(rel.num_rows()));
+        ProjectInto(&acc, rel, node->disjuncts[i].head_bindings);
+        if (debt >= kFlushDebtUs) {
+          WaitFor(debt);
+          debt = 0.0;
+        }
+      }
+      out.acc.emplace(std::move(acc));
+      return Status::OK();
+    }();
+    WaitFor(debt);
+    if (!st.ok() && st.code() != StatusCode::kCancelled) {
+      // First-error-wins across every concurrent batch of this query.
+      exec->shared->cancelled.store(true, std::memory_order_release);
+    }
+    return st;
+  };
+  Status st = exec->shared->pool->ParallelFor(num_tasks, run_morsel);
+
+  // The merge is sequential and in morsel index order: rows, metrics and
+  // trace spans come out exactly as the worker_threads=1 loop produces them
+  // (trace buffers are adopted even after a failure, so a partial trace
+  // still shows what ran).
+  for (TaskOut& out : outs) {
+    if (parent_session != nullptr && out.trace.has_value()) {
+      parent_session->AdoptChildSpans(*out.trace, out.trace_base_ms);
+    }
+    exec->metrics->Accumulate(out.metrics);
+  }
+  RDFOPT_RETURN_NOT_OK(st);
+
+  Relation acc{std::vector<VarId>(node->head)};
+  size_t total_rows = 0;
+  for (const TaskOut& out : outs) total_rows += out.acc->num_rows();
+  acc.Reserve(total_rows);
+  for (const TaskOut& out : outs) acc.Append(*out.acc);
   NoteResult(node, acc);
   return acc;
 }
@@ -284,7 +494,10 @@ Result<Relation> Evaluator::ExecNode(PlanNode* node, Exec* exec) const {
 Result<Relation> Evaluator::ExecutePlan(PhysicalPlan* plan,
                                         EvalMetrics* metrics) const {
   EvalMetrics scratch;
+  Exec::Shared shared;
+  shared.pool = pool();  // Null at worker_threads <= 1: purely sequential.
   Exec exec;
+  exec.shared = &shared;
   exec.metrics = metrics != nullptr ? metrics : &scratch;
   const EvalMetrics before = *exec.metrics;
   plan->ResetActuals();
@@ -299,7 +512,7 @@ Result<Relation> Evaluator::ExecutePlan(PhysicalPlan* plan,
   RDFOPT_RETURN_NOT_OK(plan->feasibility);
 
   RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(plan->root.get(), &exec));
-  exec.metrics->elapsed_ms += exec.timer.ElapsedMillis();
+  exec.metrics->elapsed_ms += shared.timer.ElapsedMillis();
   if (span.has_value() && span->active()) {
     const EvalMetrics& m = *exec.metrics;
     span->Attr("union_terms", m.union_terms - before.union_terms);

@@ -1,11 +1,14 @@
 #ifndef RDFOPT_ENGINE_EVALUATOR_H_
 #define RDFOPT_ENGINE_EVALUATOR_H_
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/worker_pool.h"
 #include "cost/cardinality.h"
 #include "engine/engine_profile.h"
 #include "engine/plan.h"
@@ -31,6 +34,18 @@ struct EvalMetrics {
   size_t rows_materialized = 0;   ///< Rows of stored (non-pipelined) inputs.
   size_t duplicates_removed = 0;  ///< Rows dropped by duplicate elimination.
   double elapsed_ms = 0.0;        ///< Wall-clock evaluation time.
+
+  /// Adds `other`'s counters into this struct. Parallel workers accumulate
+  /// into thread-local instances which the coordinator sums in task order;
+  /// integer addition commutes, so totals equal the sequential run's.
+  void Accumulate(const EvalMetrics& other) {
+    rows_scanned += other.rows_scanned;
+    join_input_rows += other.join_input_rows;
+    union_terms += other.union_terms;
+    rows_materialized += other.rows_materialized;
+    duplicates_removed += other.duplicates_removed;
+    elapsed_ms += other.elapsed_ms;
+  }
 };
 
 /// The embedded query evaluation engine: executes PhysicalPlans (see
@@ -50,6 +65,12 @@ struct EvalMetrics {
 /// plan executor that walks the tree, charges the profile's emulated costs
 /// and writes actual row counts back into the plan nodes. The convenience
 /// Evaluate* entry points plan-then-execute in one call.
+///
+/// With EngineProfile::worker_threads > 1 the executor fans independent
+/// UNION disjunct morsels and JUCQ component subtrees out to a WorkerPool,
+/// merging per-worker results, metrics and trace buffers in deterministic
+/// disjunct order — answers, EvalMetrics totals and EXPLAIN ANALYZE actuals
+/// are identical to the sequential run at any thread count (DESIGN.md §9).
 class Evaluator {
  public:
   /// Pointees must outlive the evaluator. When `estimator` is null the
@@ -101,10 +122,35 @@ class Evaluator {
   const TripleStore& store() const { return *store_; }
 
  private:
+  /// Per-evaluation state. The `Shared` part is owned by ExecutePlan and
+  /// referenced by every worker task of the query: the timeout deadline is
+  /// one clock, the materialization budget one atomic cell counter, and
+  /// `cancelled` implements first-error-wins cancellation — a failed task
+  /// sets it and every other task of the query aborts at its next
+  /// CheckTimeout poll. `metrics`, by contrast, is per-task: workers write
+  /// thread-local deltas the coordinator sums deterministically on join.
   struct Exec {
-    Stopwatch timer;
-    size_t materialized_cells = 0;
+    struct Shared {
+      Stopwatch timer;
+      std::atomic<size_t> materialized_cells{0};
+      std::atomic<bool> cancelled{false};
+      /// Set once by ExecutePlan on the coordinating thread; tasks running
+      /// on workers read it to fan nested unions back out (the pool's
+      /// help-first scheduling makes nested batches deadlock-free). Null
+      /// when worker_threads <= 1: every Exec* path is then sequential.
+      WorkerPool* pool = nullptr;
+    };
+    Shared* shared = nullptr;        // Never null inside ExecNode.
     EvalMetrics* metrics = nullptr;  // Never null inside ExecNode.
+    /// Emulated-cost debt of the enclosing worker task, in microseconds.
+    /// Null on the sequential path: emulated costs are then spun down
+    /// synchronously at the charge site (the seed behaviour). Worker tasks
+    /// point this at a task-local accumulator instead and pay the debt in
+    /// batched timed waits (WaitFor), which overlap across concurrent
+    /// tasks — emulated engine latency parallelizes the way concurrent
+    /// connections to a real engine would, without burning a core per
+    /// worker. The amount charged per operator is identical either way.
+    double* debt = nullptr;
   };
 
   Status CheckTimeout(const Exec& exec) const;
@@ -113,6 +159,18 @@ class Evaluator {
   Status ChargeMaterialization(const Relation& rel, Exec* exec) const;
   /// Physically consumes `micros` of CPU, emulating fixed plan overheads.
   static void SpinFor(double micros);
+  /// Consumes `micros` of wall-clock without holding the CPU: sleeps in
+  /// coarse chunks, then spins the final sub-slack remainder for precision.
+  static void WaitFor(double micros);
+  /// Charges `micros` of emulated engine work: spins immediately on the
+  /// sequential path, accumulates into the task's debt otherwise.
+  static void ChargeEmulated(Exec* exec, double micros);
+
+  /// The worker pool backing worker_threads > 1, created lazily (the profile
+  /// may be reconfigured between queries, e.g. the shell's `.threads`) and
+  /// resized when the knob changes. Null when worker_threads <= 1. Only the
+  /// coordinating thread calls this.
+  WorkerPool* pool() const;
 
   /// Recursive plan-tree interpreter; writes actuals into `node`.
   Result<Relation> ExecNode(PlanNode* node, Exec* exec) const;
@@ -124,10 +182,26 @@ class Evaluator {
   Result<Relation> ExecDedup(PlanNode* node, Exec* exec) const;
   Result<Relation> ExecMaterialize(PlanNode* node, Exec* exec) const;
 
+  /// Fans the union's disjunct subtrees out to the pool in morsels; each
+  /// task accumulates into a thread-local Relation, then the coordinator
+  /// merges accumulators, metrics and trace buffers in disjunct index order,
+  /// making results and counters bit-identical to the sequential loop.
+  Result<Relation> ExecUnionAllParallel(PlanNode* node, Exec* exec) const;
+  /// Executes the two children of a component-level JUCQ join concurrently
+  /// (the caller participates, so nested parallel unions keep making
+  /// progress), preserving the sequential left-then-right merge order for
+  /// metrics and trace spans.
+  Status ExecComponentChildrenParallel(PlanNode* node, Exec* exec,
+                                       std::optional<Relation>* left,
+                                       std::optional<Relation>* right) const;
+
   const TripleStore* store_;
   const EngineProfile* profile_;
   const CardinalityEstimator* external_estimator_;
   std::optional<CardinalityEstimator> owned_estimator_;
+  /// shared_ptr keeps the evaluator copyable (copies share the pool, which
+  /// is safe: pools are stateless between batches).
+  mutable std::shared_ptr<WorkerPool> pool_;
 };
 
 }  // namespace rdfopt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 namespace rdfopt {
@@ -52,6 +54,25 @@ Relation ScanAtom(const TripleStore& store, const TriplePattern& atom) {
   Relation out(shape.columns);
   out.Reserve(matches.size());
   std::vector<ValueId> row(shape.columns.size());
+
+  int var_positions = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (shape.pos_to_col[i] >= 0) ++var_positions;
+  }
+  if (static_cast<size_t>(var_positions) == shape.columns.size()) {
+    // No repeated variable: every position owns its column, so the
+    // per-triple reset/consistency loop is pure overhead — write through.
+    for (const Triple& t : matches) {
+      const ValueId values[3] = {t.s, t.p, t.o};
+      for (int i = 0; i < 3; ++i) {
+        int col = shape.pos_to_col[i];
+        if (col >= 0) row[static_cast<size_t>(col)] = values[i];
+      }
+      out.AppendRow(row);
+    }
+    return out;
+  }
+
   for (const Triple& t : matches) {
     const ValueId values[3] = {t.s, t.p, t.o};
     bool consistent = true;
@@ -99,6 +120,7 @@ Relation HashJoin(const Relation& left, const Relation& right) {
 
   if (shared.empty()) {
     // Cartesian product (cover queries never need this; plain CQs may).
+    out.Reserve(left.num_rows() * right.num_rows());
     for (size_t li = 0; li < left.num_rows(); ++li) {
       for (size_t ri = 0; ri < right.num_rows(); ++ri) emit(li, ri);
     }
@@ -109,35 +131,90 @@ Relation HashJoin(const Relation& left, const Relation& right) {
   const bool build_left = left.num_rows() <= right.num_rows();
   const Relation& build = build_left ? left : right;
   const Relation& probe = build_left ? right : left;
+  // Most probe rows find a partner in reformulation workloads; the probe
+  // side bounds the 1:1 case, so reserve that much up front.
+  out.Reserve(probe.num_rows());
 
-  auto key_of = [&](const Relation& rel, size_t i, bool is_left,
-                    std::vector<ValueId>* key) {
-    key->clear();
-    for (const auto& [lc, rc] : shared) {
-      key->push_back(rel.at(i, is_left ? lc : rc));
+  if (shared.size() <= 2) {
+    // Small-key fast path: pack the (at most two) shared ValueIds of a row
+    // into one uint64 — no per-row key vectors, trivial hashing.
+    auto key64 = [&](const Relation& rel, size_t i, bool is_left) -> uint64_t {
+      uint64_t k = 0;
+      for (const auto& [lc, rc] : shared) {
+        k = (k << 32) | static_cast<uint64_t>(rel.at(i, is_left ? lc : rc));
+      }
+      return k;
+    };
+    std::unordered_map<uint64_t, std::vector<size_t>> table;
+    table.reserve(build.num_rows());
+    for (size_t i = 0; i < build.num_rows(); ++i) {
+      table[key64(build, i, build_left)].push_back(i);
     }
-  };
+    for (size_t i = 0; i < probe.num_rows(); ++i) {
+      auto it = table.find(key64(probe, i, !build_left));
+      if (it == table.end()) continue;
+      for (size_t bi : it->second) {
+        emit(build_left ? bi : i, build_left ? i : bi);
+      }
+    }
+    return out;
+  }
 
-  struct VecHash {
-    size_t operator()(const std::vector<ValueId>& v) const {
-      return HashRow({v.data(), v.size()});
-    }
-  };
-  std::unordered_map<std::vector<ValueId>, std::vector<size_t>, VecHash> table;
-  table.reserve(build.num_rows());
-  std::vector<ValueId> key;
+  // General path: flatten all build-side keys into one arena and key the
+  // table by build row index (one allocation instead of one per row). The
+  // sentinel index lets probes look up a scratch key through the same
+  // hash/equality functors without inserting it.
+  const size_t key_arity = shared.size();
+  constexpr size_t kProbeKey = static_cast<size_t>(-1);
+  std::vector<ValueId> arena(build.num_rows() * key_arity);
   for (size_t i = 0; i < build.num_rows(); ++i) {
-    key_of(build, i, build_left, &key);
-    table[key].push_back(i);
+    for (size_t k = 0; k < key_arity; ++k) {
+      const auto& [lc, rc] = shared[k];
+      arena[i * key_arity + k] = build.at(i, build_left ? lc : rc);
+    }
+  }
+  std::vector<ValueId> probe_key(key_arity);
+  auto key_ptr = [&](size_t idx) -> const ValueId* {
+    return idx == kProbeKey ? probe_key.data()
+                            : arena.data() + idx * key_arity;
+  };
+  struct ArenaHash {
+    const std::function<const ValueId*(size_t)>* at;
+    size_t arity;
+    size_t operator()(size_t idx) const {
+      return HashRow({(*at)(idx), arity});
+    }
+  };
+  struct ArenaEq {
+    const std::function<const ValueId*(size_t)>* at;
+    size_t arity;
+    bool operator()(size_t a, size_t b) const {
+      const ValueId* pa = (*at)(a);
+      const ValueId* pb = (*at)(b);
+      for (size_t k = 0; k < arity; ++k) {
+        if (pa[k] != pb[k]) return false;
+      }
+      return true;
+    }
+  };
+  const std::function<const ValueId*(size_t)> at_fn = key_ptr;
+  // Buckets keyed by a representative build row index; rows with equal keys
+  // group under the first such row.
+  std::unordered_map<size_t, std::vector<size_t>, ArenaHash, ArenaEq> table(
+      build.num_rows(), ArenaHash{&at_fn, key_arity},
+      ArenaEq{&at_fn, key_arity});
+  for (size_t i = 0; i < build.num_rows(); ++i) {
+    table[i].push_back(i);
   }
   for (size_t i = 0; i < probe.num_rows(); ++i) {
-    key_of(probe, i, !build_left, &key);
-    auto it = table.find(key);
+    for (size_t k = 0; k < key_arity; ++k) {
+      const auto& [lc, rc] = shared[k];
+      probe_key[k] = probe.at(i, !build_left ? lc : rc);
+    }
+    auto it = table.find(kProbeKey);
     if (it == table.end()) continue;
     for (size_t bi : it->second) {
-      size_t li = build_left ? bi : i;
-      size_t ri = build_left ? i : bi;
-      emit(li, ri);
+      emit(build_left ? bi : i, build_left ? i : bi);
     }
   }
   return out;
@@ -243,12 +320,38 @@ Relation ProjectWithBindings(
   return out;
 }
 
+void ProjectInto(Relation* acc, const Relation& input,
+                 const std::vector<std::pair<VarId, ValueId>>& bindings) {
+  const std::vector<VarId>& head = acc->columns();
+  if (head.empty()) {
+    for (size_t r = 0; r < input.num_rows(); ++r) acc->AppendEmptyRow();
+    return;
+  }
+  std::vector<int> source(head.size(), -1);
+  std::vector<ValueId> constant(head.size(), kInvalidValueId);
+  for (size_t i = 0; i < head.size(); ++i) {
+    source[i] = input.ColumnIndex(head[i]);
+    if (source[i] < 0) {
+      for (const auto& [v, c] : bindings) {
+        if (v == head[i]) constant[i] = c;
+      }
+      assert(constant[i] != kInvalidValueId &&
+             "head variable neither bound by the relation nor by bindings");
+    }
+  }
+  acc->Reserve(acc->num_rows() + input.num_rows());
+  std::vector<ValueId> row(head.size());
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    for (size_t i = 0; i < head.size(); ++i) {
+      row[i] = source[i] >= 0 ? input.at(r, source[i]) : constant[i];
+    }
+    acc->AppendRow(row);
+  }
+}
+
 void UnionInto(Relation* acc, const Relation& input,
                const std::vector<std::pair<VarId, ValueId>>& bindings) {
-  Relation projected = ProjectWithBindings(input, acc->columns(), bindings);
-  for (size_t r = 0; r < projected.num_rows(); ++r) {
-    acc->AppendRow(projected.row(r));
-  }
+  ProjectInto(acc, input, bindings);
 }
 
 }  // namespace rdfopt

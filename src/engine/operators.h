@@ -45,10 +45,15 @@ Relation HashJoin(const Relation& left, const Relation& right);
 Relation IndexJoinAtom(const TripleStore& store, const Relation& left,
                        const TriplePattern& atom, size_t* rows_probed);
 
-/// Appends `input`, projected/reordered to `acc`'s columns, to `acc`.
-/// Column sets must be permutations of one another; `bindings` supplies
-/// constant values for acc columns missing from `input` (reformulation-time
-/// head bindings, see ConjunctiveQuery::head_bindings).
+/// Appends `input`, projected/reordered to `acc`'s columns, directly to
+/// `acc` — no intermediate Relation is materialized (the per-disjunct copy
+/// UnionInto used to make). `bindings` supplies constant values for acc
+/// columns missing from `input` (reformulation-time head bindings, see
+/// ConjunctiveQuery::head_bindings).
+void ProjectInto(Relation* acc, const Relation& input,
+                 const std::vector<std::pair<VarId, ValueId>>& bindings);
+
+/// Legacy spelling of ProjectInto (kept for callers/tests that predate it).
 void UnionInto(Relation* acc, const Relation& input,
                const std::vector<std::pair<VarId, ValueId>>& bindings);
 

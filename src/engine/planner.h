@@ -38,7 +38,13 @@ std::string UnionLimitMessage(size_t union_terms, const EngineProfile& profile);
 ///    smaller than the atom's scan, hash join over a full scan otherwise;
 ///  * JUCQ component order: CombineComponents (smallest estimate first,
 ///    then smallest sharing a column), with the largest-estimate component
-///    pipelined and all others behind a MaterializeBarrier (paper §4.1(v)).
+///    pipelined and all others behind a MaterializeBarrier (paper §4.1(v));
+///  * parallelism: executable unions are marked parallel_safe (their
+///    disjuncts are independent CQs) and, when the profile runs more than
+///    one worker thread, their disjunct lists are partitioned into morsels
+///    (PlanNode::morsel_size) the evaluator fans out to the worker pool.
+///    Estimated costs are deliberately thread-count-invariant: the plan and
+///    the cover chosen from it never depend on worker_threads (DESIGN.md §9).
 ///
 /// Every node is annotated with its estimated output rows and the
 /// cumulative §4.1-model cost of its subtree, so the same tree serves as

@@ -26,6 +26,15 @@ void Relation::AppendEmptyRow() {
   ++scalar_rows_;
 }
 
+void Relation::Append(const Relation& other) {
+  assert(other.columns_ == columns_);
+  if (columns_.empty()) {
+    scalar_rows_ += other.scalar_rows_;
+    return;
+  }
+  cells_.insert(cells_.end(), other.cells_.begin(), other.cells_.end());
+}
+
 size_t HashRow(std::span<const ValueId> row) {
   uint64_t h = 0xCBF29CE484222325ull;
   for (ValueId v : row) {

@@ -39,6 +39,12 @@ class Relation {
   /// relation non-empty ("true").
   void AppendEmptyRow();
 
+  /// Appends every row of `other`, whose columns must be identical (same
+  /// variables, same order). One bulk copy — the merge step of the parallel
+  /// union executor, where per-worker accumulators already share the union
+  /// head's schema.
+  void Append(const Relation& other);
+
   std::span<const ValueId> row(size_t i) const {
     return {cells_.data() + i * columns_.size(), columns_.size()};
   }
