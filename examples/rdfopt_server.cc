@@ -1,0 +1,301 @@
+// Minimal TCP front end over the QueryService (DESIGN.md §10): the serving
+// deployment of the library. Loads a dataset, builds one shared service and
+// answers queries for any number of concurrent clients, one per connection —
+// cache hits, admission control and epoch invalidation all come from the
+// service layer; this file is only sockets and JSON.
+//
+// Usage:
+//   rdfopt_server [--port N] <file.nt> | --lubm <universities>
+//                 | --dblp <publications>
+//
+// Line protocol (try it with `nc localhost 8094`): every request is one
+// line, every response is one JSON line.
+//
+//   <SPARQL query on a single line>
+//       -> {"ok":true,"columns":[...],"rows":[[...],...],"row_count":N,
+//           "truncated":false,"cache_hit":true,"epoch":0,
+//           "queue_wait_ms":...,"evaluate_ms":...,"total_ms":...}
+//       -> {"ok":false,"error":"..."} on parse/answer failure
+//   !stats      service counters (cache + admission) as JSON
+//   !metrics    the process metrics registry as JSON
+//   !quit       closes this connection
+//   !shutdown   stops the whole server (drains open connections)
+//
+// Responses cap the materialized rows at --max-rows (default 100);
+// "row_count" is always the full count.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/metrics.h"
+#include "rdf/ntriples.h"
+#include "service/query_service.h"
+#include "workload/dblp.h"
+#include "workload/lubm.h"
+
+namespace {
+
+using namespace rdfopt;
+
+struct ServerState {
+  QueryService* service = nullptr;
+  std::string preamble;  // PREFIX declarations prepended to bare queries.
+  size_t max_rows = 100;
+  std::atomic<bool> shutting_down{false};
+  int listen_fd = -1;
+
+  // Open client sockets, so !shutdown can unblock their reads.
+  std::mutex clients_mu;
+  std::set<int> clients;
+};
+
+/// Writes all of `text` plus a trailing newline; false once the peer is gone.
+bool SendLine(int fd, const std::string& text) {
+  std::string out = text;
+  out += '\n';
+  size_t sent = 0;
+  while (sent < out.size()) {
+    ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string QueryResponse(ServerState* state, const std::string& line) {
+  std::string text = line;
+  if (text.find("PREFIX") == std::string::npos &&
+      text.find("prefix") == std::string::npos) {
+    text = state->preamble + text;
+  }
+  Result<ServiceOutcome> result = state->service->AnswerText(text);
+  JsonWriter json;
+  json.BeginObject();
+  if (!result.ok()) {
+    json.Key("ok").Value(false);
+    json.Key("error").Value(result.status().ToString());
+    json.EndObject();
+    return json.TakeString();
+  }
+  const ServiceOutcome& o = result.ValueOrDie();
+  json.Key("ok").Value(true);
+  json.Key("columns").BeginArray();
+  for (const std::string& name : o.columns) json.Value(name);
+  json.EndArray();
+  const size_t shown = std::min(o.answers.num_rows(), state->max_rows);
+  json.Key("rows").BeginArray();
+  for (size_t i = 0; i < shown; ++i) {
+    json.BeginArray();
+    for (const std::string& term : state->service->DecodeRow(o.answers, i)) {
+      json.Value(term);
+    }
+    json.EndArray();
+  }
+  json.EndArray();
+  json.Key("row_count").Value(uint64_t{o.answers.num_rows()});
+  json.Key("truncated").Value(o.answers.num_rows() > shown);
+  json.Key("cache_hit").Value(o.cache_hit);
+  json.Key("epoch").Value(uint64_t{o.epoch});
+  json.Key("queue_wait_ms").Value(o.queue_wait_ms);
+  json.Key("evaluate_ms").Value(o.evaluate_ms);
+  json.Key("total_ms").Value(o.total_ms);
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string StatsResponse(ServerState* state) {
+  QueryService::Stats s = state->service->stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("epoch").Value(uint64_t{s.epoch});
+  json.Key("cache").BeginObject();
+  json.Key("hits").Value(s.cache.hits);
+  json.Key("misses").Value(s.cache.misses);
+  json.Key("evictions").Value(s.cache.evictions);
+  json.Key("stale_puts").Value(s.cache.stale_puts);
+  json.Key("entries").Value(uint64_t{s.cache.entries});
+  json.Key("bytes").Value(uint64_t{s.cache.bytes});
+  json.EndObject();
+  json.Key("admission").BeginObject();
+  json.Key("running").Value(uint64_t{s.admission.running});
+  json.Key("waiting").Value(uint64_t{s.admission.waiting});
+  json.Key("admitted").Value(s.admission.admitted);
+  json.Key("shed").Value(s.admission.shed);
+  json.Key("deadline_exceeded").Value(s.admission.deadline_exceeded);
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+/// One connection: buffered line reads, one JSON line back per request.
+void ServeConnection(ServerState* state, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // Peer closed (or !shutdown shut the socket down).
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line == "!quit") break;
+    if (line == "!shutdown") {
+      SendLine(fd, "{\"ok\":true,\"shutting_down\":true}");
+      state->shutting_down.store(true);
+      // Unblock the accept loop; it drains the remaining connections.
+      ::shutdown(state->listen_fd, SHUT_RDWR);
+      break;
+    }
+    std::string response;
+    if (line == "!stats") {
+      response = StatsResponse(state);
+    } else if (line == "!metrics") {
+      response = MetricsRegistry::Global().ToJson(/*indent=*/0);
+    } else {
+      response = QueryResponse(state, line);
+    }
+    if (!SendLine(fd, response)) break;
+  }
+  {
+    // Deregister before close: once closed the fd number is reusable, and
+    // the set must never hold a number that now names someone else's socket.
+    std::lock_guard<std::mutex> lock(state->clients_mu);
+    state->clients.erase(fd);
+  }
+  ::close(fd);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rdfopt_server [--port N] [--max-rows N] "
+               "<file.nt> | --lubm <universities> | --dblp <publications>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 8094;
+  size_t max_rows = 100;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Graph graph;
+  std::string preamble;
+  bool loaded = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--port" && i + 1 < args.size()) {
+      port = static_cast<uint16_t>(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--max-rows" && i + 1 < args.size()) {
+      max_rows = static_cast<size_t>(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--lubm" && i + 1 < args.size()) {
+      LubmOptions options;
+      options.num_universities = static_cast<size_t>(
+          std::atoi(args[++i].c_str()));
+      GenerateLubm(options, &graph);
+      preamble = "PREFIX ub: <http://lubm.example.org/univ#>\n";
+      loaded = true;
+    } else if (args[i] == "--dblp" && i + 1 < args.size()) {
+      DblpOptions options;
+      options.num_publications = static_cast<size_t>(
+          std::atoi(args[++i].c_str()));
+      GenerateDblp(options, &graph);
+      preamble = "PREFIX bib: <http://dblp.example.org/bib#>\n";
+      loaded = true;
+    } else if (!args[i].empty() && args[i][0] != '-') {
+      std::ifstream in(args[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", args[i].c_str());
+        return 2;
+      }
+      std::stringstream data;
+      data << in.rdbuf();
+      Status st = ParseNTriples(data.str(), &graph);
+      if (!st.ok()) {
+        std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      loaded = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (!loaded) return Usage();
+
+  // A write on a connection the client already closed must surface as a
+  // send() error, not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  EngineProfile profile = PostgresLikeProfile();
+  QueryService service(&graph, profile);
+  ServerState state;
+  state.service = &service;
+  state.preamble = preamble;
+  state.max_rows = max_rows;
+
+  state.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (state.listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int reuse = 1;
+  ::setsockopt(state.listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse,
+               sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(state.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(state.listen_fd, 64) < 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  std::printf("rdfopt_server: %zu data triples, serving on port %u "
+              "(one query per line; !stats !metrics !quit !shutdown)\n",
+              graph.data_triples().size(), static_cast<unsigned>(port));
+  std::fflush(stdout);
+
+  std::vector<std::thread> workers;
+  while (!state.shutting_down.load()) {
+    int fd = ::accept(state.listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listen_fd shut down or hard error.
+    {
+      std::lock_guard<std::mutex> lock(state.clients_mu);
+      state.clients.insert(fd);
+    }
+    workers.emplace_back(ServeConnection, &state, fd);
+  }
+
+  // Drain: shut down every still-open connection so its read returns, then
+  // join. ServeConnection erases fds as it exits; a stale fd here is fine
+  // (shutdown on a closed fd just returns EBADF).
+  {
+    std::lock_guard<std::mutex> lock(state.clients_mu);
+    for (int fd : state.clients) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : workers) t.join();
+  ::close(state.listen_fd);
+  std::printf("rdfopt_server: shut down (%s)\n",
+              StatsResponse(&state).c_str());
+  return 0;
+}

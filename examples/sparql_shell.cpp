@@ -20,6 +20,9 @@
 //   .threads N             evaluator worker threads (1 = sequential;
 //                          answers are identical at any setting)
 //   .metrics [reset]       dump (or zero) the process metrics registry
+//   .service [on|off]      route queries through the QueryService front
+//                          door (plan cache + admission control); bare
+//                          `.service` prints its counters
 //   .calibrate             fit the cost-model constants on this machine
 //   .stats                 database statistics
 //   .help / .quit
@@ -30,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -40,6 +44,7 @@
 #include "optimizer/answering.h"
 #include "rdf/ntriples.h"
 #include "reasoner/saturation.h"
+#include "service/query_service.h"
 #include "sparql/parser.h"
 #include "sparql/printer.h"
 #include "sparql/sql.h"
@@ -128,6 +133,7 @@ int main(int argc, char** argv) {
   bool explain_analyze = false;
   bool emit_sql = false;
   bool trace = false;
+  std::unique_ptr<QueryService> service;
   TraceSession trace_session;
   CardinalityEstimator estimator(&store, &stats);
   std::string pending;
@@ -143,10 +149,12 @@ int main(int argc, char** argv) {
         std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
                     "| .subsume on|off | .minimize on|off "
                     "| .explain on|off|analyze | .sql on|off | .trace on|off "
-                    "| .threads N | .metrics [reset] | .calibrate | .stats "
-                    "| .quit\n"
+                    "| .threads N | .metrics [reset] | .service [on|off] "
+                    "| .calibrate | .stats | .quit\n"
                     ".explain analyze prints the executed plan with "
-                    "estimated AND actual rows per node\n");
+                    "estimated AND actual rows per node\n"
+                    ".service on routes queries through the caching front "
+                    "door; bare .service prints its counters\n");
       } else if (op == ".strategy") {
         if (arg == "ucq") options.strategy = Strategy::kUcq;
         else if (arg == "scq") options.strategy = Strategy::kScq;
@@ -196,6 +204,38 @@ int main(int argc, char** argv) {
           std::printf("%s\n",
                       MetricsRegistry::Global().ToJson(/*indent=*/2).c_str());
         }
+      } else if (op == ".service") {
+        if (arg == "on") {
+          ServiceOptions service_options;
+          service_options.answer = options;
+          service = std::make_unique<QueryService>(&graph, profile,
+                                                   service_options);
+          std::printf("service = on — plans cached per (canonical query, "
+                      "epoch); strategy/threads are captured now, rerun "
+                      ".service on after changing them (.explain/.sql are "
+                      "bypassed while on)\n");
+        } else if (arg == "off") {
+          service.reset();
+          std::printf("service = off\n");
+        } else if (service) {
+          QueryService::Stats s = service->stats();
+          std::printf(
+              "service = on: epoch=%llu cache{hits=%llu misses=%llu "
+              "evictions=%llu entries=%llu bytes=%llu} admission{admitted="
+              "%llu shed=%llu deadline_exceeded=%llu}\n",
+              static_cast<unsigned long long>(s.epoch),
+              static_cast<unsigned long long>(s.cache.hits),
+              static_cast<unsigned long long>(s.cache.misses),
+              static_cast<unsigned long long>(s.cache.evictions),
+              static_cast<unsigned long long>(s.cache.entries),
+              static_cast<unsigned long long>(s.cache.bytes),
+              static_cast<unsigned long long>(s.admission.admitted),
+              static_cast<unsigned long long>(s.admission.shed),
+              static_cast<unsigned long long>(s.admission.deadline_exceeded));
+        } else {
+          std::printf("service = off (.service on routes queries through "
+                      "the caching front door)\n");
+        }
       } else if (op == ".calibrate") {
         std::printf("running calibration sweeps on %s...\n",
                     profile.name.c_str());
@@ -242,6 +282,40 @@ int main(int argc, char** argv) {
       text = preamble + text;
     }
     if (trace) trace_session.Clear();  // One span tree per query.
+    if (service) {
+      // The front door parses, canonicalizes, caches and admits; the shell
+      // only formats what comes back.
+      Result<ServiceOutcome> served = service->AnswerText(text);
+      if (trace) {
+        std::printf("-- trace:\n%s",
+                    trace_session.ToString(/*max_lines=*/200).c_str());
+      }
+      if (!served.ok()) {
+        std::printf("error: %s\n", served.status().ToString().c_str());
+        continue;
+      }
+      const ServiceOutcome& so = served.ValueOrDie();
+      const size_t limit = 20;
+      for (size_t i = 0; i < so.answers.num_rows() && i < limit; ++i) {
+        std::printf("  ");
+        for (size_t c = 0; c < so.answers.arity(); ++c) {
+          std::printf("%s%s", c > 0 ? "  " : "",
+                      graph.dict().term(so.answers.at(i, c)).Encoded().c_str());
+        }
+        if (so.answers.arity() == 0) std::printf("true");
+        std::printf("\n");
+      }
+      if (so.answers.num_rows() > limit) {
+        std::printf("  ... (%zu rows total)\n", so.answers.num_rows());
+      }
+      std::printf("%zu answer(s) in %.2f ms [service: cache %s, epoch %llu, "
+                  "%zu union terms, %zu component(s)]\n",
+                  so.answers.num_rows(), so.total_ms,
+                  so.cache_hit ? "hit" : "miss",
+                  static_cast<unsigned long long>(so.epoch), so.union_terms,
+                  so.num_components);
+      continue;
+    }
     Result<Query> query = [&] {
       TraceSpan span("answer.parse");
       return ParseQuery(text, &graph.dict());

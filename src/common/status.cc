@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
     case StatusCode::kInternal:

@@ -29,6 +29,11 @@ enum class StatusCode {
   /// Evaluation or search exceeded its time budget (paper: 2h query timeout,
   /// ECov timeout on the 10-atom DBLP query).
   kTimeout,
+  /// The caller-supplied deadline for the whole request passed before the
+  /// work could start (e.g. while queued behind the service's admission
+  /// controller). Distinct from kTimeout, which means evaluation *ran* and
+  /// exceeded its budget; a deadline rejection did no evaluation work at all.
+  kDeadlineExceeded,
   /// Work abandoned because a sibling task already failed (first-error-wins
   /// cancellation in the parallel executor); never the root cause of a
   /// failure and never reported past WorkerPool::ParallelFor.
@@ -66,6 +71,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));

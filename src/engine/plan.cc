@@ -33,4 +33,48 @@ void ResetNode(PlanNode* node) {
 
 void PhysicalPlan::ResetActuals() { ResetNode(root.get()); }
 
+namespace {
+// Field-by-field copy (PlanNode is not copyable: unique_ptr children). Any
+// future PlanNode field must be added here or clones silently lose it.
+std::unique_ptr<PlanNode> CloneNode(const PlanNode* node) {
+  if (node == nullptr) return nullptr;
+  auto copy = std::make_unique<PlanNode>(node->kind);
+  copy->id = node->id;
+  copy->atom = node->atom;
+  copy->driving_scan = node->driving_scan;
+  copy->head = node->head;
+  copy->bindings = node->bindings;
+  copy->disjuncts = node->disjuncts;
+  copy->over_limit = node->over_limit;
+  copy->union_terms = node->union_terms;
+  copy->parallel_safe = node->parallel_safe;
+  copy->morsel_size = node->morsel_size;
+  copy->component = node->component;
+  copy->component_join = node->component_join;
+  copy->out_columns = node->out_columns;
+  copy->est_rows = node->est_rows;
+  copy->est_cost = node->est_cost;
+  // actual_rows / executed stay at their fresh defaults: a clone is made to
+  // be executed, not to preserve a past execution's annotations.
+  copy->children.reserve(node->children.size());
+  for (const auto& child : node->children) {
+    copy->children.push_back(CloneNode(child.get()));
+  }
+  return copy;
+}
+}  // namespace
+
+PhysicalPlan PhysicalPlan::Clone() const {
+  PhysicalPlan copy;
+  copy.root = CloneNode(root.get());
+  copy.shape = shape;
+  copy.feasibility = feasibility;
+  copy.profile_name = profile_name;
+  copy.union_term_limit = union_term_limit;
+  copy.num_components = num_components;
+  copy.union_terms = union_terms;
+  copy.num_nodes = num_nodes;
+  return copy;
+}
+
 }  // namespace rdfopt

@@ -125,6 +125,12 @@ struct PhysicalPlan {
   /// executed again (plan caching, benchmarks).
   void ResetActuals();
 
+  /// Deep copy of the whole tree, with actuals cleared. Executing a plan
+  /// writes `actual_rows`/`executed` into its nodes, so a cached plan shared
+  /// between concurrent requests must be cloned per execution; the cached
+  /// instance stays an immutable template.
+  PhysicalPlan Clone() const;
+
   /// Depth-first preorder visit of every node.
   template <typename Fn>
   void ForEachNode(Fn&& fn) const {

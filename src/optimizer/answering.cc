@@ -324,6 +324,8 @@ Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
   if (oracle->options().keep_reformulation) {
     outcome.jucq = std::move(jucq);
     outcome.jucq_vars = std::move(vars);
+  }
+  if (oracle->options().keep_reformulation || oracle->options().keep_plan) {
     outcome.plan = std::move(plan);
   }
   return outcome;

@@ -55,6 +55,10 @@ struct AnswerOptions {
   /// Keep the evaluated JUCQ in the outcome (for EXPLAIN/SQL export; it can
   /// be large, so off by default).
   bool keep_reformulation = false;
+  /// Keep only the executed physical plan in the outcome, without retaining
+  /// the (much larger) JUCQ and its variable table. The query service uses
+  /// this to harvest plans for its cache. Implied by keep_reformulation.
+  bool keep_plan = false;
   /// Drop disjuncts subsumed by other disjuncts of the same component
   /// (classic CQ-containment pruning; data-independent, unlike
   /// prune_empty_disjuncts). Quadratic, so applied only to components of at
@@ -94,8 +98,8 @@ struct AnswerOutcome {
   std::optional<JoinOfUnions> jucq;
   std::optional<VarTable> jucq_vars;
   /// The executed physical plan, with per-node actual row counts — feeds
-  /// EXPLAIN / EXPLAIN ANALYZE in the shell. Populated only with
-  /// AnswerOptions::keep_reformulation.
+  /// EXPLAIN / EXPLAIN ANALYZE in the shell and the service's plan cache.
+  /// Populated with AnswerOptions::keep_reformulation or keep_plan.
   std::optional<PhysicalPlan> plan;
 
   double total_ms() const {

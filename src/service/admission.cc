@@ -1,0 +1,57 @@
+#include "service/admission.h"
+
+namespace rdfopt {
+
+Status AdmissionController::Acquire(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fast path: a free slot and nobody queued ahead.
+  if (running_ < max_concurrent_ && waiting_.empty()) {
+    ++running_;
+    ++admitted_;
+    return Status::OK();
+  }
+  if (waiting_.size() >= max_queue_) {
+    ++shed_;
+    return Status::ResourceExhausted("admission queue full");
+  }
+  const uint64_t ticket = next_ticket_++;
+  waiting_.insert(ticket);
+  const bool admitted = cv_.wait_until(lock, deadline, [&] {
+    // FIFO: only the oldest waiter may take a freed slot.
+    return running_ < max_concurrent_ && *waiting_.begin() == ticket;
+  });
+  waiting_.erase(ticket);
+  if (!admitted) {
+    ++deadline_exceeded_;
+    // Our departure may make the next waiter eligible.
+    cv_.notify_all();
+    return Status::DeadlineExceeded("deadline passed while queued");
+  }
+  ++running_;
+  ++admitted_;
+  // A slot may still be free for the new head of the queue.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.running = running_;
+  s.waiting = waiting_.size();
+  s.admitted = admitted_;
+  s.shed = shed_;
+  s.deadline_exceeded = deadline_exceeded_;
+  return s;
+}
+
+}  // namespace rdfopt

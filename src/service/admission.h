@@ -1,0 +1,68 @@
+#ifndef RDFOPT_SERVICE_ADMISSION_H_
+#define RDFOPT_SERVICE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+
+#include "common/status.h"
+
+namespace rdfopt {
+
+/// Bounded run-slot semaphore with a deadline-aware FIFO wait queue — the
+/// service's overload valve.
+///
+/// At most `max_concurrent` requests hold a run slot at once. When all slots
+/// are taken, up to `max_queue` further requests wait, and are admitted
+/// strictly in arrival order (tickets, so no waiter can starve). Beyond
+/// that, requests are shed immediately with kResourceExhausted: under
+/// overload the service degrades by rejecting cheaply, not by queueing
+/// unboundedly and timing everything out. A waiter whose deadline passes
+/// before a slot frees gives up with kDeadlineExceeded — distinct from
+/// kTimeout, which means evaluation *ran* and exceeded its budget.
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_concurrent, size_t max_queue)
+      : max_concurrent_(max_concurrent == 0 ? 1 : max_concurrent),
+        max_queue_(max_queue) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until a run slot is acquired (OK — caller must Release()), the
+  /// queue is full (kResourceExhausted, immediate), or `deadline` passes
+  /// while waiting (kDeadlineExceeded).
+  Status Acquire(std::chrono::steady_clock::time_point deadline);
+
+  /// Returns a slot acquired by a successful Acquire().
+  void Release();
+
+  struct Stats {
+    size_t running = 0;
+    size_t waiting = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t deadline_exceeded = 0;
+  };
+  Stats stats() const;
+
+ private:
+  const size_t max_concurrent_;
+  const size_t max_queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t running_ = 0;
+  uint64_t next_ticket_ = 0;
+  /// Tickets of current waiters; the minimum is next in line.
+  std::set<uint64_t> waiting_;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_SERVICE_ADMISSION_H_

@@ -1,0 +1,43 @@
+#ifndef RDFOPT_SERVICE_CANONICAL_H_
+#define RDFOPT_SERVICE_CANONICAL_H_
+
+#include <string>
+
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+/// A BGP query normalized into the service's cache identity.
+///
+/// Two parsed queries that differ only in variable names (α-equivalence) or
+/// in the order of their triple patterns describe the same answering work:
+/// the same reformulation, the same cover choice, the same physical plan.
+/// Canonicalization maps both onto one representative so the plan cache sees
+/// one key.
+struct CanonicalizedQuery {
+  /// The canonical form: variables renumbered 0..n-1 (head variables first,
+  /// in head order; body-only variables in canonical atom order), atoms
+  /// reordered canonically, with synthesized names "c0".."cN-1" so the query
+  /// is answerable as-is (reformulation draws fresh "_f*" variables on top).
+  Query query;
+  /// Stable serialization of `query.cq` — the cache key (the cache pairs it
+  /// with the data epoch). Equal keys imply literally identical canonical
+  /// queries, hence identical answer rows in identical column order.
+  std::string key;
+};
+
+/// Canonicalizes `cq`. Soundness is unconditional: the key is a
+/// serialization of the canonical query itself, so a key collision *is*
+/// syntactic equality of the canonical forms. Completeness (every pair of
+/// α-equivalent / atom-permuted inputs mapping to one key) holds for the
+/// practical case: variables are renamed by head position and first
+/// canonical use, and atoms are picked greedily by a (constants, assigned
+/// variables, local variable pattern) ranking that is independent of input
+/// atom order. Queries with non-trivial automorphisms may canonicalize to
+/// different-but-equivalent keys depending on input order — a missed cache
+/// hit, never a wrong answer.
+CanonicalizedQuery Canonicalize(const ConjunctiveQuery& cq);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_SERVICE_CANONICAL_H_

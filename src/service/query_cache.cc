@@ -1,0 +1,99 @@
+#include "service/query_cache.h"
+
+namespace rdfopt {
+
+namespace {
+
+size_t AtomsBytes(const std::vector<ConjunctiveQuery>& disjuncts) {
+  size_t bytes = 0;
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    bytes += sizeof(ConjunctiveQuery);
+    bytes += cq.atoms.capacity() * sizeof(TriplePattern);
+    bytes += cq.head.capacity() * sizeof(VarId);
+    bytes += cq.head_bindings.capacity() * sizeof(std::pair<VarId, ValueId>);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t EstimatePlanBytes(const PhysicalPlan& plan) {
+  size_t bytes = sizeof(PhysicalPlan);
+  plan.ForEachNode([&bytes](const PlanNode& node) {
+    bytes += sizeof(PlanNode);
+    bytes += node.children.capacity() * sizeof(std::unique_ptr<PlanNode>);
+    bytes += node.head.capacity() * sizeof(VarId);
+    bytes += node.out_columns.capacity() * sizeof(VarId);
+    bytes += node.bindings.capacity() * sizeof(std::pair<VarId, ValueId>);
+    bytes += AtomsBytes(node.disjuncts);
+  });
+  return bytes;
+}
+
+std::shared_ptr<const CachedPlanEntry> QueryPlanCache::Get(
+    const std::string& key, Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second->second->epoch != epoch) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->second;
+}
+
+size_t QueryPlanCache::Put(const std::string& key,
+                           std::shared_ptr<const CachedPlanEntry> entry,
+                           Epoch current_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry->epoch != current_epoch) {
+    ++stale_puts_;
+    return 0;
+  }
+  if (entry->bytes > max_bytes_) return 0;  // Would evict everything for one.
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same canonical query re-inserted: either a stale-epoch entry being
+    // replaced by a fresh one, or two concurrent misses of the same query.
+    // The newcomer wins; the old shared_ptr stays valid for its holders.
+    bytes_ -= it->second->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  bytes_ += entry->bytes;
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  const uint64_t before = evictions_;
+  EvictUntilWithinBudget(max_bytes_);
+  return static_cast<size_t>(evictions_ - before);
+}
+
+void QueryPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictUntilWithinBudget(0);
+}
+
+QueryPlanCache::Stats QueryPlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.stale_puts = stale_puts_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void QueryPlanCache::EvictUntilWithinBudget(size_t budget) {
+  while (bytes_ > budget && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.second->bytes;
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,199 @@
+#ifndef RDFOPT_SERVICE_QUERY_SERVICE_H_
+#define RDFOPT_SERVICE_QUERY_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine_profile.h"
+#include "engine/evaluator.h"
+#include "optimizer/answering.h"
+#include "rdf/graph.h"
+#include "service/admission.h"
+#include "service/canonical.h"
+#include "service/query_cache.h"
+#include "storage/epoch.h"
+
+namespace rdfopt {
+
+/// Configuration of a QueryService instance.
+struct ServiceOptions {
+  /// Answering strategy and knobs used on cache misses (see answering.h).
+  AnswerOptions answer;
+  /// Byte budget of the reformulation/plan cache; 0 effectively disables
+  /// caching by capacity (prefer `enable_cache = false` for intent).
+  size_t cache_bytes = 64ull << 20;
+  bool enable_cache = true;
+  /// Run slots: queries evaluating at once. Waiters queue FIFO behind them.
+  size_t max_concurrent = 4;
+  /// Wait-queue depth beyond which requests are shed (kResourceExhausted).
+  size_t max_queue = 64;
+  /// Deadline applied when a request specifies none: covers queue wait plus
+  /// evaluation.
+  double default_deadline_ms = 30'000.0;
+};
+
+/// Per-request overrides.
+struct RequestOptions {
+  /// End-to-end deadline (queue wait + evaluation); 0 = service default.
+  /// Becomes the evaluation timeout for whatever time is left after
+  /// admission, so a request never runs past its deadline by more than one
+  /// executor timeout check.
+  double deadline_ms = 0.0;
+  /// Per-query materialization budget in cells, tightening (never loosening)
+  /// the engine profile's; 0 = profile default.
+  size_t max_materialized_cells = 0;
+};
+
+/// What one service request produced.
+struct ServiceOutcome {
+  Relation answers{std::vector<VarId>{}};
+  /// Names of the answer columns, in the submitted query's head order (the
+  /// relation's VarIds are canonical ids, meaningless to the caller).
+  std::vector<std::string> columns;
+  EvalMetrics eval;
+  bool cache_hit = false;
+  Epoch epoch = 0;  ///< Epoch of the snapshot the answer was computed from.
+  Cover chosen_cover;
+  double queue_wait_ms = 0.0;
+  double optimize_ms = 0.0;     ///< Zero on cache hits: the work was skipped.
+  double reformulate_ms = 0.0;  ///< Zero on cache hits.
+  double plan_ms = 0.0;         ///< Zero on cache hits.
+  double evaluate_ms = 0.0;
+  double total_ms = 0.0;  ///< Wall-clock including canonicalize/queue/cache.
+  size_t union_terms = 0;
+  size_t num_components = 0;
+};
+
+/// The concurrent front door to the answering pipeline (DESIGN.md §10): a
+/// thread-safe facade over canonicalization, a reformulation/plan cache,
+/// admission control and epoch-based invalidation.
+///
+/// The paper's pipeline spends its time in reformulation, cover search and
+/// planning — work that depends only on (query, schema, statistics), not on
+/// who asks or when. The service memoizes exactly that work: queries are
+/// canonicalized (α-equivalent / atom-permuted inputs collapse to one key),
+/// and the chosen cover + physical plan are cached per (canonical query,
+/// epoch), so a repeat query goes straight to execution. Store mutations
+/// advance the epoch and swap in a new immutable snapshot; old cache entries
+/// become unreachable (their key embeds the stale epoch) and age out, while
+/// in-flight queries keep the snapshot they pinned — no locks are held
+/// during evaluation.
+///
+/// Concurrency contract: `Answer`, `AnswerText`, `ApplyUpdate`, `Refresh`,
+/// `stats` and `DecodeRow` may be called from any thread concurrently. The
+/// `Graph` must not be mutated externally while the service exists (the
+/// service owns its mutation path).
+class QueryService {
+ public:
+  /// `graph` must outlive the service. The constructor builds the initial
+  /// snapshot (store, saturation, statistics, schema closures) from the
+  /// graph's current content; the schema need not be finalized (the service
+  /// replays constraint triples into its own finalized per-snapshot Schema).
+  QueryService(Graph* graph, const EngineProfile& profile,
+               ServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Answers `query` (already parsed against the service's dictionary).
+  /// Errors: kResourceExhausted (shed at admission, or the engine's
+  /// materialization budget), kDeadlineExceeded (deadline passed while
+  /// queued), kTimeout (evaluation exceeded the remaining deadline or the
+  /// profile timeout), or any answering-layer error.
+  Result<ServiceOutcome> Answer(const Query& query,
+                                const RequestOptions& request = {});
+
+  /// Parses (serialized internally: interning mutates the dictionary) and
+  /// answers.
+  Result<ServiceOutcome> AnswerText(std::string_view text,
+                                    const RequestOptions& request = {});
+
+  /// Appends triples (data and/or schema) to the graph and installs a new
+  /// snapshot under a fresh epoch. Data-only deltas are incremental
+  /// (TripleStore::Merge + IncrementalSaturate); a delta containing schema
+  /// triples triggers a full rebuild. In-flight queries finish on their
+  /// pinned snapshot; the plan cache invalidates lazily via the epoch key.
+  Status ApplyUpdate(const std::vector<Triple>& additions);
+
+  /// Rebuilds the snapshot from the graph under a fresh epoch without adding
+  /// anything — the hook for out-of-band graph changes made before the
+  /// service existed, and a blunt full cache invalidation.
+  void Refresh();
+
+  /// Decodes one answer row to term strings under the same lock that guards
+  /// dictionary growth, so servers can format results concurrently with
+  /// AnswerText calls.
+  std::vector<std::string> DecodeRow(const Relation& relation,
+                                     size_t row) const;
+
+  struct Stats {
+    Epoch epoch = 0;
+    QueryPlanCache::Stats cache;
+    AdmissionController::Stats admission;
+  };
+  Stats stats() const;
+
+  Epoch epoch() const { return epoch_.Current(); }
+  const EngineProfile& profile() const { return profile_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  /// One immutable database state: everything the answering pipeline reads.
+  /// Built once per epoch, shared read-only afterwards; requests pin it with
+  /// a shared_ptr so updates never invalidate memory under an evaluation.
+  struct Snapshot {
+    Snapshot(Epoch e, TripleStore d, TripleStore sat, Statistics st,
+             Schema sch)
+        : epoch(e),
+          data(std::move(d)),
+          saturated(std::move(sat)),
+          stats(std::move(st)),
+          schema(std::move(sch)),
+          estimator(&data, &stats) {}
+
+    const Epoch epoch;
+    const TripleStore data;
+    const TripleStore saturated;
+    const Statistics stats;
+    const Schema schema;
+    /// Points into this Snapshot's own data/stats (members initialize in
+    /// declaration order; the snapshot is heap-pinned and never moved).
+    const CardinalityEstimator estimator;
+  };
+
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const;
+  void InstallSnapshot(std::shared_ptr<const Snapshot> snapshot);
+  /// Full rebuild from the graph's current content. Caller holds graph_mu_.
+  std::shared_ptr<const Snapshot> BuildSnapshotLocked(Epoch epoch) const;
+  /// Replays the graph's constraint triples into a finalized Schema. Caller
+  /// holds graph_mu_.
+  Schema ReplaySchemaLocked() const;
+
+  Result<ServiceOutcome> AnswerOnSnapshot(
+      const CanonicalizedQuery& canonical,
+      const std::shared_ptr<const Snapshot>& snapshot,
+      const EngineProfile& request_profile);
+
+  Graph* const graph_;
+  const EngineProfile profile_;
+  const ServiceOptions options_;
+
+  EpochCounter epoch_;
+  QueryPlanCache cache_;
+  AdmissionController admission_;
+
+  /// Serializes dictionary/graph mutation (query parsing interns constants,
+  /// updates append triples) and dictionary reads (DecodeRow).
+  mutable std::mutex graph_mu_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,41 @@
+#ifndef RDFOPT_STORAGE_EPOCH_H_
+#define RDFOPT_STORAGE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rdfopt {
+
+/// Version number of the database state (data triples + schema closures).
+///
+/// TripleStores are immutable once built, so "mutation" in this codebase
+/// means producing a *new* store (TripleStore::Build / Merge) and swapping it
+/// in. The epoch is the name of one such state: every swap advances it, and
+/// anything derived from the data — cached reformulations, chosen covers,
+/// physical plans, statistics — is only valid for the epoch it was computed
+/// under. Consumers (the query service's plan cache) key their entries by
+/// epoch, which makes invalidation free: entries stamped with an older epoch
+/// can simply never be looked up again and age out of the cache lazily,
+/// while in-flight queries keep answering against the snapshot (and epoch)
+/// they pinned at admission.
+using Epoch = uint64_t;
+
+/// Monotone epoch source. Thread-safe; Advance() is called by whoever
+/// installs a new database snapshot, Current() by readers stamping derived
+/// artifacts.
+class EpochCounter {
+ public:
+  Epoch Current() const { return value_.load(std::memory_order_acquire); }
+
+  /// Returns the new (post-increment) epoch.
+  Epoch Advance() {
+    return value_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+ private:
+  std::atomic<Epoch> value_{0};
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_STORAGE_EPOCH_H_

@@ -1,0 +1,437 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "service/admission.h"
+#include "service/canonical.h"
+#include "service/query_cache.h"
+#include "sparql/parser.h"
+#include "workload/lubm.h"
+#include "workload/query_sets.h"
+
+namespace rdfopt {
+namespace {
+
+std::set<std::vector<ValueId>> RowSet(const Relation& r) {
+  std::set<std::vector<ValueId>> rows;
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    rows.insert(std::vector<ValueId>(r.row(i).begin(), r.row(i).end()));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------------
+
+class ServiceCanonicalTest : public ::testing::Test {
+ protected:
+  std::string KeyOf(const std::string& text) {
+    Result<Query> q = ParseQuery(text, &graph_.dict());
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return Canonicalize(q.ValueOrDie().cq).key;
+  }
+
+  Graph graph_;
+};
+
+TEST_F(ServiceCanonicalTest, AlphaEquivalentQueriesShareKey) {
+  std::string a =
+      "SELECT ?x WHERE { ?x <http://ex/p> ?y . ?y <http://ex/q> ?z }";
+  std::string b =
+      "SELECT ?u WHERE { ?u <http://ex/p> ?v . ?v <http://ex/q> ?w }";
+  EXPECT_EQ(KeyOf(a), KeyOf(b));
+}
+
+TEST_F(ServiceCanonicalTest, AtomPermutationSharesKey) {
+  std::string a =
+      "SELECT ?x WHERE { ?x <http://ex/p> ?y . ?y <http://ex/q> ?z }";
+  std::string b =
+      "SELECT ?x WHERE { ?y <http://ex/q> ?z . ?x <http://ex/p> ?y }";
+  EXPECT_EQ(KeyOf(a), KeyOf(b));
+}
+
+TEST_F(ServiceCanonicalTest, RepeatedVariableIsDistinguished) {
+  EXPECT_NE(KeyOf("SELECT ?x WHERE { ?x <http://ex/p> ?x }"),
+            KeyOf("SELECT ?x WHERE { ?x <http://ex/p> ?y }"));
+}
+
+TEST_F(ServiceCanonicalTest, HeadOrderIsSignificant) {
+  EXPECT_NE(KeyOf("SELECT ?x ?y WHERE { ?x <http://ex/p> ?y }"),
+            KeyOf("SELECT ?y ?x WHERE { ?x <http://ex/p> ?y }"));
+}
+
+TEST_F(ServiceCanonicalTest, DifferentConstantsDiffer) {
+  EXPECT_NE(KeyOf("SELECT ?x WHERE { ?x <http://ex/p> ?y }"),
+            KeyOf("SELECT ?x WHERE { ?x <http://ex/q> ?y }"));
+}
+
+// The hard case for greedy labeling: a headless symmetric chain, where the
+// first atom choice is a tie resolved by comparing full completions.
+TEST_F(ServiceCanonicalTest, HeadlessChainPermutationsShareKey) {
+  std::string a = "ASK WHERE { ?x <http://ex/p> ?y . ?y <http://ex/p> ?z }";
+  std::string b = "ASK WHERE { ?b <http://ex/p> ?c . ?a <http://ex/p> ?b }";
+  EXPECT_EQ(KeyOf(a), KeyOf(b));
+}
+
+TEST_F(ServiceCanonicalTest, CanonicalQueryIsAnswerableForm) {
+  Result<Query> q = ParseQuery(
+      "SELECT ?n ?m WHERE { ?n <http://ex/p> ?m . ?m <http://ex/q> ?k }",
+      &graph_.dict());
+  ASSERT_TRUE(q.ok());
+  CanonicalizedQuery canonical = Canonicalize(q.ValueOrDie().cq);
+  // Head variables get the first canonical ids, in head order.
+  ASSERT_EQ(canonical.query.cq.head.size(), 2u);
+  EXPECT_EQ(canonical.query.cq.head[0], 0u);
+  EXPECT_EQ(canonical.query.cq.head[1], 1u);
+  // Every variable has a synthesized name in the canonical VarTable.
+  EXPECT_EQ(canonical.query.vars.size(), 3u);
+  EXPECT_EQ(canonical.query.vars.name(0), "c0");
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<CachedPlanEntry> MakeEntry(Epoch epoch, size_t bytes) {
+  auto entry = std::make_shared<CachedPlanEntry>();
+  entry->epoch = epoch;
+  entry->bytes = bytes;
+  return entry;
+}
+
+TEST(ServicePlanCacheTest, GetReturnsWhatPutStored) {
+  QueryPlanCache cache(1 << 20);
+  cache.Put("k", MakeEntry(0, 100), 0);
+  EXPECT_NE(cache.Get("k", 0), nullptr);
+  EXPECT_EQ(cache.Get("absent", 0), nullptr);
+  QueryPlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(ServicePlanCacheTest, EpochIsPartOfTheKey) {
+  QueryPlanCache cache(1 << 20);
+  cache.Put("k", MakeEntry(0, 100), 0);
+  EXPECT_EQ(cache.Get("k", 1), nullptr);  // Stale epoch: unreachable.
+  EXPECT_NE(cache.Get("k", 0), nullptr);
+}
+
+TEST(ServicePlanCacheTest, StalePutIsDropped) {
+  QueryPlanCache cache(1 << 20);
+  // The inserting query pinned epoch 0 but an update moved the world to 1.
+  cache.Put("k", MakeEntry(0, 100), 1);
+  EXPECT_EQ(cache.Get("k", 0), nullptr);
+  EXPECT_EQ(cache.stats().stale_puts, 1u);
+}
+
+TEST(ServicePlanCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  QueryPlanCache cache(100);
+  cache.Put("a", MakeEntry(0, 40), 0);
+  cache.Put("b", MakeEntry(0, 40), 0);
+  ASSERT_NE(cache.Get("a", 0), nullptr);  // a becomes most-recently-used.
+  EXPECT_EQ(cache.Put("c", MakeEntry(0, 40), 0), 1u);  // Evicts b, the LRU.
+  EXPECT_EQ(cache.Get("b", 0), nullptr);
+  EXPECT_NE(cache.Get("a", 0), nullptr);
+  EXPECT_NE(cache.Get("c", 0), nullptr);
+  QueryPlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(s.bytes, 100u);
+}
+
+TEST(ServicePlanCacheTest, OversizedEntryIsRefused) {
+  QueryPlanCache cache(100);
+  cache.Put("big", MakeEntry(0, 101), 0);
+  EXPECT_EQ(cache.Get("big", 0), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ServicePlanCacheTest, EvictedEntryStaysAliveForHolders) {
+  QueryPlanCache cache(100);
+  cache.Put("a", MakeEntry(0, 60), 0);
+  std::shared_ptr<const CachedPlanEntry> held = cache.Get("a", 0);
+  ASSERT_NE(held, nullptr);
+  cache.Put("b", MakeEntry(0, 60), 0);  // Evicts a.
+  EXPECT_EQ(cache.Get("a", 0), nullptr);
+  EXPECT_EQ(held->bytes, 60u);  // The pinned entry is still valid.
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+std::chrono::steady_clock::time_point After(int ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+TEST(ServiceAdmissionTest, ShedsWhenQueueFull) {
+  AdmissionController admission(/*max_concurrent=*/1, /*max_queue=*/0);
+  ASSERT_TRUE(admission.Acquire(After(1000)).ok());
+  Status second = admission.Acquire(After(1000));
+  EXPECT_EQ(second.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.stats().shed, 1u);
+  admission.Release();
+}
+
+TEST(ServiceAdmissionTest, DeadlinePassesWhileQueued) {
+  AdmissionController admission(/*max_concurrent=*/1, /*max_queue=*/4);
+  ASSERT_TRUE(admission.Acquire(After(5000)).ok());
+  Status waited = admission.Acquire(After(30));
+  EXPECT_EQ(waited.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(admission.stats().deadline_exceeded, 1u);
+  admission.Release();
+  // The freed slot is still grantable after the failed wait.
+  ASSERT_TRUE(admission.Acquire(After(1000)).ok());
+  admission.Release();
+}
+
+TEST(ServiceAdmissionTest, WaitersAdmittedInArrivalOrder) {
+  AdmissionController admission(/*max_concurrent=*/1, /*max_queue=*/4);
+  ASSERT_TRUE(admission.Acquire(After(5000)).ok());
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto waiter = [&](int id) {
+    ASSERT_TRUE(admission.Acquire(After(5000)).ok());
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(id);
+    }
+    admission.Release();
+  };
+  std::thread first(waiter, 1);
+  while (admission.stats().waiting < 1) std::this_thread::yield();
+  std::thread second(waiter, 2);
+  while (admission.stats().waiting < 2) std::this_thread::yield();
+
+  admission.Release();
+  first.join();
+  second.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  AdmissionController::Stats s = admission.stats();
+  EXPECT_EQ(s.admitted, 3u);
+  EXPECT_EQ(s.running, 0u);
+  EXPECT_EQ(s.waiting, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService over LUBM: cache hits skip the pipeline, answers stay
+// identical, concurrency is deterministic.
+// ---------------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph();
+    LubmOptions options;
+    options.num_universities = 1;
+    GenerateLubm(options, graph_);
+    graph_->FinalizeSchema();
+  }
+
+  static ServiceOptions DefaultOptions() {
+    ServiceOptions options;
+    options.max_concurrent = 8;
+    options.max_queue = 64;
+    return options;
+  }
+
+  static Graph* graph_;
+};
+
+Graph* ServiceTest::graph_ = nullptr;
+
+TEST_F(ServiceTest, RepeatQuerySkipsReformulationAndPlanning) {
+  QueryService service(graph_, PostgresLikeProfile(), DefaultOptions());
+  MetricCounter* hits =
+      MetricsRegistry::Global().GetCounter("service.cache_hits");
+  const uint64_t hits_before = hits->value();
+
+  Result<ServiceOutcome> miss = service.AnswerText(LubmMotivatingQ1().text);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  EXPECT_FALSE(miss.ValueOrDie().cache_hit);
+  EXPECT_FALSE(miss.ValueOrDie().answers.num_rows() == 0);
+
+  TraceSession session;
+  ScopedTraceSession scoped(&session);
+  Result<ServiceOutcome> hit = service.AnswerText(LubmMotivatingQ1().text);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_TRUE(hit.ValueOrDie().cache_hit);
+  EXPECT_EQ(hits->value(), hits_before + 1);
+
+  // The acceptance criterion: the warm path never enters cover search,
+  // reformulation or planning — only execution.
+  EXPECT_EQ(session.FindSpan("answer.cover_search"), nullptr);
+  EXPECT_EQ(session.FindSpan("answer.reformulate"), nullptr);
+  EXPECT_EQ(session.FindSpan("answer.plan"), nullptr);
+  EXPECT_EQ(session.FindSpan("answer.query"), nullptr);
+  EXPECT_NE(session.FindSpan("service.execute"), nullptr);
+  EXPECT_NE(session.FindSpan("service.query"), nullptr);
+
+  // Identical rows, zero re-derivation time.
+  EXPECT_EQ(RowSet(hit.ValueOrDie().answers),
+            RowSet(miss.ValueOrDie().answers));
+  EXPECT_EQ(hit.ValueOrDie().optimize_ms, 0.0);
+  EXPECT_EQ(hit.ValueOrDie().reformulate_ms, 0.0);
+  EXPECT_EQ(hit.ValueOrDie().plan_ms, 0.0);
+  EXPECT_EQ(hit.ValueOrDie().chosen_cover, miss.ValueOrDie().chosen_cover);
+}
+
+TEST_F(ServiceTest, AlphaVariantHitsTheSameEntry) {
+  QueryService service(graph_, PostgresLikeProfile(), DefaultOptions());
+  std::string a =
+      "PREFIX ub: <http://lubm.example.org/univ#> "
+      "SELECT ?x ?y WHERE { ?x ub:advisor ?y . ?x rdf:type ub:Student }";
+  std::string b =
+      "PREFIX ub: <http://lubm.example.org/univ#> "
+      "SELECT ?s ?a WHERE { ?s rdf:type ub:Student . ?s ub:advisor ?a }";
+  Result<ServiceOutcome> first = service.AnswerText(a);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first.ValueOrDie().cache_hit);
+  Result<ServiceOutcome> second = service.AnswerText(b);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second.ValueOrDie().cache_hit);
+  EXPECT_EQ(RowSet(first.ValueOrDie().answers),
+            RowSet(second.ValueOrDie().answers));
+  // Column names follow each *submitted* query, not the canonical form.
+  EXPECT_EQ(first.ValueOrDie().columns, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(second.ValueOrDie().columns, (std::vector<std::string>{"s", "a"}));
+}
+
+TEST_F(ServiceTest, ConcurrentClientsGetSerialAnswers) {
+  QueryService service(graph_, PostgresLikeProfile(), DefaultOptions());
+  const std::vector<std::string> texts = {
+      LubmMotivatingQ1().text,
+      "PREFIX ub: <http://lubm.example.org/univ#> "
+      "SELECT ?x ?y WHERE { ?x rdf:type ub:Faculty . ?y ub:advisor ?x }"};
+
+  // Serial reference rows, computed before any concurrency.
+  std::vector<std::set<std::vector<ValueId>>> reference;
+  for (const std::string& text : texts) {
+    Result<ServiceOutcome> r = service.AnswerText(text);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    reference.push_back(RowSet(r.ValueOrDie().answers));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kReps = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (size_t qi = 0; qi < texts.size(); ++qi) {
+          Result<ServiceOutcome> r = service.AnswerText(texts[qi]);
+          if (!r.ok()) {
+            ++failures;
+            continue;
+          }
+          if (RowSet(r.ValueOrDie().answers) != reference[qi]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  QueryService::Stats stats = service.stats();
+  EXPECT_GE(stats.cache.hits, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.admission.running, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Epochs and invalidation, on a small purpose-built graph.
+// ---------------------------------------------------------------------------
+
+TEST(ServiceEpochTest, DataUpdateInvalidatesAndAnswersReflectNewState) {
+  Graph graph;
+  graph.AddIri("http://ex/alice", "http://ex/knows", "http://ex/bob");
+  QueryService service(&graph, PostgresLikeProfile());
+  const std::string q = "SELECT ?x WHERE { ?x <http://ex/knows> ?y }";
+
+  Result<ServiceOutcome> r1 = service.AnswerText(q);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1.ValueOrDie().answers.num_rows(), 1u);
+  EXPECT_EQ(r1.ValueOrDie().epoch, 0u);
+  ASSERT_TRUE(service.AnswerText(q).ValueOrDie().cache_hit);
+
+  Triple t;
+  t.s = graph.dict().InternIri("http://ex/carol");
+  t.p = graph.dict().InternIri("http://ex/knows");
+  t.o = graph.dict().InternIri("http://ex/dave");
+  ASSERT_TRUE(service.ApplyUpdate({t}).ok());
+  EXPECT_EQ(service.epoch(), 1u);
+
+  // The warmed entry is keyed to epoch 0: the next call misses, replans
+  // against the new snapshot and sees the new triple.
+  Result<ServiceOutcome> r2 = service.AnswerText(q);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2.ValueOrDie().cache_hit);
+  EXPECT_EQ(r2.ValueOrDie().epoch, 1u);
+  EXPECT_EQ(r2.ValueOrDie().answers.num_rows(), 2u);
+
+  // And the epoch-1 entry is immediately warm again.
+  Result<ServiceOutcome> r3 = service.AnswerText(q);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(r3.ValueOrDie().cache_hit);
+  EXPECT_EQ(r3.ValueOrDie().answers.num_rows(), 2u);
+}
+
+TEST(ServiceEpochTest, SchemaUpdateRebuildsReformulationWorld) {
+  Graph graph;
+  graph.AddIri("http://ex/alice", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+               "http://ex/Student");
+  graph.AddIri("http://ex/Student",
+               "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+               "http://ex/Person");
+  QueryService service(&graph, PostgresLikeProfile());
+  const std::string q =
+      "SELECT ?x WHERE { ?x rdf:type <http://ex/Person> }";
+
+  Result<ServiceOutcome> r1 = service.AnswerText(q);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  // Reformulation rewrites Person to its subclasses: alice qualifies.
+  EXPECT_EQ(r1.ValueOrDie().answers.num_rows(), 1u);
+
+  // Add a new subclass plus an instance of it, in one update: the schema
+  // triple forces a full rebuild under a fresh epoch.
+  std::vector<Triple> delta(2);
+  delta[0].s = graph.dict().InternIri("http://ex/Professor");
+  delta[0].p = graph.dict().InternIri(
+      "http://www.w3.org/2000/01/rdf-schema#subClassOf");
+  delta[0].o = graph.dict().InternIri("http://ex/Person");
+  delta[1].s = graph.dict().InternIri("http://ex/bob");
+  delta[1].p = graph.dict().InternIri(
+      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  delta[1].o = graph.dict().InternIri("http://ex/Professor");
+  ASSERT_TRUE(service.ApplyUpdate(delta).ok());
+
+  Result<ServiceOutcome> r2 = service.AnswerText(q);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2.ValueOrDie().cache_hit);
+  EXPECT_EQ(r2.ValueOrDie().answers.num_rows(), 2u);
+}
+
+TEST(ServiceEpochTest, CacheDisabledAlwaysMisses) {
+  Graph graph;
+  graph.AddIri("http://ex/a", "http://ex/p", "http://ex/b");
+  ServiceOptions options;
+  options.enable_cache = false;
+  QueryService service(&graph, PostgresLikeProfile(), options);
+  const std::string q = "SELECT ?x WHERE { ?x <http://ex/p> ?y }";
+  EXPECT_FALSE(service.AnswerText(q).ValueOrDie().cache_hit);
+  EXPECT_FALSE(service.AnswerText(q).ValueOrDie().cache_hit);
+  EXPECT_EQ(service.stats().cache.entries, 0u);
+}
+
+}  // namespace
+}  // namespace rdfopt

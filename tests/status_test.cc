@@ -31,7 +31,32 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "ResourceExhausted");
   EXPECT_STREQ(StatusCodeName(StatusCode::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+// Admission-control rejections must be distinguishable from evaluation
+// errors: a shed request (kResourceExhausted), a request whose deadline
+// passed while queued (kDeadlineExceeded) and an evaluation that ran out of
+// time (kTimeout) are three different codes.
+TEST(StatusTest, AdmissionCodesAreDistinct) {
+  Status shed = Status::ResourceExhausted("admission queue full");
+  Status late = Status::DeadlineExceeded("deadline passed while queued");
+  Status slow = Status::Timeout("evaluation exceeded budget");
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(shed.code(), late.code());
+  EXPECT_NE(late.code(), slow.code());
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: deadline passed while queued");
+}
+
+TEST(StatusTest, DeadlineExceededFactory) {
+  Status s = Status::DeadlineExceeded("too late");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "too late");
 }
 
 TEST(ResultTest, HoldsValue) {
