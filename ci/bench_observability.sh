@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Telemetry overhead sidecar: builds the engine twice — default (per-node
+# accounting always on) and with -DRDFOPT_DISABLE_NODE_TELEMETRY=ON — runs
+# bench_observability under both, and writes BENCH_observability.json
+# combining the two runs plus the computed overhead on plan execution.
+# The acceptance bar is <= 2% mean overhead on execute_planned_jucq.
+#
+# Usage: ci/bench_observability.sh [output.json]
+set -euo pipefail
+
+OUT="${1:-BENCH_observability.json}"
+REPS="${RDFOPT_OBS_REPS:-30}"
+JOBS="$(nproc)"
+
+build_and_run() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" > /dev/null
+  cmake --build "$dir" -j "$JOBS" --target bench_observability > /dev/null
+  rm -f "$dir/obs.json"
+  RDFOPT_OBS_REPS="$REPS" "$dir/bench/bench_observability" \
+    --json "$dir/obs.json"
+}
+
+echo "== telemetry ON (default build)"
+build_and_run build-obs-on -DRDFOPT_DISABLE_NODE_TELEMETRY=OFF
+
+echo "== telemetry COMPILED OUT"
+build_and_run build-obs-off -DRDFOPT_DISABLE_NODE_TELEMETRY=ON
+
+python3 - build-obs-on/obs.json build-obs-off/obs.json "$OUT" <<'EOF'
+import json
+import sys
+
+with_telemetry = json.load(open(sys.argv[1]))
+without = json.load(open(sys.argv[2]))
+
+def exec_mean(records):
+    for r in records:
+        if r["case"] == "execute_planned_jucq":
+            return r["mean_ms"]
+    sys.exit("execute_planned_jucq record missing")
+
+on_ms = exec_mean(with_telemetry)
+off_ms = exec_mean(without)
+overhead_pct = 100.0 * (on_ms - off_ms) / off_ms
+
+out = {
+    "bench": "observability",
+    "execute_planned_jucq": {
+        "telemetry_on_mean_ms": on_ms,
+        "telemetry_off_mean_ms": off_ms,
+        "overhead_pct": round(overhead_pct, 3),
+        "budget_pct": 2.0,
+    },
+    "telemetry_on": with_telemetry,
+    "telemetry_off": without,
+}
+with open(sys.argv[3], "w") as f:
+    json.dump(out, f, indent=1)
+    f.write("\n")
+
+print(f"execute_planned_jucq: on={on_ms:.3f} ms off={off_ms:.3f} ms "
+      f"overhead={overhead_pct:+.2f}% (budget 2%)")
+EOF

@@ -18,6 +18,11 @@
 //       -> {"ok":false,"error":"..."} on parse/answer failure
 //   !stats      service counters (cache + admission) as JSON
 //   !metrics    the process metrics registry as JSON
+//   !prom       the registry in Prometheus text exposition format. The only
+//               multi-line response; scrape until the "# EOF" line (also
+//               what a Prometheus file_sd/blackbox relay should forward).
+//   !slowlog    the slow-query log, one JSON line per record, oldest first,
+//               terminated by a "# EOF" line
 //   !quit       closes this connection
 //   !shutdown   stops the whole server (drains open connections)
 //
@@ -172,6 +177,16 @@ void ServeConnection(ServerState* state, int fd) {
       response = StatsResponse(state);
     } else if (line == "!metrics") {
       response = MetricsRegistry::Global().ToJson(/*indent=*/0);
+    } else if (line == "!prom") {
+      // Ends with "# EOF\n"; SendLine adds the final newline itself.
+      response = MetricsRegistry::Global().ToPrometheusText();
+      if (!response.empty() && response.back() == '\n') response.pop_back();
+    } else if (line == "!slowlog") {
+      for (const std::string& entry : state->service->slow_log()->Lines()) {
+        response += entry;
+        response += '\n';
+      }
+      response += "# EOF";
     } else {
       response = QueryResponse(state, line);
     }
@@ -188,7 +203,7 @@ void ServeConnection(ServerState* state, int fd) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: rdfopt_server [--port N] [--max-rows N] "
+               "usage: rdfopt_server [--port N] [--max-rows N] [--slow-ms X] "
                "<file.nt> | --lubm <universities> | --dblp <publications>\n");
   return 2;
 }
@@ -198,6 +213,7 @@ int Usage() {
 int main(int argc, char** argv) {
   uint16_t port = 8094;
   size_t max_rows = 100;
+  double slow_ms = -1.0;  // < 0: keep the service default.
   std::vector<std::string> args(argv + 1, argv + argc);
   Graph graph;
   std::string preamble;
@@ -207,6 +223,8 @@ int main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::atoi(args[++i].c_str()));
     } else if (args[i] == "--max-rows" && i + 1 < args.size()) {
       max_rows = static_cast<size_t>(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--slow-ms" && i + 1 < args.size()) {
+      slow_ms = std::atof(args[++i].c_str());
     } else if (args[i] == "--lubm" && i + 1 < args.size()) {
       LubmOptions options;
       options.num_universities = static_cast<size_t>(
@@ -246,7 +264,9 @@ int main(int argc, char** argv) {
   ::signal(SIGPIPE, SIG_IGN);
 
   EngineProfile profile = PostgresLikeProfile();
-  QueryService service(&graph, profile);
+  ServiceOptions service_options;
+  if (slow_ms >= 0.0) service_options.slow_query_ms = slow_ms;
+  QueryService service(&graph, profile, service_options);
   ServerState state;
   state.service = &service;
   state.preamble = preamble;
@@ -271,7 +291,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("rdfopt_server: %zu data triples, serving on port %u "
-              "(one query per line; !stats !metrics !quit !shutdown)\n",
+              "(one query per line; !stats !metrics !prom !slowlog !quit "
+              "!shutdown)\n",
               graph.data_triples().size(), static_cast<unsigned>(port));
   std::fflush(stdout);
 

@@ -19,10 +19,14 @@
 //   .trace on|off          print the span tree after each query
 //   .threads N             evaluator worker threads (1 = sequential;
 //                          answers are identical at any setting)
-//   .metrics [reset]       dump (or zero) the process metrics registry
+//   .metrics [reset|prom]  dump (or zero) the process metrics registry;
+//                          `prom` prints the Prometheus text exposition
 //   .service [on|off]      route queries through the QueryService front
 //                          door (plan cache + admission control); bare
 //                          `.service` prints its counters
+//   .slowlog [N|ms X|clear]  the service's slow-query log (JSON lines,
+//                          newest N; `ms X` sets the threshold; needs
+//                          .service on)
 //   .calibrate             fit the cost-model constants on this machine
 //   .stats                 database statistics
 //   .help / .quit
@@ -149,12 +153,15 @@ int main(int argc, char** argv) {
         std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
                     "| .subsume on|off | .minimize on|off "
                     "| .explain on|off|analyze | .sql on|off | .trace on|off "
-                    "| .threads N | .metrics [reset] | .service [on|off] "
+                    "| .threads N | .metrics [reset|prom] "
+                    "| .service [on|off] | .slowlog [N|ms X|clear] "
                     "| .calibrate | .stats | .quit\n"
                     ".explain analyze prints the executed plan with "
                     "estimated AND actual rows per node\n"
                     ".service on routes queries through the caching front "
-                    "door; bare .service prints its counters\n");
+                    "door; bare .service prints its counters\n"
+                    ".slowlog prints the service's slow-query log as JSON "
+                    "lines (.slowlog ms 50 sets the threshold)\n");
       } else if (op == ".strategy") {
         if (arg == "ucq") options.strategy = Strategy::kUcq;
         else if (arg == "scq") options.strategy = Strategy::kScq;
@@ -200,9 +207,35 @@ int main(int argc, char** argv) {
         if (arg == "reset") {
           MetricsRegistry::Global().Reset();
           std::printf("metrics registry reset\n");
+        } else if (arg == "prom") {
+          std::printf("%s",
+                      MetricsRegistry::Global().ToPrometheusText().c_str());
         } else {
           std::printf("%s\n",
                       MetricsRegistry::Global().ToJson(/*indent=*/2).c_str());
+        }
+      } else if (op == ".slowlog") {
+        if (!service) {
+          std::printf("slow-query log needs the service: .service on\n");
+        } else if (arg == "clear") {
+          service->slow_log()->Clear();
+          std::printf("slow-query log cleared\n");
+        } else if (arg == "ms") {
+          std::string value;
+          cmd >> value;
+          double ms = std::atof(value.c_str());
+          service->slow_log()->set_threshold_ms(ms);
+          std::printf("slow-query threshold = %.1f ms\n", ms);
+        } else {
+          size_t max = arg.empty()
+                           ? 0
+                           : static_cast<size_t>(std::atoi(arg.c_str()));
+          std::vector<std::string> entries = service->slow_log()->Lines(max);
+          for (const std::string& entry : entries) {
+            std::printf("%s\n", entry.c_str());
+          }
+          std::printf("(%zu record(s), threshold %.1f ms)\n", entries.size(),
+                      service->slow_log()->threshold_ms());
         }
       } else if (op == ".service") {
         if (arg == "on") {

@@ -2,29 +2,60 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/json_writer.h"
 
 namespace rdfopt {
 
-size_t MetricHistogram::BucketIndex(double value) {
+size_t MetricBucketIndex(double value) {
   if (!(value > 0.0)) return 0;  // Also catches NaN.
   // Smallest i with 0.001 * 2^i >= value.
   double scaled = value / 0.001;
   int exponent = static_cast<int>(std::ceil(std::log2(scaled)));
   if (exponent < 0) return 0;
-  return std::min(static_cast<size_t>(exponent), kNumBuckets - 1);
+  return std::min(static_cast<size_t>(exponent), kMetricNumBuckets - 1);
 }
 
-double MetricHistogram::BucketUpperBound(size_t index) {
+double MetricBucketUpperBound(size_t index) {
   return 0.001 * std::ldexp(1.0, static_cast<int>(index));
 }
+
+namespace {
+
+/// Quantile estimate over one exponential-bucket array: find the bucket
+/// holding the rank-q sample, interpolate linearly inside it, clamp to the
+/// exact observed [lo_clamp, hi_clamp].
+double BucketQuantile(const std::array<uint64_t, kMetricNumBuckets>& buckets,
+                      uint64_t count, double q, double lo_clamp,
+                      double hi_clamp) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kMetricNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      double lo = i == 0 ? 0.0 : MetricBucketUpperBound(i - 1);
+      double hi = MetricBucketUpperBound(i);
+      double fraction = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(buckets[i]);
+      double estimate = lo + (hi - lo) * fraction;
+      return std::clamp(estimate, lo_clamp, hi_clamp);
+    }
+    cumulative += buckets[i];
+  }
+  return hi_clamp;
+}
+
+}  // namespace
 
 void MetricHistogram::Observe(double value) {
   if (std::isnan(value)) return;
   if (value < 0.0) value = 0.0;
   std::lock_guard<std::mutex> lock(mu_);
-  ++buckets_[BucketIndex(value)];
+  ++buckets_[MetricBucketIndex(value)];
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
   ++count_;
@@ -53,28 +84,7 @@ double MetricHistogram::max() const {
 
 double MetricHistogram::Quantile(double q) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the target sample (1-based), then the bucket holding it.
-  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count_));
-  if (rank == 0) rank = 1;
-  uint64_t cumulative = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    if (buckets_[i] == 0) continue;
-    if (cumulative + buckets_[i] >= rank) {
-      // Linear interpolation inside the bucket's range.
-      double lo = i == 0 ? 0.0 : BucketUpperBound(i - 1);
-      double hi = BucketUpperBound(i);
-      double fraction = buckets_[i] == 0
-                            ? 0.0
-                            : static_cast<double>(rank - cumulative) /
-                                  static_cast<double>(buckets_[i]);
-      double estimate = lo + (hi - lo) * fraction;
-      return std::clamp(estimate, min_, max_);
-    }
-    cumulative += buckets_[i];
-  }
-  return max_;
+  return BucketQuantile(buckets_, count_, q, min_, max_);
 }
 
 void MetricHistogram::Reset() {
@@ -84,6 +94,82 @@ void MetricHistogram::Reset() {
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+}
+
+MetricWindowedHistogram::MetricWindowedHistogram(double window_seconds,
+                                                 size_t num_slices)
+    : window_seconds_(window_seconds > 0.0 ? window_seconds : 60.0),
+      slice_seconds_(window_seconds_ /
+                     static_cast<double>(std::max<size_t>(num_slices, 1))),
+      slices_(std::max<size_t>(num_slices, 1)),
+      origin_(std::chrono::steady_clock::now()) {}
+
+int64_t MetricWindowedHistogram::NowSliceIndex() const {
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    origin_)
+          .count() +
+      test_offset_seconds_;
+  return static_cast<int64_t>(elapsed / slice_seconds_);
+}
+
+void MetricWindowedHistogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowSliceIndex();
+  Slice& slice = slices_[static_cast<size_t>(now) % slices_.size()];
+  if (slice.index != now) {
+    // The slot last held a slice that has rotated out; reuse it.
+    slice.index = now;
+    slice.buckets.fill(0);
+    slice.count = 0;
+    slice.sum = 0.0;
+    slice.min = 0.0;
+    slice.max = 0.0;
+  }
+  ++slice.buckets[MetricBucketIndex(value)];
+  if (slice.count == 0 || value < slice.min) slice.min = value;
+  if (slice.count == 0 || value > slice.max) slice.max = value;
+  ++slice.count;
+  slice.sum += value;
+}
+
+MetricWindowedHistogram::Snapshot MetricWindowedHistogram::WindowSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = NowSliceIndex();
+  int64_t oldest_live = now - static_cast<int64_t>(slices_.size()) + 1;
+
+  std::array<uint64_t, kMetricNumBuckets> merged{};
+  Snapshot snap;
+  for (const Slice& slice : slices_) {
+    if (slice.index < oldest_live || slice.index > now || slice.count == 0) {
+      continue;  // Stale (rotated out) or never used.
+    }
+    for (size_t i = 0; i < kMetricNumBuckets; ++i) {
+      merged[i] += slice.buckets[i];
+    }
+    if (snap.count == 0 || slice.min < snap.min) snap.min = slice.min;
+    if (snap.count == 0 || slice.max > snap.max) snap.max = slice.max;
+    snap.count += slice.count;
+    snap.sum += slice.sum;
+  }
+  if (snap.count == 0) return snap;
+  snap.p50 = BucketQuantile(merged, snap.count, 0.50, snap.min, snap.max);
+  snap.p95 = BucketQuantile(merged, snap.count, 0.95, snap.min, snap.max);
+  snap.p99 = BucketQuantile(merged, snap.count, 0.99, snap.min, snap.max);
+  return snap;
+}
+
+void MetricWindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slice& slice : slices_) slice = Slice{};
+}
+
+void MetricWindowedHistogram::AdvanceClockForTest(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  test_offset_seconds_ += seconds;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -103,12 +189,36 @@ MetricCounter* MetricsRegistry::GetCounter(std::string_view name) {
   return it->second.get();
 }
 
+MetricGauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<MetricGauge>())
+             .first;
+  }
+  return it->second.get();
+}
+
 MetricHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
              .emplace(std::string(name), std::make_unique<MetricHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricWindowedHistogram* MetricsRegistry::GetWindowedHistogram(
+    std::string_view name, double window_seconds, size_t num_slices) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_.find(name);
+  if (it == windowed_.end()) {
+    it = windowed_
+             .emplace(std::string(name),
+                      std::make_unique<MetricWindowedHistogram>(window_seconds,
+                                                                num_slices))
              .first;
   }
   return it->second.get();
@@ -121,6 +231,11 @@ std::string MetricsRegistry::ToJson(int indent) const {
   json.Key("counters").BeginObject();
   for (const auto& [name, counter] : counters_) {
     json.Key(name).Value(counter->value());
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name).Value(gauge->value());
   }
   json.EndObject();
   json.Key("histograms").BeginObject();
@@ -136,14 +251,100 @@ std::string MetricsRegistry::ToJson(int indent) const {
     json.EndObject();
   }
   json.EndObject();
+  json.Key("windowed").BeginObject();
+  for (const auto& [name, windowed] : windowed_) {
+    MetricWindowedHistogram::Snapshot snap = windowed->WindowSnapshot();
+    json.Key(name).BeginObject();
+    json.Key("window_s").Value(windowed->window_seconds());
+    json.Key("count").Value(snap.count);
+    json.Key("sum").Value(snap.sum);
+    json.Key("min").Value(snap.min);
+    json.Key("max").Value(snap.max);
+    json.Key("p50").Value(snap.p50);
+    json.Key("p95").Value(snap.p95);
+    json.Key("p99").Value(snap.p99);
+    json.EndObject();
+  }
+  json.EndObject();
   json.EndObject();
   return json.TakeString();
+}
+
+namespace {
+
+/// `engine.evaluate_ms` -> `rdfopt_engine_evaluate_ms`: Prometheus metric
+/// names admit [a-zA-Z0-9_:] only.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "rdfopt_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Prometheus floats: plain shortest-round-trip decimal; the exposition
+/// format has no NaN/Inf needs here (all inputs are finite).
+std::string PrometheusNumber(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string pname = PrometheusName(name);
+    out += "# TYPE " + pname + " summary\n";
+    out += pname + "{quantile=\"0.5\"} " +
+           PrometheusNumber(histogram->Quantile(0.50)) + "\n";
+    out += pname + "{quantile=\"0.95\"} " +
+           PrometheusNumber(histogram->Quantile(0.95)) + "\n";
+    out += pname + "{quantile=\"0.99\"} " +
+           PrometheusNumber(histogram->Quantile(0.99)) + "\n";
+    out += pname + "_sum " + PrometheusNumber(histogram->sum()) + "\n";
+    out += pname + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  for (const auto& [name, windowed] : windowed_) {
+    MetricWindowedHistogram::Snapshot snap = windowed->WindowSnapshot();
+    std::string pname = PrometheusName(name) + "_window";
+    std::string window_label =
+        "window=\"" + PrometheusNumber(windowed->window_seconds()) + "s\"";
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + "{quantile=\"0.5\"," + window_label + "} " +
+           PrometheusNumber(snap.p50) + "\n";
+    out += pname + "{quantile=\"0.95\"," + window_label + "} " +
+           PrometheusNumber(snap.p95) + "\n";
+    out += pname + "{quantile=\"0.99\"," + window_label + "} " +
+           PrometheusNumber(snap.p99) + "\n";
+    out += pname + "_count{" + window_label + "} " +
+           std::to_string(snap.count) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
 }
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, windowed] : windowed_) windowed->Reset();
 }
 
 }  // namespace rdfopt

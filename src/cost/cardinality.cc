@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "cost/feedback.h"
 #include "engine/planner.h"
 
 namespace rdfopt {
@@ -57,6 +58,14 @@ double CardinalityEstimator::EstimateDistinct(const TriplePattern& atom,
 }
 
 double CardinalityEstimator::EstimateCQ(const ConjunctiveQuery& cq) const {
+  // Runtime feedback outranks the model: an observed cardinality for this
+  // exact fragment (α-equivalence canonicalized) is strictly better
+  // information than the independence assumptions below.
+  if (feedback_ != nullptr) {
+    if (std::optional<double> observed = feedback_->Lookup(cq)) {
+      return *observed;
+    }
+  }
   double product = 1.0;
   // var -> (occurrence count, max distinct across occurrences).
   std::unordered_map<VarId, std::pair<int, double>> vars;

@@ -9,6 +9,8 @@
 
 namespace rdfopt {
 
+class EstimateFeedbackStore;
+
 /// Cardinality estimation for triple patterns, CQs, UCQs and joins of
 /// estimated inputs; the statistical backbone of both the paper's cost model
 /// (§4.1) and the engine's internal one (Fig 9).
@@ -28,6 +30,17 @@ class CardinalityEstimator {
   /// Both pointees must outlive the estimator.
   CardinalityEstimator(const TripleStore* store, const Statistics* stats)
       : store_(store), stats_(stats) {}
+
+  /// Wires runtime estimate feedback (cost/feedback.h) into EstimateCQ:
+  /// a conjunction whose fragment signature has an observed cardinality
+  /// uses it instead of the System-R formula, so repeated misestimates
+  /// self-correct. Opt-in and off by default — paper-reproduction runs and
+  /// golden plans must not depend on execution history. Null disables.
+  /// The pointee must outlive the estimator.
+  void set_feedback(const EstimateFeedbackStore* feedback) {
+    feedback_ = feedback;
+  }
+  const EstimateFeedbackStore* feedback() const { return feedback_; }
 
   /// Exact number of triples matching the atom's constant positions
   /// (ignoring repeated-variable filters, which only shrink the result).
@@ -60,6 +73,7 @@ class CardinalityEstimator {
  private:
   const TripleStore* store_;
   const Statistics* stats_;
+  const EstimateFeedbackStore* feedback_ = nullptr;
 };
 
 }  // namespace rdfopt

@@ -1,0 +1,96 @@
+#ifndef RDFOPT_COST_FEEDBACK_H_
+#define RDFOPT_COST_FEEDBACK_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sparql/query.h"
+
+namespace rdfopt {
+
+struct PhysicalPlan;
+
+/// Canonical signature of a conjunctive fragment: invariant under atom order
+/// and variable renaming (α-equivalence), so the reformulation lattice's
+/// repeated fragments — the same cover fragment reappearing across queries
+/// and plannings — collapse onto one feedback entry. Constants are kept
+/// verbatim (they determine cardinality); variables are renumbered by first
+/// occurrence after sorting the atoms by their variable-blind serialization.
+/// The head is deliberately excluded: the store corrects the conjunction
+/// body estimate (EstimateCQ), which is head-independent.
+std::string FragmentSignature(const ConjunctiveQuery& cq);
+
+/// Estimated-vs-actual cardinality feedback, keyed by FragmentSignature (see
+/// DESIGN.md §8). The evaluator records every executed union disjunct's
+/// (estimate, actual) pair here; CardinalityEstimator consults the store on
+/// subsequent plannings, so a misestimated fragment self-corrects the next
+/// time any query covers it. Each Record also folds the estimate error into
+/// the global `cost.estimate_drift` histogram — the planner-quality signal
+/// `!prom` exports.
+///
+/// Deliberately opt-in (a plain pointer wired by QueryService /
+/// QueryAnswerer::EnableFeedback, never ambient): paper-reproduction runs
+/// and golden EXPLAIN tests must stay order-independent, which an
+/// always-consulted global store would break.
+///
+/// Thread-safe; bounded by FIFO eviction (`max_entries`); cleared wholesale
+/// on snapshot epoch changes — observations against retired data must not
+/// steer planning against the new store.
+class EstimateFeedbackStore {
+ public:
+  struct Options {
+    size_t max_entries = 4096;
+    /// Weight of the newest observation in the exponentially weighted
+    /// moving average of observed rows.
+    double ewma_alpha = 0.5;
+  };
+
+  EstimateFeedbackStore() : options_(Options{}) {}
+  explicit EstimateFeedbackStore(Options options) : options_(options) {}
+
+  /// One executed fragment: folds `actual_rows` into the signature's EWMA
+  /// and observes the estimate drift ratio.
+  void Record(const ConjunctiveQuery& cq, double estimated_rows,
+              size_t actual_rows);
+
+  /// Observed (EWMA) row count of the fragment, if it has been executed
+  /// under this store; nullopt otherwise.
+  std::optional<double> Lookup(const ConjunctiveQuery& cq) const;
+  std::optional<double> LookupSignature(const std::string& signature) const;
+
+  /// Drops every entry (snapshot epoch change).
+  void Clear();
+
+  size_t size() const;
+
+  struct Entry {
+    double observed_rows = 0.0;   ///< EWMA of actual result rows.
+    double last_estimate = 0.0;   ///< Most recent pre-feedback estimate.
+    uint64_t observations = 0;
+  };
+  /// Copy of the store's contents, in signature order (shell/debugging).
+  std::vector<std::pair<std::string, Entry>> Snapshot() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::deque<std::string> insertion_order_;  ///< FIFO eviction queue.
+};
+
+/// Walks an executed plan and records every union disjunct's
+/// (est_rows, actual_rows) pair: kUnionAll nodes carry their source
+/// ConjunctiveQuery per child (`disjuncts`), and each child chain's root
+/// holds the conjunction-body estimate and actual. Skipped children
+/// (short-circuited, never executed) are not recorded.
+void RecordPlanFeedback(const PhysicalPlan& plan,
+                        EstimateFeedbackStore* store);
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_COST_FEEDBACK_H_

@@ -9,6 +9,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "cost/feedback.h"
 #include "engine/operators.h"
 
 namespace rdfopt {
@@ -25,22 +26,34 @@ void RecordEngineMetrics(const EvalMetrics& after, const EvalMetrics& before) {
       registry.GetCounter("engine.rows_scanned");
   static MetricCounter* join_input_rows =
       registry.GetCounter("engine.join_input_rows");
+  static MetricCounter* hash_probes =
+      registry.GetCounter("engine.hash_probes");
   static MetricCounter* union_terms =
       registry.GetCounter("engine.union_terms");
   static MetricCounter* rows_materialized =
       registry.GetCounter("engine.rows_materialized");
+  static MetricCounter* bytes_materialized =
+      registry.GetCounter("engine.bytes_materialized");
   static MetricCounter* duplicates_removed =
       registry.GetCounter("engine.duplicates_removed");
   static MetricHistogram* evaluate_ms =
       registry.GetHistogram("engine.evaluate_ms");
+  // The windowed twin of engine.evaluate_ms: p99 over the last minute, the
+  // alerting-grade signal exported via `!prom` (see DESIGN.md §8).
+  static MetricWindowedHistogram* evaluate_ms_window =
+      registry.GetWindowedHistogram("engine.evaluate_ms");
   evaluations->Increment();
   rows_scanned->Add(after.rows_scanned - before.rows_scanned);
   join_input_rows->Add(after.join_input_rows - before.join_input_rows);
+  hash_probes->Add(after.hash_probes - before.hash_probes);
   union_terms->Add(after.union_terms - before.union_terms);
   rows_materialized->Add(after.rows_materialized - before.rows_materialized);
+  bytes_materialized->Add(after.bytes_materialized -
+                          before.bytes_materialized);
   duplicates_removed->Add(after.duplicates_removed -
                           before.duplicates_removed);
   evaluate_ms->Observe(after.elapsed_ms - before.elapsed_ms);
+  evaluate_ms_window->Observe(after.elapsed_ms - before.elapsed_ms);
 }
 
 bool IsConstantAtom(const TriplePattern& atom) {
@@ -58,6 +71,35 @@ void NoteResult(PlanNode* node, const Relation& rel) {
   node->actual_rows = rel.num_rows();
   node->executed = true;
 }
+
+// Always-on per-operator accounting (ISSUE 6): every executed plan carries
+// per-node wall time and resource counters, not just EXPLAIN ANALYZE runs.
+// RDFOPT_DISABLE_NODE_TELEMETRY compiles the whole substrate out — the
+// baseline build of the overhead benchmark (BENCH_observability.json), never
+// the shipping configuration. Safe under the parallel executor: each plan
+// node is executed by exactly one task (the same invariant NoteResult's
+// actual_rows writes rely on).
+#ifndef RDFOPT_DISABLE_NODE_TELEMETRY
+inline constexpr bool kNodeTelemetry = true;
+
+/// Scope timer writing the node's subtree wall time on destruction.
+class NodeTimer {
+ public:
+  explicit NodeTimer(PlanNode* node) : node_(node) {}
+  ~NodeTimer() { node_->actual_ms = timer_.ElapsedMillis(); }
+
+ private:
+  PlanNode* node_;
+  Stopwatch timer_;
+};
+#else
+inline constexpr bool kNodeTelemetry = false;
+
+class NodeTimer {
+ public:
+  explicit NodeTimer(PlanNode*) {}
+};
+#endif
 }  // namespace
 
 Status Evaluator::CheckTimeout(const Exec& exec) const {
@@ -161,6 +203,7 @@ Result<Relation> Evaluator::ExecAtomScan(PlanNode* node, Exec* exec) const {
   span.Attr("node", node->id);
   size_t scan_size = ScanAtomInputSize(*store_, atom);
   exec->metrics->rows_scanned += scan_size;
+  if constexpr (kNodeTelemetry) node->rows_scanned = scan_size;
   // The pipelined driving scan pays per-tuple executor overhead by itself;
   // a scan feeding a hash join is charged at the join.
   if (node->driving_scan) {
@@ -191,6 +234,11 @@ Result<Relation> Evaluator::ExecIndexJoin(PlanNode* node, Exec* exec) const {
   size_t driving = left.num_rows();
   Relation out = IndexJoinAtom(*store_, left, node->atom, &probed);
   exec->metrics->join_input_rows += driving + probed;
+  exec->metrics->hash_probes += driving;
+  if constexpr (kNodeTelemetry) {
+    node->rows_scanned = probed;   // Index rows read by the probes.
+    node->hash_probes = driving;   // One probe lookup per driving row.
+  }
   ChargeEmulated(exec, profile_->tuple_us_per_row *
                            static_cast<double>(driving + probed));
   span.Attr("join_input_rows", driving + probed);
@@ -239,7 +287,14 @@ Result<Relation> Evaluator::ExecHashJoin(PlanNode* node, Exec* exec) const {
   TraceSpan span(node->component_join ? "engine.join" : "op.hash_join");
   span.Attr("node", node->id);
   size_t inputs = left->num_rows() + right->num_rows();
+  // The build side is the smaller input, so the probe side is the larger.
+  size_t probes = std::max(left->num_rows(), right->num_rows());
   exec->metrics->join_input_rows += inputs;
+  exec->metrics->hash_probes += probes;
+  if constexpr (kNodeTelemetry) {
+    node->rows_scanned = inputs;
+    node->hash_probes = probes;
+  }
   ChargeEmulated(exec, profile_->tuple_us_per_row * static_cast<double>(inputs));
   Relation out = HashJoin(*left, *right);
   span.Attr("join_input_rows", inputs);
@@ -466,12 +521,18 @@ Result<Relation> Evaluator::ExecMaterialize(PlanNode* node, Exec* exec) const {
   TraceSpan span("engine.materialize");
   span.Attr("node", node->id);
   span.Attr("rows_materialized", out.num_rows());
+  const size_t bytes = out.num_cells() * sizeof(ValueId);
+  exec->metrics->bytes_materialized += bytes;
+  if constexpr (kNodeTelemetry) node->bytes_materialized = bytes;
   RDFOPT_RETURN_NOT_OK(ChargeMaterialization(out, exec));
   NoteResult(node, out);
   return out;
 }
 
 Result<Relation> Evaluator::ExecNode(PlanNode* node, Exec* exec) const {
+  // Two steady_clock reads per node; the BENCH_observability.json sidecar
+  // shows the cost against a RDFOPT_DISABLE_NODE_TELEMETRY build.
+  NodeTimer timer(node);
   switch (node->kind) {
     case PlanNodeKind::kAtomScan:
       return ExecAtomScan(node, exec);
@@ -523,6 +584,10 @@ Result<Relation> Evaluator::ExecutePlan(PhysicalPlan* plan,
     span->Attr("output_rows", out.num_rows());
   }
   RecordEngineMetrics(*exec.metrics, before);
+  // Close the estimate-feedback loop: the executed disjuncts' actuals are
+  // now in the plan nodes; fold them into the store so the next planning of
+  // the same fragments starts from observed cardinalities.
+  if (feedback_ != nullptr) RecordPlanFeedback(*plan, feedback_);
   return out;
 }
 

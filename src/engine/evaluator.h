@@ -19,6 +19,8 @@
 
 namespace rdfopt {
 
+class EstimateFeedbackStore;
+
 /// Counters reported by one query evaluation; the observable behaviour the
 /// engine profiles differentiate and the calibration harness fits against.
 ///
@@ -30,8 +32,12 @@ namespace rdfopt {
 struct EvalMetrics {
   size_t rows_scanned = 0;        ///< Index entries read by atom scans.
   size_t join_input_rows = 0;     ///< Total rows fed into join operators.
+  size_t hash_probes = 0;         ///< Probe-side lookups across all joins
+                                  ///< (index-join probes + hash-table probes).
   size_t union_terms = 0;         ///< Disjuncts evaluated across all UCQs.
   size_t rows_materialized = 0;   ///< Rows of stored (non-pipelined) inputs.
+  size_t bytes_materialized = 0;  ///< Bytes spooled at materialize barriers
+                                  ///< (cells × sizeof(ValueId)).
   size_t duplicates_removed = 0;  ///< Rows dropped by duplicate elimination.
   double elapsed_ms = 0.0;        ///< Wall-clock evaluation time.
 
@@ -41,8 +47,10 @@ struct EvalMetrics {
   void Accumulate(const EvalMetrics& other) {
     rows_scanned += other.rows_scanned;
     join_input_rows += other.join_input_rows;
+    hash_probes += other.hash_probes;
     union_terms += other.union_terms;
     rows_materialized += other.rows_materialized;
+    bytes_materialized += other.bytes_materialized;
     duplicates_removed += other.duplicates_removed;
     elapsed_ms += other.elapsed_ms;
   }
@@ -109,6 +117,14 @@ class Evaluator {
   /// the alternative cost model of Fig 9. Infinity when infeasible.
   double ExplainCost(const JoinOfUnions& jucq,
                      const CardinalityEstimator& estimator) const;
+
+  /// Wires the estimate-feedback store: after every successful ExecutePlan
+  /// the executed union disjuncts' (estimate, actual) pairs are recorded
+  /// into `feedback` (see cost/feedback.h). Opt-in, null disables (the
+  /// default — deterministic paper runs must not accumulate state). The
+  /// pointee must outlive the evaluator and be thread-safe: concurrent
+  /// service requests record through their shared snapshot store.
+  void set_feedback(EstimateFeedbackStore* feedback) { feedback_ = feedback; }
 
   /// A planner over this evaluator's estimator and profile — the plans it
   /// builds are exactly the plans Evaluate* executes.
@@ -199,6 +215,7 @@ class Evaluator {
   const EngineProfile* profile_;
   const CardinalityEstimator* external_estimator_;
   std::optional<CardinalityEstimator> owned_estimator_;
+  EstimateFeedbackStore* feedback_ = nullptr;
   /// shared_ptr keeps the evaluator copyable (copies share the pool, which
   /// is safe: pools are stateless between batches).
   mutable std::shared_ptr<WorkerPool> pool_;

@@ -71,15 +71,27 @@ class PlanPrinter {
   }
 
  private:
-  /// "  [#7]" plus, under ANALYZE, the recorded actual row count.
+  /// "  [#7]" plus, under ANALYZE, the recorded runtime accounting.
   std::string NodeSuffix(const PlanNode& node) const {
     std::string s = "  [#" + std::to_string(node.id) + "]";
-    if (opts_.analyze) {
-      s += node.executed ? " (actual " + std::to_string(node.actual_rows) +
-                               " rows)"
-                         : " (not executed)";
+    if (!opts_.analyze) return s;
+    if (!node.executed) return s + " (not executed)";
+    s += " (actual " + std::to_string(node.actual_rows) + " rows";
+    if (opts_.analyze_timing) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ", %.2f ms", node.actual_ms);
+      s += buf;
     }
-    return s;
+    if (node.rows_scanned > 0) {
+      s += ", scanned " + std::to_string(node.rows_scanned);
+    }
+    if (node.hash_probes > 0) {
+      s += ", probes " + std::to_string(node.hash_probes);
+    }
+    if (node.bytes_materialized > 0) {
+      s += ", " + std::to_string(node.bytes_materialized) + " bytes";
+    }
+    return s + ")";
   }
 
   std::string HeadList(const std::vector<VarId>& head) const {

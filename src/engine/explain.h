@@ -13,10 +13,15 @@ namespace rdfopt {
 
 /// Rendering options for ExplainPlan.
 struct ExplainOptions {
-  /// EXPLAIN ANALYZE: append the actual row count the executor recorded in
-  /// each plan node (or "not executed" for short-circuited subtrees). The
-  /// plan must have been run through Evaluator::ExecutePlan first.
+  /// EXPLAIN ANALYZE: append the runtime accounting the executor recorded in
+  /// each plan node — actual rows plus, where nonzero, rows scanned, hash
+  /// probes and bytes materialized (or "not executed" for short-circuited
+  /// subtrees). The plan must have been run through Evaluator::ExecutePlan
+  /// first.
   bool analyze = false;
+  /// With `analyze`: include each node's wall time. On for humans; golden
+  /// tests turn it off, since timings are nondeterministic.
+  bool analyze_timing = true;
   /// Per-union detail bound: a 2000-term UNION prints this many sampled
   /// term chains plus a "... N more term(s)" summary line.
   size_t max_union_children_shown = 3;

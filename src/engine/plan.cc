@@ -27,6 +27,10 @@ void ResetNode(PlanNode* node) {
   if (node == nullptr) return;
   node->actual_rows = 0;
   node->executed = false;
+  node->actual_ms = 0.0;
+  node->rows_scanned = 0;
+  node->hash_probes = 0;
+  node->bytes_materialized = 0;
   for (auto& child : node->children) ResetNode(child.get());
 }
 }  // namespace
@@ -75,6 +79,43 @@ PhysicalPlan PhysicalPlan::Clone() const {
   copy.union_terms = union_terms;
   copy.num_nodes = num_nodes;
   return copy;
+}
+
+namespace {
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(uint64_t* h, uint64_t v) {
+  // Byte-wise FNV-1a over the value's 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (i * 8)) & 0xff;
+    *h *= kFnvPrime;
+  }
+}
+
+void FnvTerm(uint64_t* h, const PatternTerm& t) {
+  FnvMix(h, t.is_var() ? 1u : 2u);
+  FnvMix(h, t.is_var() ? t.var() : t.value());
+}
+
+void DigestNode(uint64_t* h, const PlanNode* node) {
+  if (node == nullptr) return;
+  FnvMix(h, static_cast<uint64_t>(node->kind));
+  FnvMix(h, static_cast<uint64_t>(node->id));
+  FnvTerm(h, node->atom.s);
+  FnvTerm(h, node->atom.p);
+  FnvTerm(h, node->atom.o);
+  FnvMix(h, node->union_terms);
+  for (const auto& child : node->children) DigestNode(h, child.get());
+}
+}  // namespace
+
+uint64_t PlanDigest(const PhysicalPlan& plan) {
+  uint64_t h = kFnvOffset;
+  FnvMix(&h, static_cast<uint64_t>(plan.shape));
+  FnvMix(&h, static_cast<uint64_t>(plan.num_nodes));
+  DigestNode(&h, plan.root.get());
+  return h;
 }
 
 }  // namespace rdfopt

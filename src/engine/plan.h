@@ -97,6 +97,25 @@ struct PlanNode {
   size_t actual_rows = 0;
   bool executed = false;  ///< False until the executor produced this node's
                           ///< result (short-circuited nodes stay false).
+
+  // --- Per-operator runtime accounting (Evaluator) ----------------------
+  // Written into every executed plan, not just under EXPLAIN ANALYZE: this
+  // is the substrate the estimate-feedback store, the slow-query log and the
+  // planned eval-cost governor meter against. Compiled out (left at zero)
+  // under RDFOPT_DISABLE_NODE_TELEMETRY — the baseline of the overhead
+  // benchmark in BENCH_observability.json.
+  double actual_ms = 0.0;  ///< Wall time of this node's own execution step,
+                           ///< children included (subtree time, like
+                           ///< est_cost is subtree cost).
+  /// kAtomScan / kIndexJoinAtom: index rows read to produce the output
+  /// (before join filtering); kHashJoin: rows consumed from both children.
+  size_t rows_scanned = 0;
+  /// kIndexJoinAtom: probe lookups issued (one per driving row);
+  /// kHashJoin: hash-table probes (rows of the probe side).
+  size_t hash_probes = 0;
+  /// kMaterializeBarrier: bytes of tuples spooled into the materialized
+  /// result (cells × sizeof(ValueId)).
+  size_t bytes_materialized = 0;
 };
 
 /// Root query shape of a plan; selects the top-level trace span and the
@@ -145,6 +164,13 @@ struct PhysicalPlan {
     for (const auto& child : node->children) VisitPre(child.get(), fn);
   }
 };
+
+/// Stable 64-bit fingerprint of the plan's structure: FNV-1a over the
+/// preorder walk of (kind, id, atom terms, union_terms). Identifies a plan
+/// shape across clones and processes — the slow-query log and the feedback
+/// store key on it, so two executions of the same cached plan correlate.
+/// Estimates and actuals are deliberately excluded.
+uint64_t PlanDigest(const PhysicalPlan& plan);
 
 }  // namespace rdfopt
 

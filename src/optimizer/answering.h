@@ -184,6 +184,17 @@ class QueryAnswerer {
   Result<AnswerOutcome> Answer(const Query& query,
                                const AnswerOptions& options) const;
 
+  /// Closes the telemetry feedback loop on this answerer: the estimator
+  /// consults `feedback` during planning and the evaluator records executed
+  /// disjuncts' actuals into it (cost/feedback.h). Opt-in — the default
+  /// (disabled) keeps answering history-free, which the paper benches and
+  /// golden plans rely on. Null disables. The pointee must outlive the
+  /// answerer.
+  void EnableFeedback(EstimateFeedbackStore* feedback) {
+    estimator_.set_feedback(feedback);
+    evaluator_.set_feedback(feedback);
+  }
+
   const Evaluator& evaluator() const { return evaluator_; }
   const Reformulator& reformulator() const { return reformulator_; }
   const CardinalityEstimator& estimator() const { return estimator_; }

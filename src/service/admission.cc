@@ -1,6 +1,30 @@
 #include "service/admission.h"
 
+#include "common/metrics.h"
+
 namespace rdfopt {
+
+namespace {
+
+/// Live admission gauges (`service.queue_depth`, `service.run_slots_in_use`),
+/// exported via `!prom`. Process-wide: with several controllers in one
+/// process (tests), the last writer wins — acceptable for gauges that exist
+/// to watch the one serving instance.
+struct AdmissionGauges {
+  MetricGauge* queue_depth;
+  MetricGauge* run_slots_in_use;
+};
+
+AdmissionGauges& Gauges() {
+  static AdmissionGauges g = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return AdmissionGauges{r.GetGauge("service.queue_depth"),
+                           r.GetGauge("service.run_slots_in_use")};
+  }();
+  return g;
+}
+
+}  // namespace
 
 Status AdmissionController::Acquire(
     std::chrono::steady_clock::time_point deadline) {
@@ -9,6 +33,7 @@ Status AdmissionController::Acquire(
   if (running_ < max_concurrent_ && waiting_.empty()) {
     ++running_;
     ++admitted_;
+    Gauges().run_slots_in_use->Set(static_cast<int64_t>(running_));
     return Status::OK();
   }
   if (waiting_.size() >= max_queue_) {
@@ -17,11 +42,13 @@ Status AdmissionController::Acquire(
   }
   const uint64_t ticket = next_ticket_++;
   waiting_.insert(ticket);
+  Gauges().queue_depth->Set(static_cast<int64_t>(waiting_.size()));
   const bool admitted = cv_.wait_until(lock, deadline, [&] {
     // FIFO: only the oldest waiter may take a freed slot.
     return running_ < max_concurrent_ && *waiting_.begin() == ticket;
   });
   waiting_.erase(ticket);
+  Gauges().queue_depth->Set(static_cast<int64_t>(waiting_.size()));
   if (!admitted) {
     ++deadline_exceeded_;
     // Our departure may make the next waiter eligible.
@@ -30,6 +57,7 @@ Status AdmissionController::Acquire(
   }
   ++running_;
   ++admitted_;
+  Gauges().run_slots_in_use->Set(static_cast<int64_t>(running_));
   // A slot may still be free for the new head of the queue.
   cv_.notify_all();
   return Status::OK();
@@ -39,6 +67,7 @@ void AdmissionController::Release() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     --running_;
+    Gauges().run_slots_in_use->Set(static_cast<int64_t>(running_));
   }
   cv_.notify_all();
 }

@@ -41,8 +41,12 @@ struct ServiceMetrics {
   MetricCounter* shed;
   MetricCounter* deadline_exceeded;
   MetricCounter* epoch_bumps;
+  MetricGauge* epoch;
   MetricHistogram* queue_wait_ms;
   MetricHistogram* total_ms;
+  /// Trailing-window twin of service.total_ms: the p99-over-last-minute
+  /// signal `!prom` exports for alerting.
+  MetricWindowedHistogram* total_ms_window;
 };
 
 ServiceMetrics& Metrics() {
@@ -56,8 +60,10 @@ ServiceMetrics& Metrics() {
     out.shed = r.GetCounter("service.shed");
     out.deadline_exceeded = r.GetCounter("service.deadline_exceeded");
     out.epoch_bumps = r.GetCounter("service.epoch_bumps");
+    out.epoch = r.GetGauge("service.epoch");
     out.queue_wait_ms = r.GetHistogram("service.queue_wait_ms");
     out.total_ms = r.GetHistogram("service.total_ms");
+    out.total_ms_window = r.GetWindowedHistogram("service.total_ms");
     return out;
   }();
   return m;
@@ -71,9 +77,13 @@ QueryService::QueryService(Graph* graph, const EngineProfile& profile,
       profile_(profile),
       options_(std::move(options)),
       cache_(options_.cache_bytes),
-      admission_(options_.max_concurrent, options_.max_queue) {
+      admission_(options_.max_concurrent, options_.max_queue),
+      slow_log_(SlowQueryLog::Options{options_.slow_query_ms,
+                                      options_.slow_log_capacity,
+                                      options_.slow_log_sample}) {
   std::lock_guard<std::mutex> lock(graph_mu_);
   InstallSnapshot(BuildSnapshotLocked(epoch_.Current()));
+  Metrics().epoch->Set(static_cast<int64_t>(epoch_.Current()));
 }
 
 std::shared_ptr<const QueryService::Snapshot> QueryService::CurrentSnapshot()
@@ -113,7 +123,8 @@ QueryService::BuildSnapshotLocked(Epoch epoch) const {
   Statistics stats = Statistics::Compute(data);
   return std::make_shared<Snapshot>(epoch, std::move(data),
                                     std::move(saturated), std::move(stats),
-                                    std::move(schema));
+                                    std::move(schema),
+                                    options_.enable_feedback);
 }
 
 Status QueryService::ApplyUpdate(const std::vector<Triple>& additions) {
@@ -131,6 +142,7 @@ Status QueryService::ApplyUpdate(const std::vector<Triple>& additions) {
   }
   const Epoch epoch = epoch_.Advance();
   Metrics().epoch_bumps->Increment();
+  Metrics().epoch->Set(static_cast<int64_t>(epoch));
   if (graph_->num_schema_triples() != schema_before) {
     // Schema changed: closures, saturation and every derived artifact must
     // be recomputed from scratch.
@@ -150,7 +162,7 @@ Status QueryService::ApplyUpdate(const std::vector<Triple>& additions) {
   Statistics stats = Statistics::Compute(data);
   InstallSnapshot(std::make_shared<Snapshot>(
       epoch, std::move(data), std::move(saturated), std::move(stats),
-      ReplaySchemaLocked()));
+      ReplaySchemaLocked(), options_.enable_feedback));
   return Status::OK();
 }
 
@@ -158,6 +170,7 @@ void QueryService::Refresh() {
   std::lock_guard<std::mutex> lock(graph_mu_);
   const Epoch epoch = epoch_.Advance();
   Metrics().epoch_bumps->Increment();
+  Metrics().epoch->Set(static_cast<int64_t>(epoch));
   InstallSnapshot(BuildSnapshotLocked(epoch));
 }
 
@@ -195,6 +208,20 @@ Result<ServiceOutcome> QueryService::Answer(const Query& query,
     canon_span.Attr("key", canonical.key);
   }
 
+  // Every exit path below feeds the slow-query log: failed requests always
+  // qualify, successful ones when total_ms crosses the threshold.
+  const auto record_failure = [&](const Status& status, double queue_wait_ms,
+                                  Epoch epoch) {
+    if (!options_.enable_slow_log) return;
+    SlowQueryLog::Record rec;
+    rec.canonical_query = canonical.key;
+    rec.status = status;
+    rec.epoch = epoch;
+    rec.queue_wait_ms = queue_wait_ms;
+    rec.total_ms = MsSince(start);
+    slow_log_.MaybeRecord(rec);
+  };
+
   const double deadline_ms = request.deadline_ms > 0.0
                                  ? request.deadline_ms
                                  : options_.default_deadline_ms;
@@ -216,6 +243,7 @@ Result<ServiceOutcome> QueryService::Answer(const Query& query,
         Metrics().deadline_exceeded->Increment();
       }
       span.Attr("rejected", admitted.ToString());
+      record_failure(admitted, queue_wait_ms, epoch_.Current());
       return admitted;
     }
   }
@@ -236,7 +264,10 @@ Result<ServiceOutcome> QueryService::Answer(const Query& query,
   std::shared_ptr<const Snapshot> snapshot = CurrentSnapshot();
   Result<ServiceOutcome> result =
       AnswerOnSnapshot(canonical, snapshot, request_profile);
-  if (!result.ok()) return result;
+  if (!result.ok()) {
+    record_failure(result.status(), queue_wait_ms, snapshot->epoch);
+    return result;
+  }
   ServiceOutcome outcome = result.TakeValue();
 
   outcome.columns.reserve(query.cq.head.size());
@@ -244,9 +275,27 @@ Result<ServiceOutcome> QueryService::Answer(const Query& query,
   outcome.queue_wait_ms = queue_wait_ms;
   outcome.total_ms = MsSince(start);
   Metrics().total_ms->Observe(outcome.total_ms);
+  Metrics().total_ms_window->Observe(outcome.total_ms);
   span.Attr("cache_hit", outcome.cache_hit);
   span.Attr("epoch", static_cast<uint64_t>(outcome.epoch));
   span.Attr("rows", static_cast<uint64_t>(outcome.answers.num_rows()));
+  if (options_.enable_slow_log &&
+      outcome.total_ms >= slow_log_.threshold_ms()) {
+    SlowQueryLog::Record rec;
+    rec.canonical_query = canonical.key;
+    rec.plan_digest = outcome.plan_digest;
+    rec.cache_hit = outcome.cache_hit;
+    rec.epoch = outcome.epoch;
+    rec.queue_wait_ms = outcome.queue_wait_ms;
+    rec.optimize_ms = outcome.optimize_ms;
+    rec.reformulate_ms = outcome.reformulate_ms;
+    rec.plan_ms = outcome.plan_ms;
+    rec.evaluate_ms = outcome.evaluate_ms;
+    rec.total_ms = outcome.total_ms;
+    rec.eval = outcome.eval;
+    rec.nodes = outcome.node_stats;
+    slow_log_.MaybeRecord(rec);
+  }
   return outcome;
 }
 
@@ -281,10 +330,15 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
     PhysicalPlan plan = entry->plan.Clone();
     Evaluator evaluator(&snapshot->data, &request_profile,
                         &snapshot->estimator);
+    // Cache hits keep feeding the feedback loop: their actuals refresh the
+    // fragment EWMAs even though no planning happens on this path.
+    if (options_.enable_feedback) evaluator.set_feedback(&snapshot->feedback);
     TraceSpan exec_span("service.execute");
     RDFOPT_ASSIGN_OR_RETURN(outcome.answers,
                             evaluator.ExecutePlan(&plan, &outcome.eval));
     outcome.evaluate_ms = outcome.eval.elapsed_ms;
+    outcome.plan_digest = PlanDigest(plan);
+    outcome.node_stats = CollectNodeStats(plan);
     exec_span.Attr("rows", static_cast<uint64_t>(outcome.answers.num_rows()));
     return outcome;
   }
@@ -297,8 +351,10 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
   QueryAnswerer answerer(&snapshot->data, &snapshot->saturated,
                          &snapshot->schema, &graph_->vocab(), &snapshot->stats,
                          &request_profile);
+  if (options_.enable_feedback) answerer.EnableFeedback(&snapshot->feedback);
   AnswerOptions answer_options = options_.answer;
-  answer_options.keep_plan = use_cache;
+  // The slow-query log wants per-node timings even when caching is off.
+  answer_options.keep_plan = use_cache || options_.enable_slow_log;
   RDFOPT_ASSIGN_OR_RETURN(AnswerOutcome answered,
                           answerer.Answer(canonical.query, answer_options));
 
@@ -311,6 +367,12 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
   outcome.evaluate_ms = answered.evaluate_ms;
   outcome.union_terms = answered.union_terms;
   outcome.num_components = answered.num_components;
+  if (answered.plan.has_value()) {
+    outcome.plan_digest = PlanDigest(*answered.plan);
+    // Harvest the per-operator accounting before the plan's actuals are
+    // reset for the cache below.
+    outcome.node_stats = CollectNodeStats(*answered.plan);
+  }
 
   if (use_cache && answered.plan.has_value() &&
       answered.plan->feasibility.ok()) {

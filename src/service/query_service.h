@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "cost/feedback.h"
 #include "engine/engine_profile.h"
 #include "engine/evaluator.h"
 #include "optimizer/answering.h"
@@ -15,6 +16,7 @@
 #include "service/admission.h"
 #include "service/canonical.h"
 #include "service/query_cache.h"
+#include "service/slow_log.h"
 #include "storage/epoch.h"
 
 namespace rdfopt {
@@ -34,6 +36,19 @@ struct ServiceOptions {
   /// Deadline applied when a request specifies none: covers queue wait plus
   /// evaluation.
   double default_deadline_ms = 30'000.0;
+  /// Estimate feedback (cost/feedback.h): each snapshot owns a store the
+  /// evaluator records executed disjuncts' actuals into and the estimator
+  /// consults on later plannings, so misestimated fragments self-correct.
+  /// Scoped to the snapshot — an epoch bump starts clean, since stale
+  /// observations must not steer planning against new data.
+  bool enable_feedback = true;
+  /// Slow-query log (service/slow_log.h): requests slower than
+  /// `slow_query_ms` (or failed) are recorded as JSON lines, keeping the
+  /// newest `slow_log_capacity`, sampled 1-in-`slow_log_sample`.
+  bool enable_slow_log = true;
+  double slow_query_ms = 100.0;
+  size_t slow_log_capacity = 128;
+  size_t slow_log_sample = 1;
 };
 
 /// Per-request overrides.
@@ -66,6 +81,12 @@ struct ServiceOutcome {
   double total_ms = 0.0;  ///< Wall-clock including canonicalize/queue/cache.
   size_t union_terms = 0;
   size_t num_components = 0;
+  /// Structural fingerprint of the executed plan (engine/plan.h PlanDigest);
+  /// 0 when no plan was available (saturation strategy without caching).
+  uint64_t plan_digest = 0;
+  /// Per-operator accounting of the executed plan, flattened out of the plan
+  /// tree (empty when no plan was available). Feeds the slow-query log.
+  std::vector<PlanNodeStats> node_stats;
 };
 
 /// The concurrent front door to the answering pipeline (DESIGN.md §10): a
@@ -141,28 +162,46 @@ class QueryService {
   const EngineProfile& profile() const { return profile_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// The slow-query log (always present; empty when enable_slow_log is
+  /// false). Shell `.slowlog` and the server's `!slowlog` read it;
+  /// `set_threshold_ms` adjusts the cutoff at runtime.
+  SlowQueryLog* slow_log() { return &slow_log_; }
+  const SlowQueryLog* slow_log() const { return &slow_log_; }
+
+  /// Entries currently in the active snapshot's estimate-feedback store.
+  size_t feedback_entries() const { return CurrentSnapshot()->feedback.size(); }
+
  private:
   /// One immutable database state: everything the answering pipeline reads.
   /// Built once per epoch, shared read-only afterwards; requests pin it with
   /// a shared_ptr so updates never invalidate memory under an evaluation.
   struct Snapshot {
     Snapshot(Epoch e, TripleStore d, TripleStore sat, Statistics st,
-             Schema sch)
+             Schema sch, bool enable_feedback)
         : epoch(e),
           data(std::move(d)),
           saturated(std::move(sat)),
           stats(std::move(st)),
           schema(std::move(sch)),
-          estimator(&data, &stats) {}
+          estimator(&data, &stats) {
+      if (enable_feedback) estimator.set_feedback(&feedback);
+    }
 
     const Epoch epoch;
     const TripleStore data;
     const TripleStore saturated;
     const Statistics stats;
     const Schema schema;
+    /// Estimate feedback scoped to this snapshot's data: born empty with
+    /// each epoch, filled by evaluations against it. Mutable because
+    /// requests hold the snapshot const — the store is internally
+    /// synchronized.
+    mutable EstimateFeedbackStore feedback;
     /// Points into this Snapshot's own data/stats (members initialize in
     /// declaration order; the snapshot is heap-pinned and never moved).
-    const CardinalityEstimator estimator;
+    /// Non-const only so the constructor can wire `feedback`; treated as
+    /// immutable afterwards.
+    CardinalityEstimator estimator;
   };
 
   std::shared_ptr<const Snapshot> CurrentSnapshot() const;
@@ -185,6 +224,7 @@ class QueryService {
   EpochCounter epoch_;
   QueryPlanCache cache_;
   AdmissionController admission_;
+  SlowQueryLog slow_log_;
 
   /// Serializes dictionary/graph mutation (query parsing interns constants,
   /// updates append triples) and dictionary reads (DecodeRow).

@@ -1,0 +1,123 @@
+#include "service/slow_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json_writer.h"
+#include "common/metrics.h"
+#include "engine/plan.h"
+
+namespace rdfopt {
+
+SlowQueryLog::SlowQueryLog(Options options)
+    : options_(options), threshold_ms_(options.threshold_ms) {}
+
+std::string SlowQueryLog::RenderLine(const Record& record) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("canonical").Value(record.canonical_query);
+  json.Key("status").Value(record.status.ok() ? "ok"
+                                              : record.status.ToString());
+  json.Key("cache_hit").Value(record.cache_hit);
+  json.Key("epoch").Value(static_cast<uint64_t>(record.epoch));
+  // Hex string: a JSON number cannot carry a full uint64 losslessly.
+  char digest[20];
+  std::snprintf(digest, sizeof(digest), "%016" PRIx64, record.plan_digest);
+  json.Key("plan_digest").Value(digest);
+  json.Key("queue_wait_ms").Value(record.queue_wait_ms);
+  json.Key("optimize_ms").Value(record.optimize_ms);
+  json.Key("reformulate_ms").Value(record.reformulate_ms);
+  json.Key("plan_ms").Value(record.plan_ms);
+  json.Key("evaluate_ms").Value(record.evaluate_ms);
+  json.Key("total_ms").Value(record.total_ms);
+  json.Key("eval").BeginObject();
+  json.Key("rows_scanned").Value(static_cast<uint64_t>(record.eval.rows_scanned));
+  json.Key("join_input_rows")
+      .Value(static_cast<uint64_t>(record.eval.join_input_rows));
+  json.Key("hash_probes").Value(static_cast<uint64_t>(record.eval.hash_probes));
+  json.Key("union_terms").Value(static_cast<uint64_t>(record.eval.union_terms));
+  json.Key("rows_materialized")
+      .Value(static_cast<uint64_t>(record.eval.rows_materialized));
+  json.Key("bytes_materialized")
+      .Value(static_cast<uint64_t>(record.eval.bytes_materialized));
+  json.Key("duplicates_removed")
+      .Value(static_cast<uint64_t>(record.eval.duplicates_removed));
+  json.EndObject();
+  json.Key("nodes").BeginArray();
+  for (const PlanNodeStats& node : record.nodes) {
+    json.BeginObject();
+    json.Key("id").Value(node.id);
+    json.Key("kind").Value(node.kind);
+    json.Key("rows").Value(static_cast<uint64_t>(node.actual_rows));
+    json.Key("ms").Value(node.actual_ms);
+    json.Key("scanned").Value(static_cast<uint64_t>(node.rows_scanned));
+    json.Key("probes").Value(static_cast<uint64_t>(node.hash_probes));
+    json.Key("bytes").Value(static_cast<uint64_t>(node.bytes_materialized));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+void SlowQueryLog::MaybeRecord(const Record& record) {
+  const bool qualifies =
+      !record.status.ok() || record.total_ms >= threshold_ms();
+  if (!qualifies) return;
+
+  static MetricCounter* slow_queries =
+      MetricsRegistry::Global().GetCounter("service.slow_queries");
+  static MetricCounter* sampled_out =
+      MetricsRegistry::Global().GetCounter("service.slow_log_sampled_out");
+  slow_queries->Increment();
+
+  const uint64_t seq =
+      qualifying_.fetch_add(1, std::memory_order_relaxed);
+  const size_t every = options_.sample_every == 0 ? 1 : options_.sample_every;
+  if (seq % every != 0) {
+    sampled_out->Increment();
+    return;
+  }
+
+  std::string line = RenderLine(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(std::move(line));
+  while (lines_.size() > options_.capacity) lines_.pop_front();
+}
+
+std::vector<std::string> SlowQueryLog::Lines(size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = lines_.size();
+  if (max > 0 && max < n) n = max;
+  return {lines_.end() - static_cast<ptrdiff_t>(n), lines_.end()};
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+std::vector<PlanNodeStats> CollectNodeStats(const PhysicalPlan& plan) {
+  std::vector<PlanNodeStats> out;
+  out.reserve(static_cast<size_t>(plan.num_nodes));
+  plan.ForEachNode([&out](const PlanNode& node) {
+    if (!node.executed) return;
+    PlanNodeStats stats;
+    stats.id = node.id;
+    stats.kind = PlanNodeKindName(node.kind);
+    stats.actual_rows = node.actual_rows;
+    stats.actual_ms = node.actual_ms;
+    stats.rows_scanned = node.rows_scanned;
+    stats.hash_probes = node.hash_probes;
+    stats.bytes_materialized = node.bytes_materialized;
+    out.push_back(stats);
+  });
+  return out;
+}
+
+}  // namespace rdfopt

@@ -1,0 +1,246 @@
+#include "cost/feedback.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "cost/cardinality.h"
+#include "engine/evaluator.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
+#include "service/query_service.h"
+#include "sparql/query.h"
+#include "workload/lubm.h"
+
+namespace rdfopt {
+namespace {
+
+TriplePattern Atom(PatternTerm s, PatternTerm p, PatternTerm o) {
+  return TriplePattern{s, p, o};
+}
+
+ConjunctiveQuery TwoAtomCq() {
+  // q(x) :- x p y . x q z  (p = 1, q = 2 as constants).
+  ConjunctiveQuery cq;
+  cq.head = {0};
+  cq.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(1), PatternTerm::Var(1)));
+  cq.atoms.push_back(
+      Atom(PatternTerm::Var(0), PatternTerm::Const(2), PatternTerm::Var(2)));
+  return cq;
+}
+
+TEST(FragmentSignatureTest, InvariantUnderAtomOrderAndRenaming) {
+  ConjunctiveQuery a = TwoAtomCq();
+
+  // Same fragment, atoms swapped, variables renamed (x->7, y->3, z->5).
+  ConjunctiveQuery b;
+  b.head = {7};
+  b.atoms.push_back(
+      Atom(PatternTerm::Var(7), PatternTerm::Const(2), PatternTerm::Var(5)));
+  b.atoms.push_back(
+      Atom(PatternTerm::Var(7), PatternTerm::Const(1), PatternTerm::Var(3)));
+
+  EXPECT_EQ(FragmentSignature(a), FragmentSignature(b));
+}
+
+TEST(FragmentSignatureTest, HeadIsExcluded) {
+  ConjunctiveQuery a = TwoAtomCq();
+  ConjunctiveQuery b = TwoAtomCq();
+  b.head = {0, 1};  // Different projection, same conjunction body.
+  EXPECT_EQ(FragmentSignature(a), FragmentSignature(b));
+}
+
+TEST(FragmentSignatureTest, ConstantsAndStructureMatter) {
+  ConjunctiveQuery a = TwoAtomCq();
+
+  ConjunctiveQuery different_const = TwoAtomCq();
+  different_const.atoms[1].p = PatternTerm::Const(3);
+  EXPECT_NE(FragmentSignature(a), FragmentSignature(different_const));
+
+  // Breaking the join (different subject variables) changes the signature.
+  ConjunctiveQuery disconnected = TwoAtomCq();
+  disconnected.atoms[1].s = PatternTerm::Var(9);
+  EXPECT_NE(FragmentSignature(a), FragmentSignature(disconnected));
+}
+
+TEST(EstimateFeedbackStoreTest, RecordsEwmaOfActuals) {
+  EstimateFeedbackStore store;
+  ConjunctiveQuery cq = TwoAtomCq();
+  EXPECT_FALSE(store.Lookup(cq).has_value());
+
+  store.Record(cq, /*estimated_rows=*/100.0, /*actual_rows=*/10);
+  ASSERT_TRUE(store.Lookup(cq).has_value());
+  EXPECT_DOUBLE_EQ(*store.Lookup(cq), 10.0);
+
+  // alpha = 0.5: 0.5 * 30 + 0.5 * 10 = 20.
+  store.Record(cq, /*estimated_rows=*/100.0, /*actual_rows=*/30);
+  EXPECT_DOUBLE_EQ(*store.Lookup(cq), 20.0);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(EstimateFeedbackStoreTest, LookupIsAlphaInvariant) {
+  EstimateFeedbackStore store;
+  ConjunctiveQuery cq = TwoAtomCq();
+  store.Record(cq, 100.0, 42);
+
+  // A renamed, reordered variant of the same fragment hits the same entry.
+  ConjunctiveQuery renamed;
+  renamed.head = {4};
+  renamed.atoms.push_back(
+      Atom(PatternTerm::Var(4), PatternTerm::Const(2), PatternTerm::Var(6)));
+  renamed.atoms.push_back(
+      Atom(PatternTerm::Var(4), PatternTerm::Const(1), PatternTerm::Var(8)));
+  ASSERT_TRUE(store.Lookup(renamed).has_value());
+  EXPECT_DOUBLE_EQ(*store.Lookup(renamed), 42.0);
+}
+
+TEST(EstimateFeedbackStoreTest, FifoEvictionBoundsTheStore) {
+  EstimateFeedbackStore::Options options;
+  options.max_entries = 2;
+  EstimateFeedbackStore store(options);
+
+  std::vector<ConjunctiveQuery> cqs;
+  for (ValueId p = 1; p <= 3; ++p) {
+    ConjunctiveQuery cq;
+    cq.head = {0};
+    cq.atoms.push_back(Atom(PatternTerm::Var(0), PatternTerm::Const(p),
+                            PatternTerm::Var(1)));
+    cqs.push_back(cq);
+    store.Record(cq, 1.0, 5);
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.Lookup(cqs[0]).has_value());  // Oldest evicted.
+  EXPECT_TRUE(store.Lookup(cqs[1]).has_value());
+  EXPECT_TRUE(store.Lookup(cqs[2]).has_value());
+}
+
+TEST(EstimateFeedbackStoreTest, ClearDropsEverything) {
+  EstimateFeedbackStore store;
+  store.Record(TwoAtomCq(), 10.0, 5);
+  EXPECT_EQ(store.size(), 1u);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.Lookup(TwoAtomCq()).has_value());
+}
+
+TEST(EstimateFeedbackStoreTest, RecordObservesDriftHistogram) {
+  MetricHistogram* drift =
+      MetricsRegistry::Global().GetHistogram("cost.estimate_drift");
+  const uint64_t before = drift->count();
+  EstimateFeedbackStore store;
+  // 10x under-estimate: drift ratio ~ (100+1)/(10+1) ~ 9.2.
+  store.Record(TwoAtomCq(), /*estimated_rows=*/10.0, /*actual_rows=*/100);
+  EXPECT_EQ(drift->count(), before + 1);
+  EXPECT_GE(drift->max(), 5.0);
+}
+
+/// Skewed star data that breaks the estimator's independence assumption:
+/// subject 1000 holds 91 of the 100 p-triples and the only q-triple, so
+/// q(x) :- x p y . x q z returns 91 rows while the uniform estimate says
+/// ~10. The feedback loop exists exactly for this case.
+class FeedbackLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Triple> triples;
+    for (ValueId i = 0; i < 91; ++i) triples.push_back({1000, 1, 2000 + i});
+    for (ValueId j = 1; j <= 9; ++j) triples.push_back({1000 + j, 1, 5000});
+    triples.push_back({1000, 2, 3000});
+    store_ = TripleStore::Build(std::move(triples));
+    stats_ = Statistics::Compute(store_);
+    profile_ = PostgresLikeProfile();
+  }
+
+  /// The chain root of the single union term: holds the conjunction's
+  /// est_rows (and after execution its actual_rows).
+  static const PlanNode* ChainRoot(const PhysicalPlan& plan) {
+    const PlanNode* dedup = plan.root.get();
+    const PlanNode* union_all = dedup->children[0].get();
+    return union_all->children[0].get();
+  }
+
+  TripleStore store_;
+  Statistics stats_;
+  EngineProfile profile_;
+};
+
+TEST_F(FeedbackLoopTest, SecondPlanningUsesObservedCardinality) {
+  CardinalityEstimator estimator(&store_, &stats_);
+  EstimateFeedbackStore feedback;
+  estimator.set_feedback(&feedback);
+
+  UnionQuery ucq;
+  ucq.head = {0};
+  ucq.disjuncts.push_back(TwoAtomCq());
+
+  // First planning: no observations yet, the independence estimate (~10)
+  // is far from the true 91 rows.
+  Planner planner(&estimator, &profile_);
+  PhysicalPlan first = planner.PlanUCQ(ucq);
+  const double first_estimate = ChainRoot(first)->est_rows;
+  EXPECT_NEAR(first_estimate, 10.0, 5.0);
+
+  // Execute with feedback wired: the evaluator records each executed
+  // disjunct's (estimate, actual) pair into the store.
+  Evaluator evaluator(&store_, &profile_);
+  evaluator.set_feedback(&feedback);
+  EvalMetrics metrics;
+  Result<Relation> result = evaluator.ExecutePlan(&first, &metrics);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(ChainRoot(first)->actual_rows, 91u);
+  ASSERT_EQ(feedback.size(), 1u);
+
+  // Second planning of the same fragment: the estimator now returns the
+  // observed cardinality instead of re-deriving the misestimate.
+  PhysicalPlan second = planner.PlanUCQ(ucq);
+  EXPECT_DOUBLE_EQ(ChainRoot(second)->est_rows, 91.0);
+  EXPECT_NE(ChainRoot(second)->est_rows, first_estimate);
+}
+
+TEST_F(FeedbackLoopTest, FeedbackIsOptIn) {
+  // Without set_feedback, recording into a store must not change what a
+  // plain estimator derives — paper-reproduction runs stay order-blind.
+  CardinalityEstimator estimator(&store_, &stats_);
+  const double before = estimator.EstimateCQ(TwoAtomCq());
+  EstimateFeedbackStore feedback;
+  feedback.Record(TwoAtomCq(), before, 91);
+  EXPECT_DOUBLE_EQ(estimator.EstimateCQ(TwoAtomCq()), before);
+}
+
+TEST(FeedbackServiceTest, ServiceAccumulatesFeedbackAndResetsOnEpoch) {
+  Graph graph;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &graph);
+
+  ServiceOptions service_options;
+  service_options.enable_feedback = true;
+  QueryService service(&graph, PostgresLikeProfile(), service_options);
+  EXPECT_EQ(service.feedback_entries(), 0u);
+
+  const char* text =
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x ?d WHERE { ?x ub:worksFor ?d . ?x ub:doctoralDegreeFrom "
+      "?u . }";
+  Result<ServiceOutcome> first = service.AnswerText(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_GT(service.feedback_entries(), 0u);
+
+  // Same query again (cache hit): answers must be identical even though the
+  // estimator now sees observed cardinalities.
+  Result<ServiceOutcome> second = service.AnswerText(text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.ValueOrDie().answers.num_rows(),
+            first.ValueOrDie().answers.num_rows());
+
+  // An epoch bump swaps in a fresh snapshot with an empty store: stale
+  // observations must not steer planning against the new data.
+  service.Refresh();
+  EXPECT_EQ(service.feedback_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfopt

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <cctype>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,6 +93,123 @@ TEST(MetricHistogramTest, ResetClears) {
   EXPECT_EQ(h.Quantile(0.5), 0.0);
 }
 
+TEST(MetricGaugeTest, SetAddIncrementDecrement) {
+  MetricGauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  g.Add(-3);
+  g.Increment();
+  g.Decrement();
+  g.Decrement();
+  EXPECT_EQ(g.value(), 6);
+  g.Set(-4);  // Gauges move both ways, including below zero.
+  EXPECT_EQ(g.value(), -4);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricGaugeTest, ConcurrentAddsBalanceOut) {
+  MetricGauge g;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        g.Increment();
+        g.Decrement();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricWindowedHistogramTest, EmptySnapshotIsZero) {
+  MetricWindowedHistogram h;
+  MetricWindowedHistogram::Snapshot s = h.WindowSnapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(MetricWindowedHistogramTest, SnapshotCoversRecentObservations) {
+  MetricWindowedHistogram h(/*window_seconds=*/60.0, /*num_slices=*/6);
+  h.Observe(2.0);
+  h.Observe(8.0);
+  h.Observe(0.5);
+  MetricWindowedHistogram::Snapshot s = h.WindowSnapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 10.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, 8.0);  // Clamped to the observed max.
+}
+
+TEST(MetricWindowedHistogramTest, OldObservationsAgeOut) {
+  MetricWindowedHistogram h(/*window_seconds=*/60.0, /*num_slices=*/6);
+  h.Observe(1000.0);  // A startup spike.
+  h.AdvanceClockForTest(30.0);
+  h.Observe(1.0);
+  // Both still inside the window.
+  EXPECT_EQ(h.WindowSnapshot().count, 2u);
+  EXPECT_DOUBLE_EQ(h.WindowSnapshot().max, 1000.0);
+  // Move past the window: the spike must be gone, the recent sample kept
+  // only while its own slice is live.
+  h.AdvanceClockForTest(45.0);  // Spike is 75s old, sample is 45s old.
+  MetricWindowedHistogram::Snapshot s = h.WindowSnapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  h.AdvanceClockForTest(30.0);  // Sample is 75s old.
+  EXPECT_EQ(h.WindowSnapshot().count, 0u);
+  // The instrument keeps accepting observations after everything aged out.
+  h.Observe(2.0);
+  EXPECT_EQ(h.WindowSnapshot().count, 1u);
+}
+
+TEST(MetricWindowedHistogramTest, SliceReuseDropsOnlyStaleData) {
+  // 6 slices of 10s: an observation every 15s keeps rotating through
+  // slices; the window must always hold the last ~60s worth.
+  MetricWindowedHistogram h(/*window_seconds=*/60.0, /*num_slices=*/6);
+  for (int i = 0; i < 8; ++i) {
+    h.Observe(static_cast<double>(i + 1));
+    h.AdvanceClockForTest(15.0);
+  }
+  // At t=120s the live slices cover t=70..120: the observations at
+  // t=75,90,105 (values 6..8) remain; the one at t=60 is a full window old
+  // and its slice has rotated out.
+  MetricWindowedHistogram::Snapshot s = h.WindowSnapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 6.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+}
+
+TEST(MetricWindowedHistogramTest, ResetClears) {
+  MetricWindowedHistogram h;
+  h.Observe(5.0);
+  h.Reset();
+  EXPECT_EQ(h.WindowSnapshot().count, 0u);
+  h.Observe(2.0);
+  EXPECT_EQ(h.WindowSnapshot().count, 1u);
+}
+
+TEST(MetricWindowedHistogramTest, ConcurrentObservesDoNotLoseSamples) {
+  MetricWindowedHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kObsPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObsPerThread; ++i) h.Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.WindowSnapshot().count,
+            static_cast<uint64_t>(kThreads) * kObsPerThread);
+}
+
 TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
   MetricsRegistry registry;
   MetricCounter* a = registry.GetCounter("test.counter");
@@ -100,11 +218,41 @@ TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
   MetricHistogram* ha = registry.GetHistogram("test.histogram");
   MetricHistogram* hb = registry.GetHistogram("test.histogram");
   EXPECT_EQ(ha, hb);
+  MetricGauge* ga = registry.GetGauge("test.gauge");
+  EXPECT_EQ(ga, registry.GetGauge("test.gauge"));
+  MetricWindowedHistogram* wa = registry.GetWindowedHistogram("test.window");
+  EXPECT_EQ(wa, registry.GetWindowedHistogram("test.window"));
   // Pointers survive Reset (instruments are zeroed in place).
   a->Add(3);
+  ga->Set(5);
+  wa->Observe(1.0);
   registry.Reset();
   EXPECT_EQ(a, registry.GetCounter("test.counter"));
   EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(ga->value(), 0);
+  EXPECT_EQ(wa->WindowSnapshot().count, 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndReportOnNewInstrumentKinds) {
+  // Registration races: threads hammering GetGauge/GetWindowedHistogram for
+  // overlapping names while reporting. TSan coverage for the new maps.
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < 1'000; ++i) {
+        std::string name = "race.gauge." + std::to_string(i % 7);
+        registry.GetGauge(name)->Add(t % 2 == 0 ? 1 : -1);
+        registry.GetWindowedHistogram("race.window")->Observe(1.0);
+        registry.GetCounter("race.counter")->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("race.counter")->value(), 4'000u);
+  EXPECT_EQ(registry.GetWindowedHistogram("race.window")->WindowSnapshot().count,
+            4'000u);
 }
 
 TEST(MetricsRegistryTest, ToJsonIsValidAndContainsInstruments) {
@@ -132,6 +280,68 @@ TEST(MetricsRegistryTest, EmptyRegistryToJsonIsValid) {
   std::string error;
   EXPECT_TRUE(IsValidJson(registry.ToJson(), &error)) << error;
   EXPECT_TRUE(IsValidJson(registry.ToJson(/*indent=*/2), &error)) << error;
+}
+
+TEST(MetricsRegistryTest, ToJsonIncludesGaugesAndWindowed) {
+  MetricsRegistry registry;
+  registry.GetGauge("service.queue_depth")->Set(3);
+  registry.GetWindowedHistogram("service.total_ms")->Observe(12.0);
+  std::string json = registry.ToJson();
+  std::string error;
+  ASSERT_TRUE(IsValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"service.queue_depth\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"windowed\""), std::string::npos);
+  EXPECT_NE(json.find("\"service.total_ms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.rows_scanned")->Add(42);
+  registry.GetGauge("service.queue_depth")->Set(-2);
+  registry.GetHistogram("engine.evaluate_ms")->Observe(3.0);
+  registry.GetWindowedHistogram("service.total_ms")->Observe(7.0);
+
+  std::string text = registry.ToPrometheusText();
+  // Names are prefixed and dots mangled to underscores.
+  EXPECT_NE(text.find("# TYPE rdfopt_engine_rows_scanned counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfopt_engine_rows_scanned 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rdfopt_service_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfopt_service_queue_depth -2\n"), std::string::npos);
+  // Lifetime histograms export as summaries with quantile labels.
+  EXPECT_NE(text.find("# TYPE rdfopt_engine_evaluate_ms summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfopt_engine_evaluate_ms{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("rdfopt_engine_evaluate_ms_count 1\n"),
+            std::string::npos);
+  // Windowed histograms export as quantile+window labelled gauges.
+  EXPECT_NE(text.find("# TYPE rdfopt_service_total_ms_window gauge\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("rdfopt_service_total_ms_window{quantile=\"0.99\",window="),
+      std::string::npos);
+  // The scrape terminator doubles as the server's end-of-response marker.
+  EXPECT_TRUE(text.size() >= 6 && text.substr(text.size() - 6) == "# EOF\n")
+      << text;
+  // Every non-comment line is "name[{labels}] value".
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.rfind("# ", 0) == 0) continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    for (char c : line.substr(0, line.find_first_of("{ "))) {
+      EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':')
+          << "bad metric name char in: " << line;
+    }
+  }
 }
 
 TEST(MetricsRegistryTest, GlobalToJsonIsValid) {

@@ -1,0 +1,179 @@
+#include "service/slow_log.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json_checker.h"
+#include "service/query_service.h"
+#include "workload/lubm.h"
+
+namespace rdfopt {
+namespace {
+
+using rdfopt::testing::IsValidJson;
+
+SlowQueryLog::Record SampleRecord(double total_ms = 250.0) {
+  SlowQueryLog::Record record;
+  record.canonical_query = "q(?v0) :- ?v0 <p> <o>";
+  record.plan_digest = 0xdeadbeefcafef00dULL;
+  record.cache_hit = true;
+  record.epoch = 3;
+  record.queue_wait_ms = 1.5;
+  record.evaluate_ms = total_ms - 2.0;
+  record.total_ms = total_ms;
+  record.eval.rows_scanned = 100;
+  record.eval.hash_probes = 40;
+  record.eval.bytes_materialized = 800;
+  PlanNodeStats node;
+  node.id = 7;
+  node.kind = "AtomScan";
+  node.actual_rows = 100;
+  node.actual_ms = 0.2;
+  node.rows_scanned = 100;
+  record.nodes.push_back(node);
+  return record;
+}
+
+TEST(SlowQueryLogTest, RenderLineIsValidJsonWithExpectedKeys) {
+  std::string line = SlowQueryLog::RenderLine(SampleRecord());
+  std::string error;
+  ASSERT_TRUE(IsValidJson(line, &error)) << error << "\n" << line;
+  EXPECT_NE(line.find("\"canonical\":"), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(line.find("\"cache_hit\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"epoch\":3"), std::string::npos);
+  // uint64 digests travel as fixed-width hex strings, not JSON numbers.
+  EXPECT_NE(line.find("\"plan_digest\":\"deadbeefcafef00d\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"total_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"eval\":{"), std::string::npos);
+  EXPECT_NE(line.find("\"hash_probes\":40"), std::string::npos);
+  EXPECT_NE(line.find("\"nodes\":[{"), std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"AtomScan\""), std::string::npos);
+  // One line: no embedded newlines to break JSON-lines consumers.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, ThresholdGatesRecording) {
+  SlowQueryLog::Options options;
+  options.threshold_ms = 100.0;
+  SlowQueryLog log(options);
+
+  log.MaybeRecord(SampleRecord(/*total_ms=*/50.0));  // Fast and ok: dropped.
+  EXPECT_EQ(log.size(), 0u);
+  log.MaybeRecord(SampleRecord(/*total_ms=*/150.0));
+  EXPECT_EQ(log.size(), 1u);
+
+  // Failed requests always qualify, however fast.
+  SlowQueryLog::Record failed = SampleRecord(/*total_ms=*/1.0);
+  failed.status = Status::ResourceExhausted("admission queue full");
+  log.MaybeRecord(failed);
+  EXPECT_EQ(log.size(), 2u);
+  std::vector<std::string> lines = log.Lines();
+  EXPECT_NE(lines[1].find("admission queue full"), std::string::npos);
+}
+
+TEST(SlowQueryLogTest, ThresholdIsRuntimeAdjustable) {
+  SlowQueryLog::Options options;
+  options.threshold_ms = 100.0;
+  SlowQueryLog log(options);
+  log.set_threshold_ms(10.0);
+  EXPECT_DOUBLE_EQ(log.threshold_ms(), 10.0);
+  log.MaybeRecord(SampleRecord(/*total_ms=*/50.0));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(SlowQueryLogTest, SamplingKeepsEveryNth) {
+  SlowQueryLog::Options options;
+  options.threshold_ms = 0.0;
+  options.sample_every = 3;
+  SlowQueryLog log(options);
+  for (int i = 0; i < 9; ++i) log.MaybeRecord(SampleRecord());
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(SlowQueryLogTest, CapacityKeepsNewest) {
+  SlowQueryLog::Options options;
+  options.threshold_ms = 0.0;
+  options.capacity = 2;
+  SlowQueryLog log(options);
+  for (int i = 0; i < 5; ++i) {
+    SlowQueryLog::Record record = SampleRecord();
+    record.epoch = static_cast<Epoch>(i);
+    log.MaybeRecord(record);
+  }
+  EXPECT_EQ(log.size(), 2u);
+  std::vector<std::string> lines = log.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"epoch\":4"), std::string::npos);
+
+  // Lines(max) returns only the newest max.
+  EXPECT_EQ(log.Lines(1).size(), 1u);
+  EXPECT_NE(log.Lines(1)[0].find("\"epoch\":4"), std::string::npos);
+
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(SlowLogServiceTest, ServiceRecordsSlowQueriesWithPlanDetail) {
+  Graph graph;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &graph);
+
+  ServiceOptions service_options;
+  service_options.slow_query_ms = 0.0;  // Everything qualifies.
+  QueryService service(&graph, PostgresLikeProfile(), service_options);
+
+  const char* text =
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x ?d WHERE { ?x ub:worksFor ?d . ?x ub:doctoralDegreeFrom "
+      "?u . }";
+  Result<ServiceOutcome> result = service.AnswerText(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ServiceOutcome& outcome = result.ValueOrDie();
+  EXPECT_NE(outcome.plan_digest, 0u);
+  EXPECT_FALSE(outcome.node_stats.empty());
+
+  ASSERT_EQ(service.slow_log()->size(), 1u);
+  std::string line = service.slow_log()->Lines()[0];
+  std::string error;
+  ASSERT_TRUE(IsValidJson(line, &error)) << error << "\n" << line;
+  EXPECT_NE(line.find("\"cache_hit\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"nodes\":[{"), std::string::npos);
+  EXPECT_EQ(line.find("\"plan_digest\":\"0000000000000000\""),
+            std::string::npos);
+
+  // The cache-hit repeat logs the same plan digest.
+  Result<ServiceOutcome> again = service.AnswerText(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.ValueOrDie().cache_hit);
+  EXPECT_EQ(again.ValueOrDie().plan_digest, outcome.plan_digest);
+  ASSERT_EQ(service.slow_log()->size(), 2u);
+  EXPECT_NE(service.slow_log()->Lines()[1].find("\"cache_hit\":true"),
+            std::string::npos);
+}
+
+TEST(SlowLogServiceTest, FastQueriesAreNotRecorded) {
+  Graph graph;
+  LubmOptions options;
+  options.num_universities = 1;
+  GenerateLubm(options, &graph);
+
+  ServiceOptions service_options;
+  service_options.slow_query_ms = 60'000.0;  // Nothing qualifies.
+  QueryService service(&graph, PostgresLikeProfile(), service_options);
+
+  const char* text =
+      "PREFIX ub: <http://lubm.example.org/univ#>\n"
+      "SELECT ?x WHERE { ?x ub:worksFor ?d . }";
+  Result<ServiceOutcome> result = service.AnswerText(text);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(service.slow_log()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfopt
