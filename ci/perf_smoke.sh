@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Executor perf smoke: runs the headline batch-engine benchmark
+# (BM_ExecutePlannedJucq) plus the dedup microbenchmarks and fails if the
+# executor regresses more than the budget against the checked-in sidecar
+# (BENCH_baseline.json).
+#
+# The baseline was recorded on a different machine, so an absolute
+# comparison would be noise; instead the gate is relative to the recorded
+# batch-vs-tuple ratio: the batch engine must stay a large multiple faster
+# than the tuple engine measured in the same process, and may drift at most
+# RDFOPT_PERF_BUDGET_PCT (default 20) from the baseline's recorded ratio.
+#
+# Usage: ci/perf_smoke.sh [build_dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_micro"
+BASELINE="${RDFOPT_PERF_BASELINE:-BENCH_baseline.json}"
+BUDGET_PCT="${RDFOPT_PERF_BUDGET_PCT:-20}"
+OUT="${RDFOPT_PERF_OUT:-$BUILD_DIR/perf_smoke.json}"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "perf_smoke: $BENCH not built" >&2
+  exit 1
+fi
+if [[ ! -f "$BASELINE" ]]; then
+  echo "perf_smoke: baseline $BASELINE not found" >&2
+  exit 1
+fi
+
+"$BENCH" \
+  --benchmark_filter='BM_ExecutePlannedJucq(Tuple)?$|BM_Deduplicate(Sort)?$' \
+  --benchmark_out="$OUT" --benchmark_out_format=json
+
+python3 - "$BASELINE" "$OUT" "$BUDGET_PCT" <<'EOF'
+import json
+import sys
+
+baseline_path, out_path, budget_pct = sys.argv[1], sys.argv[2], sys.argv[3]
+budget = float(budget_pct) / 100.0
+
+def times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: float(b["real_time"]) for b in doc["benchmarks"]}
+
+base = times(baseline_path)
+now = times(out_path)
+
+failures = []
+
+def require(name):
+    if name not in now:
+        failures.append(f"{name}: missing from the smoke run")
+        return None
+    return now[name]
+
+batch = require("BM_ExecutePlannedJucq")
+tuple_t = require("BM_ExecutePlannedJucqTuple")
+dedup = require("BM_Deduplicate")
+dedup_sort = require("BM_DeduplicateSort")
+
+# Gate 1: the in-process batch-vs-tuple executor ratio. Machine-independent:
+# both sides ran seconds apart on the same host.
+if batch and tuple_t:
+    ratio = tuple_t / batch
+    base_ratio = None
+    if "BM_ExecutePlannedJucqTuple" in base and "BM_ExecutePlannedJucq" in base:
+        base_ratio = base["BM_ExecutePlannedJucqTuple"] / base["BM_ExecutePlannedJucq"]
+    # Never below the PR's acceptance bar of 5x, and within budget of the
+    # recorded ratio when the baseline has both columns.
+    floor = 5.0
+    if base_ratio is not None:
+        floor = max(floor, base_ratio * (1.0 - budget))
+    print(f"perf_smoke: batch {batch/1e6:.2f} ms, tuple {tuple_t/1e6:.2f} ms, "
+          f"ratio {ratio:.1f}x (floor {floor:.1f}x)")
+    if ratio < floor:
+        failures.append(
+            f"BM_ExecutePlannedJucq: batch/tuple ratio {ratio:.1f}x below "
+            f"the floor {floor:.1f}x (budget {budget_pct}%)")
+
+# Gate 2: the radix dedup must stay faster than the sort dedup.
+if dedup and dedup_sort:
+    print(f"perf_smoke: dedup radix {dedup/1e3:.0f} us, "
+          f"sort {dedup_sort/1e3:.0f} us")
+    if dedup > dedup_sort:
+        failures.append(
+            f"BM_Deduplicate: radix dedup ({dedup:.0f} ns) slower than the "
+            f"sort path ({dedup_sort:.0f} ns)")
+
+if failures:
+    for f in failures:
+        print(f"perf_smoke: FAIL: {f}", file=sys.stderr)
+    sys.exit(1)
+print("perf_smoke: OK")
+EOF

@@ -19,6 +19,11 @@
 //   .trace on|off          print the span tree after each query
 //   .threads N             evaluator worker threads (1 = sequential;
 //                          answers are identical at any setting)
+//   .vector [N|off]        switch to the batch execution engine with batch
+//                          size N (default 1024) and union-subplan
+//                          factoring; `off` restores the tuple-at-a-time
+//                          engine. Answers are identical either way;
+//                          .explain shows [vector=N] and shared nodes
 //   .metrics [reset|prom]  dump (or zero) the process metrics registry;
 //                          `prom` prints the Prometheus text exposition
 //   .service [on|off]      route queries through the QueryService front
@@ -153,7 +158,7 @@ int main(int argc, char** argv) {
         std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
                     "| .subsume on|off | .minimize on|off "
                     "| .explain on|off|analyze | .sql on|off | .trace on|off "
-                    "| .threads N | .metrics [reset|prom] "
+                    "| .threads N | .vector [N|off] | .metrics [reset|prom] "
                     "| .service [on|off] | .slowlog [N|ms X|clear] "
                     "| .calibrate | .stats | .quit\n"
                     ".explain analyze prints the executed plan with "
@@ -203,6 +208,33 @@ int main(int argc, char** argv) {
         profile.worker_threads = static_cast<size_t>(n);
         std::printf("threads = %d%s\n", n,
                     n == 1 ? " (sequential)" : "");
+      } else if (op == ".vector") {
+        // The answerer holds a pointer to `profile`, so assigning through
+        // it switches the engine for every later query. Worker threads are
+        // orthogonal and survive the switch.
+        size_t threads = profile.worker_threads;
+        if (arg == "off" || arg == "1") {
+          profile = PostgresLikeProfile();
+          profile.worker_threads = threads;
+          std::printf("vector = off (tuple-at-a-time engine)\n");
+        } else {
+          long n = arg.empty() ? static_cast<long>(kBatchRows)
+                               : std::atol(arg.c_str());
+          if (n < 2) {
+            std::printf(".vector [N|off] — batch size N >= 2 "
+                        "(default %zu)\n", kBatchRows);
+            continue;
+          }
+          profile = Vectorized(PostgresLikeProfile(),
+                               static_cast<size_t>(n));
+          profile.worker_threads = threads;
+          std::printf("vector = %ld (batch engine, union-subplan "
+                      "factoring on)\n", n);
+        }
+        if (service != nullptr) {
+          std::printf("note: run .service on again to apply the engine "
+                      "switch to the service front door\n");
+        }
       } else if (op == ".metrics") {
         if (arg == "reset") {
           MetricsRegistry::Global().Reset();

@@ -84,6 +84,30 @@ EngineProfile MakeNativeStore() {
 
 }  // namespace
 
+EngineProfile Vectorized(const EngineProfile& base, size_t width) {
+  EngineProfile p = base;
+  if (width == 0) width = 1;
+  p.name = base.name + "+vectorized";
+  p.vector_width = width;
+  p.share_union_subplans = true;
+  const double w = static_cast<double>(width);
+  // Per-row emulated overheads model tuple-at-a-time interpretation; a
+  // vectorized engine pays them once per batch.
+  p.tuple_us_per_row = base.tuple_us_per_row / w;
+  p.materialization_us_per_row = base.materialization_us_per_row / w;
+  p.union_term_overhead_us = base.union_term_overhead_us / w;
+  // The matching per-tuple cost constants scale with them so estimates keep
+  // tracking the emulated engine; c_db (per-query) and the dedup spill
+  // threshold are width-independent.
+  p.cost.c_t = base.cost.c_t / w;
+  p.cost.c_j = base.cost.c_j / w;
+  p.cost.c_m = base.cost.c_m / w;
+  p.cost.c_l = base.cost.c_l / w;
+  p.cost.c_k = base.cost.c_k / w;
+  p.cost.c_union_term = base.cost.c_union_term / w;
+  return p;
+}
+
 const EngineProfile& Db2LikeProfile() {
   static const EngineProfile& p = *new EngineProfile(MakeDb2Like());
   return p;

@@ -67,9 +67,33 @@ struct EngineProfile {
   /// this knob.
   size_t worker_threads = 1;
 
+  /// Rows per execution batch (the engine's vector size, MonetDB/X100
+  /// style). The per-row emulated overheads above model tuple-at-a-time
+  /// interpretation — one operator dispatch, one expression evaluation, one
+  /// tuple (de)forming per row. A vectorized engine pays that interpretation
+  /// cost once per batch, so the evaluator divides every per-row and
+  /// per-term emulated charge (and the planner the matching cost constants)
+  /// by this width. 1 — the default, and what the four canonical paper
+  /// profiles use — reproduces the paper's tuple-at-a-time engines exactly.
+  size_t vector_width = 1;
+
+  /// Enables the planner's union-subplan factoring pass: atom scans shared
+  /// by several branches of a union become execute-once shared nodes
+  /// (kSharedRef). Off for the canonical paper profiles — sharing changes
+  /// per-plan costs, and the paper's engines re-evaluate each branch in
+  /// isolation — and on for vectorized profiles.
+  bool share_union_subplans = false;
+
   /// Calibrated §4.1 cost-model constants for this engine.
   CostConstants cost;
 };
+
+/// A vectorized variant of `base`: batch-at-a-time execution with the given
+/// vector width (default kBatchRows = 1024) and union-subplan factoring on.
+/// Per-row/per-term cost constants and emulated overheads are amortized over
+/// the batch, modelling the interpretation overhead vectorization removes;
+/// resource limits and timeout are inherited unchanged.
+EngineProfile Vectorized(const EngineProfile& base, size_t width = 1024);
 
 /// The three reformulation-target profiles of the experiments
 /// (§5.1), plus the saturation-oriented native-store profile of §5.3.

@@ -184,7 +184,7 @@ Status Evaluator::ChargeMaterialization(const Relation& rel,
   return Status::OK();
 }
 
-Result<Relation> Evaluator::ExecAtomScan(PlanNode* node, Exec* exec) const {
+Result<RelHandle> Evaluator::ExecAtomScan(PlanNode* node, Exec* exec) const {
   const TriplePattern& atom = node->atom;
   if (IsConstantAtom(atom)) {
     // Boolean existence guard: a point lookup, free of charge (neither
@@ -196,7 +196,7 @@ Result<Relation> Evaluator::ExecAtomScan(PlanNode* node, Exec* exec) const {
       out.AppendEmptyRow();
     }
     NoteResult(node, out);
-    return out;
+    return RelHandle(std::move(out));
   }
   RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
   TraceSpan span("op.scan");
@@ -214,19 +214,34 @@ Result<Relation> Evaluator::ExecAtomScan(PlanNode* node, Exec* exec) const {
   span.Attr("rows_scanned", scan_size);
   span.Attr("output_rows", out.num_rows());
   NoteResult(node, out);
-  return out;
+  return RelHandle(std::move(out));
 }
 
-Result<Relation> Evaluator::ExecIndexJoin(PlanNode* node, Exec* exec) const {
+Result<RelHandle> Evaluator::ExecSharedRef(PlanNode* node, Exec* exec) const {
+  const std::vector<Relation>* rels = exec->shared->shared_rels;
+  if (rels == nullptr || node->shared_index < 0 ||
+      static_cast<size_t>(node->shared_index) >= rels->size()) {
+    return Status::Internal("SharedRef #" + std::to_string(node->shared_index) +
+                            " has no materialized shared subplan");
+  }
+  // No charges, no counters: the shared subplan's work was accounted once,
+  // when the coordinator executed it (EXPLAIN ANALYZE attribution contract).
+  const Relation& rel = (*rels)[static_cast<size_t>(node->shared_index)];
+  NoteResult(node, rel);
+  return RelHandle(&rel);
+}
+
+Result<RelHandle> Evaluator::ExecIndexJoin(PlanNode* node, Exec* exec) const {
   RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
-  RDFOPT_ASSIGN_OR_RETURN(Relation left, ExecNode(node->children[0].get(),
-                                                  exec));
+  RDFOPT_ASSIGN_OR_RETURN(RelHandle left_handle,
+                          ExecNode(node->children[0].get(), exec));
+  const Relation& left = left_handle.get();
   if (left.num_rows() == 0) {
     // Short-circuit: an empty intermediate ends the chain; the atom is
     // never probed.
     Relation out{node->out_columns};
     NoteResult(node, out);
-    return out;
+    return RelHandle(std::move(out));
   }
   TraceSpan span("op.index_join");
   span.Attr("node", node->id);
@@ -244,41 +259,41 @@ Result<Relation> Evaluator::ExecIndexJoin(PlanNode* node, Exec* exec) const {
   span.Attr("join_input_rows", driving + probed);
   span.Attr("output_rows", out.num_rows());
   NoteResult(node, out);
-  return out;
+  return RelHandle(std::move(out));
 }
 
-Result<Relation> Evaluator::ExecHashJoin(PlanNode* node, Exec* exec) const {
+Result<RelHandle> Evaluator::ExecHashJoin(PlanNode* node, Exec* exec) const {
   RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
-  std::optional<Relation> left;
-  std::optional<Relation> right;
+  std::optional<RelHandle> left;
+  std::optional<RelHandle> right;
   if (node->component_join && exec->shared->pool != nullptr) {
     // Component UCQs are independent subqueries: evaluate both sides of the
     // engine.join concurrently (the caller runs the left subtree itself).
     RDFOPT_RETURN_NOT_OK(
         ExecComponentChildrenParallel(node, exec, &left, &right));
   } else {
-    RDFOPT_ASSIGN_OR_RETURN(Relation l, ExecNode(node->children[0].get(),
-                                                 exec));
+    RDFOPT_ASSIGN_OR_RETURN(RelHandle l, ExecNode(node->children[0].get(),
+                                                  exec));
     left.emplace(std::move(l));
     if (!node->component_join) {
-      if (left->num_rows() == 0) {
+      if (left->get().num_rows() == 0) {
         // Short-circuit within a disjunct: skip the right subtree entirely
         // (its nodes keep executed == false).
         Relation out{node->out_columns};
         NoteResult(node, out);
-        return out;
+        return RelHandle(std::move(out));
       }
-      if (left->columns().empty()) {
+      if (left->get().columns().empty()) {
         // Passed boolean guard: forward the right side unchanged, free of
         // charge — the guard never materializes as a join at runtime.
-        RDFOPT_ASSIGN_OR_RETURN(Relation out,
+        RDFOPT_ASSIGN_OR_RETURN(RelHandle out,
                                 ExecNode(node->children[1].get(), exec));
-        NoteResult(node, out);
+        NoteResult(node, out.get());
         return out;
       }
     }
-    RDFOPT_ASSIGN_OR_RETURN(Relation r, ExecNode(node->children[1].get(),
-                                                 exec));
+    RDFOPT_ASSIGN_OR_RETURN(RelHandle r, ExecNode(node->children[1].get(),
+                                                  exec));
     right.emplace(std::move(r));
   }
   RDFOPT_RETURN_NOT_OK(CheckTimeout(*exec));
@@ -286,9 +301,11 @@ Result<Relation> Evaluator::ExecHashJoin(PlanNode* node, Exec* exec) const {
   // within a disjunct are op.hash_join.
   TraceSpan span(node->component_join ? "engine.join" : "op.hash_join");
   span.Attr("node", node->id);
-  size_t inputs = left->num_rows() + right->num_rows();
+  const Relation& lrel = left->get();
+  const Relation& rrel = right->get();
+  size_t inputs = lrel.num_rows() + rrel.num_rows();
   // The build side is the smaller input, so the probe side is the larger.
-  size_t probes = std::max(left->num_rows(), right->num_rows());
+  size_t probes = std::max(lrel.num_rows(), rrel.num_rows());
   exec->metrics->join_input_rows += inputs;
   exec->metrics->hash_probes += probes;
   if constexpr (kNodeTelemetry) {
@@ -296,22 +313,22 @@ Result<Relation> Evaluator::ExecHashJoin(PlanNode* node, Exec* exec) const {
     node->hash_probes = probes;
   }
   ChargeEmulated(exec, profile_->tuple_us_per_row * static_cast<double>(inputs));
-  Relation out = HashJoin(*left, *right);
+  Relation out = HashJoin(lrel, rrel);
   span.Attr("join_input_rows", inputs);
   span.Attr("output_rows", out.num_rows());
   NoteResult(node, out);
-  return out;
+  return RelHandle(std::move(out));
 }
 
 Status Evaluator::ExecComponentChildrenParallel(
-    PlanNode* node, Exec* exec, std::optional<Relation>* left,
-    std::optional<Relation>* right) const {
+    PlanNode* node, Exec* exec, std::optional<RelHandle>* left,
+    std::optional<RelHandle>* right) const {
   TraceSession* parent_session = TraceSession::Current();
   struct TaskOut {
     EvalMetrics metrics;
     std::optional<TraceSession> trace;
     double trace_base_ms = 0.0;
-    std::optional<Relation> rel;
+    std::optional<RelHandle> rel;
   };
   std::vector<TaskOut> outs(2);
   auto run_child = [&](size_t i) -> Status {
@@ -330,7 +347,7 @@ Status Evaluator::ExecComponentChildrenParallel(
       out.trace.emplace();
       scoped.emplace(&*out.trace);
     }
-    Result<Relation> r = ExecNode(node->children[i].get(), &local);
+    Result<RelHandle> r = ExecNode(node->children[i].get(), &local);
     WaitFor(debt);
     if (!r.ok()) {
       if (r.status().code() != StatusCode::kCancelled) {
@@ -356,7 +373,7 @@ Status Evaluator::ExecComponentChildrenParallel(
   return Status::OK();
 }
 
-Result<Relation> Evaluator::ExecUnionAll(PlanNode* node, Exec* exec) const {
+Result<RelHandle> Evaluator::ExecUnionAll(PlanNode* node, Exec* exec) const {
   if (node->over_limit) {
     return Status::QueryTooComplex(
         UnionLimitMessage(node->union_terms, *profile_));
@@ -376,19 +393,19 @@ Result<Relation> Evaluator::ExecUnionAll(PlanNode* node, Exec* exec) const {
     // charged work — and the cost model's per-term c_union_term estimate —
     // is independent of worker_threads; only wall-clock shrinks.
     ChargeEmulated(exec, profile_->union_term_overhead_us);
-    RDFOPT_ASSIGN_OR_RETURN(Relation rel, ExecNode(node->children[i].get(),
-                                                   exec));
+    RDFOPT_ASSIGN_OR_RETURN(RelHandle rel, ExecNode(node->children[i].get(),
+                                                    exec));
     // Per-tuple executor overhead for rows appended to the union.
     ChargeEmulated(exec, profile_->tuple_us_per_row *
-                             static_cast<double>(rel.num_rows()));
-    ProjectInto(&acc, rel, node->disjuncts[i].head_bindings);
+                             static_cast<double>(rel.get().num_rows()));
+    ProjectInto(&acc, rel.get(), node->disjuncts[i].head_bindings);
   }
   NoteResult(node, acc);
-  return acc;
+  return RelHandle(std::move(acc));
 }
 
-Result<Relation> Evaluator::ExecUnionAllParallel(PlanNode* node,
-                                                 Exec* exec) const {
+Result<RelHandle> Evaluator::ExecUnionAllParallel(PlanNode* node,
+                                                  Exec* exec) const {
   const size_t n = node->children.size();
   const size_t morsel = std::max<size_t>(1, node->morsel_size);
   const size_t num_tasks = (n + morsel - 1) / morsel;
@@ -430,11 +447,11 @@ Result<Relation> Evaluator::ExecUnionAllParallel(PlanNode* node,
       for (size_t i = begin; i < end; ++i) {
         RDFOPT_RETURN_NOT_OK(CheckTimeout(local));
         ChargeEmulated(&local, profile_->union_term_overhead_us);
-        RDFOPT_ASSIGN_OR_RETURN(Relation rel,
+        RDFOPT_ASSIGN_OR_RETURN(RelHandle rel,
                                 ExecNode(node->children[i].get(), &local));
         ChargeEmulated(&local, profile_->tuple_us_per_row *
-                                   static_cast<double>(rel.num_rows()));
-        ProjectInto(&acc, rel, node->disjuncts[i].head_bindings);
+                                   static_cast<double>(rel.get().num_rows()));
+        ProjectInto(&acc, rel.get(), node->disjuncts[i].head_bindings);
         if (debt >= kFlushDebtUs) {
           WaitFor(debt);
           debt = 0.0;
@@ -470,20 +487,20 @@ Result<Relation> Evaluator::ExecUnionAllParallel(PlanNode* node,
   acc.Reserve(total_rows);
   for (const TaskOut& out : outs) acc.Append(*out.acc);
   NoteResult(node, acc);
-  return acc;
+  return RelHandle(std::move(acc));
 }
 
-Result<Relation> Evaluator::ExecProject(PlanNode* node, Exec* exec) const {
-  Relation in = TrueRow();  // The atom-less (always true) conjunction.
+Result<RelHandle> Evaluator::ExecProject(PlanNode* node, Exec* exec) const {
+  RelHandle in{TrueRow()};  // The atom-less (always true) conjunction.
   if (!node->children.empty()) {
     RDFOPT_ASSIGN_OR_RETURN(in, ExecNode(node->children[0].get(), exec));
   }
-  Relation out = ProjectWithBindings(in, node->head, node->bindings);
+  Relation out = ProjectWithBindings(in.get(), node->head, node->bindings);
   NoteResult(node, out);
-  return out;
+  return RelHandle(std::move(out));
 }
 
-Result<Relation> Evaluator::ExecDedup(PlanNode* node, Exec* exec) const {
+Result<RelHandle> Evaluator::ExecDedup(PlanNode* node, Exec* exec) const {
   // Component roots carry the per-component UCQ span: its counter
   // attributes are the deltas this component contributed, so per-span
   // accounting rolls up exactly into the lump-sum EvalMetrics the caller
@@ -495,8 +512,11 @@ Result<Relation> Evaluator::ExecDedup(PlanNode* node, Exec* exec) const {
     span->Attr("node", node->id);
     if (span->active()) before = *exec->metrics;
   }
-  RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(node->children[0].get(),
-                                                 exec));
+  RDFOPT_ASSIGN_OR_RETURN(RelHandle handle, ExecNode(node->children[0].get(),
+                                                     exec));
+  // Dedup mutates in place, so it needs ownership (its child is a union or
+  // projection — always owned in practice; a borrowed input would copy).
+  Relation out = std::move(handle).Take();
   exec->metrics->duplicates_removed += out.Deduplicate();
   if (span.has_value() && span->active()) {
     const EvalMetrics& m = *exec->metrics;
@@ -512,24 +532,25 @@ Result<Relation> Evaluator::ExecDedup(PlanNode* node, Exec* exec) const {
     span->Attr("output_rows", out.num_rows());
   }
   NoteResult(node, out);
-  return out;
+  return RelHandle(std::move(out));
 }
 
-Result<Relation> Evaluator::ExecMaterialize(PlanNode* node, Exec* exec) const {
-  RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(node->children[0].get(),
-                                                 exec));
+Result<RelHandle> Evaluator::ExecMaterialize(PlanNode* node,
+                                             Exec* exec) const {
+  RDFOPT_ASSIGN_OR_RETURN(RelHandle out, ExecNode(node->children[0].get(),
+                                                  exec));
   TraceSpan span("engine.materialize");
   span.Attr("node", node->id);
-  span.Attr("rows_materialized", out.num_rows());
-  const size_t bytes = out.num_cells() * sizeof(ValueId);
+  span.Attr("rows_materialized", out.get().num_rows());
+  const size_t bytes = out.get().num_cells() * sizeof(ValueId);
   exec->metrics->bytes_materialized += bytes;
   if constexpr (kNodeTelemetry) node->bytes_materialized = bytes;
-  RDFOPT_RETURN_NOT_OK(ChargeMaterialization(out, exec));
-  NoteResult(node, out);
+  RDFOPT_RETURN_NOT_OK(ChargeMaterialization(out.get(), exec));
+  NoteResult(node, out.get());
   return out;
 }
 
-Result<Relation> Evaluator::ExecNode(PlanNode* node, Exec* exec) const {
+Result<RelHandle> Evaluator::ExecNode(PlanNode* node, Exec* exec) const {
   // Two steady_clock reads per node; the BENCH_observability.json sidecar
   // shows the cost against a RDFOPT_DISABLE_NODE_TELEMETRY build.
   NodeTimer timer(node);
@@ -548,6 +569,8 @@ Result<Relation> Evaluator::ExecNode(PlanNode* node, Exec* exec) const {
       return ExecDedup(node, exec);
     case PlanNodeKind::kMaterializeBarrier:
       return ExecMaterialize(node, exec);
+    case PlanNodeKind::kSharedRef:
+      return ExecSharedRef(node, exec);
   }
   return Status::Internal("unknown plan node kind");
 }
@@ -572,7 +595,25 @@ Result<Relation> Evaluator::ExecutePlan(PhysicalPlan* plan,
   // any execution, exactly as the engine would refuse the statement.
   RDFOPT_RETURN_NOT_OK(plan->feasibility);
 
-  RDFOPT_ASSIGN_OR_RETURN(Relation out, ExecNode(plan->root.get(), &exec));
+  // Execute-once shared subplans run first, on the coordinator, so worker
+  // tasks can borrow their results read-only. Their scan work, counters and
+  // emulated charges are attributed here — exactly once, not per consuming
+  // branch.
+  std::vector<Relation> shared_rels;
+  if (!plan->shared_subplans.empty()) {
+    TraceSpan shared_span("engine.shared_subplans");
+    shared_span.Attr("count", plan->shared_subplans.size());
+    shared_rels.reserve(plan->shared_subplans.size());
+    for (auto& subplan : plan->shared_subplans) {
+      RDFOPT_ASSIGN_OR_RETURN(RelHandle h, ExecNode(subplan.get(), &exec));
+      shared_rels.push_back(std::move(h).Take());
+    }
+    shared.shared_rels = &shared_rels;
+  }
+
+  RDFOPT_ASSIGN_OR_RETURN(RelHandle root_handle,
+                          ExecNode(plan->root.get(), &exec));
+  Relation out = std::move(root_handle).Take();
   exec.metrics->elapsed_ms += shared.timer.ElapsedMillis();
   if (span.has_value() && span->active()) {
     const EvalMetrics& m = *exec.metrics;

@@ -56,6 +56,33 @@ struct EvalMetrics {
   }
 };
 
+/// The result of one plan node: a Relation the node owns, or a borrowed
+/// pointer into the plan's execute-once shared results (union-subplan
+/// factoring). Borrowing is what makes sharing pay off — a kSharedRef
+/// consumed by hundreds of union branches hands out the same materialized
+/// relation instead of copying it per branch. Take() copies only when a
+/// consumer genuinely needs ownership (in practice never: dedup and
+/// projection sit above owned union results).
+class RelHandle {
+ public:
+  RelHandle(Relation rel) : owned_(std::move(rel)) {}  // NOLINT
+  explicit RelHandle(const Relation* borrowed) : borrowed_(borrowed) {}
+
+  const Relation& get() const {
+    return borrowed_ != nullptr ? *borrowed_ : *owned_;
+  }
+  bool borrowed() const { return borrowed_ != nullptr; }
+  /// An owned Relation: moves the owned value out, or deep-copies the
+  /// borrowed one.
+  Relation Take() && {
+    return borrowed_ != nullptr ? borrowed_->Copy() : std::move(*owned_);
+  }
+
+ private:
+  std::optional<Relation> owned_;
+  const Relation* borrowed_ = nullptr;
+};
+
 /// The embedded query evaluation engine: executes PhysicalPlans (see
 /// engine/plan.h) against a TripleStore under an EngineProfile, with set
 /// semantics.
@@ -155,6 +182,10 @@ class Evaluator {
       /// help-first scheduling makes nested batches deadlock-free). Null
       /// when worker_threads <= 1: every Exec* path is then sequential.
       WorkerPool* pool = nullptr;
+      /// Results of the plan's shared_subplans, in index order. Executed by
+      /// the coordinator before the tree runs (and before any fan-out), so
+      /// worker tasks borrow them read-only without synchronization.
+      const std::vector<Relation>* shared_rels = nullptr;
     };
     Shared* shared = nullptr;        // Never null inside ExecNode.
     EvalMetrics* metrics = nullptr;  // Never null inside ExecNode.
@@ -188,28 +219,34 @@ class Evaluator {
   /// coordinating thread calls this.
   WorkerPool* pool() const;
 
-  /// Recursive plan-tree interpreter; writes actuals into `node`.
-  Result<Relation> ExecNode(PlanNode* node, Exec* exec) const;
-  Result<Relation> ExecAtomScan(PlanNode* node, Exec* exec) const;
-  Result<Relation> ExecIndexJoin(PlanNode* node, Exec* exec) const;
-  Result<Relation> ExecHashJoin(PlanNode* node, Exec* exec) const;
-  Result<Relation> ExecUnionAll(PlanNode* node, Exec* exec) const;
-  Result<Relation> ExecProject(PlanNode* node, Exec* exec) const;
-  Result<Relation> ExecDedup(PlanNode* node, Exec* exec) const;
-  Result<Relation> ExecMaterialize(PlanNode* node, Exec* exec) const;
+  /// Recursive plan-tree interpreter; writes actuals into `node`. Returns a
+  /// RelHandle so kSharedRef nodes hand their execute-once result to each
+  /// consuming branch by reference instead of by copy.
+  Result<RelHandle> ExecNode(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecAtomScan(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecIndexJoin(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecHashJoin(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecUnionAll(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecProject(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecDedup(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecMaterialize(PlanNode* node, Exec* exec) const;
+  /// Borrows the already-materialized shared result this node references.
+  /// Charges nothing: the shared subplan's scan work and counters were
+  /// attributed once, when the coordinator executed it.
+  Result<RelHandle> ExecSharedRef(PlanNode* node, Exec* exec) const;
 
   /// Fans the union's disjunct subtrees out to the pool in morsels; each
   /// task accumulates into a thread-local Relation, then the coordinator
   /// merges accumulators, metrics and trace buffers in disjunct index order,
   /// making results and counters bit-identical to the sequential loop.
-  Result<Relation> ExecUnionAllParallel(PlanNode* node, Exec* exec) const;
+  Result<RelHandle> ExecUnionAllParallel(PlanNode* node, Exec* exec) const;
   /// Executes the two children of a component-level JUCQ join concurrently
   /// (the caller participates, so nested parallel unions keep making
   /// progress), preserving the sequential left-then-right merge order for
   /// metrics and trace spans.
   Status ExecComponentChildrenParallel(PlanNode* node, Exec* exec,
-                                       std::optional<Relation>* left,
-                                       std::optional<Relation>* right) const;
+                                       std::optional<RelHandle>* left,
+                                       std::optional<RelHandle>* right) const;
 
   const TripleStore* store_;
   const EngineProfile* profile_;

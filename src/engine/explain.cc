@@ -51,19 +51,27 @@ class PlanPrinter {
       : plan_(plan), vars_(vars), dict_(dict), opts_(opts) {}
 
   std::string Render() {
+    // Batch engines state their vector size in the header; width 1 (the
+    // tuple-at-a-time paper profiles) stays silent, keeping goldens stable.
+    const std::string vec =
+        plan_.vector_width > 1
+            ? " [vector=" + std::to_string(plan_.vector_width) + "]"
+            : "";
     switch (plan_.shape) {
       case PlanShape::kJucq:
         out_ = "JUCQ plan (" + std::to_string(plan_.num_components) +
-               " component(s)) on " + plan_.profile_name + "\n";
+               " component(s)) on " + plan_.profile_name + vec + "\n";
+        RenderShared();
         RenderJucq();
         break;
       case PlanShape::kUcq:
         out_ = "UCQ plan (" + std::to_string(plan_.union_terms) +
-               " term(s)) on " + plan_.profile_name + "\n";
+               " term(s)) on " + plan_.profile_name + vec + "\n";
+        RenderShared();
         RenderComponent(plan_.root.get(), /*materialized=*/false);
         break;
       case PlanShape::kCq:
-        out_ = "CQ plan on " + plan_.profile_name + "\n";
+        out_ = "CQ plan on " + plan_.profile_name + vec + "\n";
         RenderCq();
         break;
     }
@@ -101,6 +109,17 @@ class PlanPrinter {
       s += "?" + vars_.name(head[i]);
     }
     return s;
+  }
+
+  /// Execute-once shared subplans (union-subplan factoring), printed as a
+  /// preamble: every consuming branch renders a reference to `s<i>`.
+  void RenderShared() {
+    for (const auto& sp : plan_.shared_subplans) {
+      out_ += "  shared s" + std::to_string(sp->shared_index) + ": scan " +
+              ToString(sp->atom, vars_, dict_) + "  [~" +
+              FormatRows(sp->est_rows) + " rows, execute once]" +
+              NodeSuffix(*sp) + "\n";
+    }
   }
 
   void RenderJucq() {
@@ -206,12 +225,22 @@ class PlanPrinter {
         }
         RenderChain(left);
         const PlanNode* scan = node->children[1].get();
+        const std::string source =
+            scan->kind == PlanNodeKind::kSharedRef
+                ? "shared s" + std::to_string(scan->shared_index)
+                : "scan ~" + FormatRows(scan->est_rows);
         out_ += "      hash   " + ToString(scan->atom, vars_, dict_) +
-                "  [scan ~" + FormatRows(scan->est_rows) +
-                " + hash join -> ~" + FormatRows(node->est_rows) + " rows]" +
-                NodeSuffix(*node) + "\n";
+                "  [" + source + " + hash join -> ~" +
+                FormatRows(node->est_rows) + " rows]" + NodeSuffix(*node) +
+                "\n";
         break;
       }
+      case PlanNodeKind::kSharedRef:
+        out_ += "      scan   " + ToString(node->atom, vars_, dict_) +
+                "  [shared s" + std::to_string(node->shared_index) + ", ~" +
+                FormatRows(node->est_rows) + " rows]" + NodeSuffix(*node) +
+                "\n";
+        break;
       case PlanNodeKind::kProject:
         // An atom-less disjunct: one constant (true) row.
         out_ += "      const  [1 row]" + NodeSuffix(*node) + "\n";

@@ -18,6 +18,8 @@ std::string_view PlanNodeKindName(PlanNodeKind kind) {
       return "Dedup";
     case PlanNodeKind::kMaterializeBarrier:
       return "MaterializeBarrier";
+    case PlanNodeKind::kSharedRef:
+      return "SharedRef";
   }
   return "Unknown";
 }
@@ -35,7 +37,10 @@ void ResetNode(PlanNode* node) {
 }
 }  // namespace
 
-void PhysicalPlan::ResetActuals() { ResetNode(root.get()); }
+void PhysicalPlan::ResetActuals() {
+  for (auto& shared : shared_subplans) ResetNode(shared.get());
+  ResetNode(root.get());
+}
 
 namespace {
 // Field-by-field copy (PlanNode is not copyable: unique_ptr children). Any
@@ -55,6 +60,7 @@ std::unique_ptr<PlanNode> CloneNode(const PlanNode* node) {
   copy->morsel_size = node->morsel_size;
   copy->component = node->component;
   copy->component_join = node->component_join;
+  copy->shared_index = node->shared_index;
   copy->out_columns = node->out_columns;
   copy->est_rows = node->est_rows;
   copy->est_cost = node->est_cost;
@@ -70,6 +76,10 @@ std::unique_ptr<PlanNode> CloneNode(const PlanNode* node) {
 
 PhysicalPlan PhysicalPlan::Clone() const {
   PhysicalPlan copy;
+  copy.shared_subplans.reserve(shared_subplans.size());
+  for (const auto& shared : shared_subplans) {
+    copy.shared_subplans.push_back(CloneNode(shared.get()));
+  }
   copy.root = CloneNode(root.get());
   copy.shape = shape;
   copy.feasibility = feasibility;
@@ -78,6 +88,7 @@ PhysicalPlan PhysicalPlan::Clone() const {
   copy.num_components = num_components;
   copy.union_terms = union_terms;
   copy.num_nodes = num_nodes;
+  copy.vector_width = vector_width;
   return copy;
 }
 
@@ -106,6 +117,7 @@ void DigestNode(uint64_t* h, const PlanNode* node) {
   FnvTerm(h, node->atom.p);
   FnvTerm(h, node->atom.o);
   FnvMix(h, node->union_terms);
+  FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(node->shared_index)));
   for (const auto& child : node->children) DigestNode(h, child.get());
 }
 }  // namespace
@@ -114,6 +126,9 @@ uint64_t PlanDigest(const PhysicalPlan& plan) {
   uint64_t h = kFnvOffset;
   FnvMix(&h, static_cast<uint64_t>(plan.shape));
   FnvMix(&h, static_cast<uint64_t>(plan.num_nodes));
+  for (const auto& shared : plan.shared_subplans) {
+    DigestNode(&h, shared.get());
+  }
   DigestNode(&h, plan.root.get());
   return h;
 }

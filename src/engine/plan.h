@@ -32,6 +32,10 @@ enum class PlanNodeKind {
   kDedup,               ///< Duplicate elimination (set semantics).
   kMaterializeBarrier,  ///< Child result is spooled: charged against the
                         ///< engine's materialization budget and overheads.
+  kSharedRef,           ///< Reference to an execute-once shared subplan of
+                        ///< the enclosing plan (union-subplan factoring):
+                        ///< the node produces the shared result by
+                        ///< reference, without re-executing it.
 };
 
 std::string_view PlanNodeKindName(PlanNodeKind kind);
@@ -86,6 +90,10 @@ struct PlanNode {
   /// kHashJoin: joins two component results (traced as `engine.join`)
   /// rather than two relations inside one disjunct (`op.hash_join`).
   bool component_join = false;
+  /// kSharedRef: index into PhysicalPlan::shared_subplans of the subplan
+  /// this node references. Also set on the shared subplan's own root (its
+  /// index), so EXPLAIN and the slow-query log can label both sides.
+  int shared_index = -1;
 
   /// Output schema, fixed at plan time; also the column set of the empty
   /// relation produced when a subtree is short-circuited.
@@ -125,6 +133,12 @@ enum class PlanShape { kCq, kUcq, kJucq };
 /// A complete physical plan: the tree plus plan-wide metadata.
 struct PhysicalPlan {
   std::unique_ptr<PlanNode> root;
+  /// Execute-once subplans factored out of union branches (union-subplan
+  /// factoring, DESIGN.md §11): the evaluator runs them before the tree and
+  /// every kSharedRef node consumes the materialized result by reference.
+  /// Their runtime counters are therefore attributed here, once — not per
+  /// consuming branch.
+  std::vector<std::unique_ptr<PlanNode>> shared_subplans;
   PlanShape shape = PlanShape::kCq;
   /// OK, or kQueryTooComplex when some union exceeds the profile's plan
   /// limit (the plan still renders; executing it returns this status).
@@ -136,6 +150,9 @@ struct PhysicalPlan {
   size_t num_components = 0;  ///< JUCQ component count (1 for CQ/UCQ).
   size_t union_terms = 0;     ///< Total disjuncts across kUnionAll nodes.
   int num_nodes = 0;
+  /// Rows per execution batch of the profile the plan was built for (the
+  /// EngineProfile::vector_width); EXPLAIN prints it in the header.
+  size_t vector_width = 1;
 
   /// Total estimated cost of the plan (the engine's EXPLAIN estimate).
   double est_cost() const { return root != nullptr ? root->est_cost : 0.0; }
@@ -150,9 +167,13 @@ struct PhysicalPlan {
   /// instance stays an immutable template.
   PhysicalPlan Clone() const;
 
-  /// Depth-first preorder visit of every node.
+  /// Depth-first preorder visit of every node: shared subplans first (they
+  /// carry the lowest preorder ids and execute first), then the tree. Each
+  /// shared subplan is visited once, regardless of how many kSharedRef
+  /// nodes consume it.
   template <typename Fn>
   void ForEachNode(Fn&& fn) const {
+    for (const auto& shared : shared_subplans) VisitPre(shared.get(), fn);
     VisitPre(root.get(), fn);
   }
 

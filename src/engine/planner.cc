@@ -48,6 +48,36 @@ constexpr size_t kOverLimitSampleTerms = 3;
 
 }  // namespace
 
+namespace {
+
+std::array<uint64_t, 6> KeyOfAtom(const TriplePattern& atom) {
+  auto enc = [](const PatternTerm& t, uint64_t* k) {
+    k[0] = t.is_var() ? 1u : 2u;
+    k[1] = t.is_var() ? static_cast<uint64_t>(t.var())
+                      : static_cast<uint64_t>(t.value());
+  };
+  std::array<uint64_t, 6> key{};
+  enc(atom.s, &key[0]);
+  enc(atom.p, &key[2]);
+  enc(atom.o, &key[4]);
+  return key;
+}
+
+/// Collects every non-guard atom scan of a disjunct chain (constant-atom
+/// guards are point lookups, not worth sharing).
+void CollectScanLeaves(const PlanNode* node,
+                       std::vector<const PlanNode*>* out) {
+  if (node == nullptr) return;
+  if (node->kind == PlanNodeKind::kAtomScan && !IsConstantAtom(node->atom)) {
+    out->push_back(node);
+  }
+  for (const auto& child : node->children) {
+    CollectScanLeaves(child.get(), out);
+  }
+}
+
+}  // namespace
+
 std::vector<size_t> GreedyAtomOrder(const std::vector<TriplePattern>& atoms,
                                     const std::vector<double>& cards) {
   const size_t n = atoms.size();
@@ -85,8 +115,33 @@ std::string UnionLimitMessage(size_t union_terms,
 }
 
 std::unique_ptr<PlanNode> Planner::BuildCqChain(
-    const ConjunctiveQuery& cq) const {
+    const ConjunctiveQuery& cq, const SharedScanMap* shared_scans) const {
   const CostConstants& k = profile_->cost;
+
+  // A scan of an atom factored into a shared subplan becomes a reference to
+  // it: est_cost 0 here (the shared subplan is priced once at the union),
+  // est_rows unchanged (the reference produces the same relation).
+  auto scan_or_ref = [&](const TriplePattern& atom, double est_rows,
+                         bool driving) -> std::unique_ptr<PlanNode> {
+    if (shared_scans != nullptr) {
+      auto it = shared_scans->find(KeyOfAtom(atom));
+      if (it != shared_scans->end()) {
+        auto ref = MakeNode(PlanNodeKind::kSharedRef);
+        ref->atom = atom;
+        ref->shared_index = it->second;
+        ref->out_columns = AtomColumns(atom);
+        ref->est_rows = est_rows;
+        return ref;
+      }
+    }
+    auto scan = MakeNode(PlanNodeKind::kAtomScan);
+    scan->atom = atom;
+    scan->driving_scan = driving;
+    scan->out_columns = AtomColumns(atom);
+    scan->est_rows = est_rows;
+    scan->est_cost = k.c_t * est_rows;
+    return scan;
+  };
 
   // All-constant atoms act as boolean existence guards, checked before any
   // scan happens: a left-deep chain short-circuits the whole disjunct when
@@ -127,12 +182,8 @@ std::unique_ptr<PlanNode> Planner::BuildCqChain(
   // executor overhead by itself (scans feeding hash joins are charged at
   // the join instead).
   const TriplePattern& first = body[order[0]];
-  auto scan = MakeNode(PlanNodeKind::kAtomScan);
-  scan->atom = first;
-  scan->driving_scan = true;
-  scan->out_columns = AtomColumns(first);
-  scan->est_rows = cards[order[0]];
-  scan->est_cost = k.c_t * cards[order[0]];
+  std::unique_ptr<PlanNode> scan =
+      scan_or_ref(first, cards[order[0]], /*driving=*/true);
   if (chain == nullptr) {
     chain = std::move(scan);
   } else {
@@ -170,11 +221,8 @@ std::unique_ptr<PlanNode> Planner::BuildCqChain(
       node->est_cost = chain->est_cost + (k.c_t + k.c_j) * inter + k.c_j * out;
       node->children.push_back(std::move(chain));
     } else {
-      auto probe = MakeNode(PlanNodeKind::kAtomScan);
-      probe->atom = atom;
-      probe->out_columns = atom_cols;
-      probe->est_rows = scanned;
-      probe->est_cost = k.c_t * scanned;
+      std::unique_ptr<PlanNode> probe =
+          scan_or_ref(atom, scanned, /*driving=*/false);
       node = MakeNode(PlanNodeKind::kHashJoin);
       node->est_cost =
           chain->est_cost + probe->est_cost + k.c_j * (inter + scanned);
@@ -189,8 +237,9 @@ std::unique_ptr<PlanNode> Planner::BuildCqChain(
   return chain;
 }
 
-std::unique_ptr<PlanNode> Planner::BuildComponent(const UnionQuery& ucq,
-                                                  int component_index) const {
+std::unique_ptr<PlanNode> Planner::BuildComponent(
+    const UnionQuery& ucq, int component_index,
+    std::vector<std::unique_ptr<PlanNode>>* shared_out) const {
   const CostConstants& k = profile_->cost;
   auto u = MakeNode(PlanNodeKind::kUnionAll);
   u->head = ucq.head;
@@ -211,10 +260,64 @@ std::unique_ptr<PlanNode> Planner::BuildComponent(const UnionQuery& ucq,
   const size_t planned =
       u->over_limit ? std::min(ucq.disjuncts.size(), kOverLimitSampleTerms)
                     : ucq.disjuncts.size();
-  double est_sum = 0.0;
-  double cost = k.c_union_term * static_cast<double>(ucq.disjuncts.size());
+  std::vector<std::unique_ptr<PlanNode>> chains;
+  chains.reserve(planned);
   for (size_t d = 0; d < planned; ++d) {
-    std::unique_ptr<PlanNode> chain = BuildCqChain(ucq.disjuncts[d]);
+    chains.push_back(BuildCqChain(ucq.disjuncts[d]));
+  }
+
+  // Union-subplan factoring (DESIGN.md §11): an atom scanned by two or more
+  // disjunct chains becomes an execute-once shared subplan; each chain
+  // rebuilds with a kSharedRef leaf in its place. Operator choices are
+  // estimate-driven and identical across the rebuild, so only scan leaves
+  // change. Off for over-limit unions (they never execute) and for profiles
+  // that model engines re-evaluating every branch in isolation.
+  double shared_cost = 0.0;
+  if (profile_->share_union_subplans && !u->over_limit &&
+      shared_out != nullptr && planned > 1) {
+    std::map<SharedAtomKey, std::pair<size_t, const PlanNode*>> counts;
+    std::vector<const PlanNode*> leaves;
+    for (const auto& chain : chains) {
+      leaves.clear();
+      CollectScanLeaves(chain.get(), &leaves);
+      // Count each atom once per chain (a self-join shares within the
+      // chain too, but sharing needs at least two distinct consumers).
+      std::map<SharedAtomKey, const PlanNode*> in_chain;
+      for (const PlanNode* leaf : leaves) {
+        in_chain.emplace(KeyOfAtom(leaf->atom), leaf);
+      }
+      for (const auto& [key, leaf] : in_chain) {
+        auto [it, inserted] = counts.emplace(key, std::make_pair(0u, leaf));
+        ++it->second.first;
+      }
+    }
+    SharedScanMap shared_map;
+    for (const auto& [key, entry] : counts) {
+      if (entry.first < 2) continue;
+      const PlanNode* exemplar = entry.second;
+      auto shared = MakeNode(PlanNodeKind::kAtomScan);
+      shared->atom = exemplar->atom;
+      shared->driving_scan = true;  // Charged per-tuple once, at execution.
+      shared->out_columns = exemplar->out_columns;
+      shared->est_rows = exemplar->est_rows;
+      shared->est_cost = k.c_t * exemplar->est_rows;
+      shared->shared_index = static_cast<int>(shared_out->size());
+      shared_map.emplace(key, shared->shared_index);
+      shared_cost += shared->est_cost;
+      shared_out->push_back(std::move(shared));
+    }
+    if (!shared_map.empty()) {
+      for (size_t d = 0; d < planned; ++d) {
+        chains[d] = BuildCqChain(ucq.disjuncts[d], &shared_map);
+      }
+    }
+  }
+
+  double est_sum = 0.0;
+  double cost = shared_cost +
+                k.c_union_term * static_cast<double>(ucq.disjuncts.size());
+  for (size_t d = 0; d < planned; ++d) {
+    std::unique_ptr<PlanNode> chain = std::move(chains[d]);
     if (chain == nullptr) {
       // Atom-less disjunct: a single always-true row.
       chain = MakeNode(PlanNodeKind::kProject);
@@ -297,8 +400,11 @@ Planner::ComponentCombination Planner::CombineComponents(
 void Planner::Finalize(PhysicalPlan* plan) const {
   plan->profile_name = profile_->name;
   plan->union_term_limit = profile_->max_union_terms;
+  plan->vector_width = std::max<size_t>(1, profile_->vector_width);
   int next_id = 0;
-  // Preorder ids (non-const walk; ForEachNode is const-only).
+  // Preorder ids (non-const walk; ForEachNode is const-only). Shared
+  // subplans come first: they execute first and EXPLAIN prints them as the
+  // plan preamble.
   struct Assign {
     int* next;
     void operator()(PlanNode* node) {
@@ -307,6 +413,9 @@ void Planner::Finalize(PhysicalPlan* plan) const {
       for (auto& child : node->children) (*this)(child.get());
     }
   };
+  for (auto& shared : plan->shared_subplans) {
+    Assign{&next_id}(shared.get());
+  }
   Assign{&next_id}(plan->root.get());
   plan->num_nodes = next_id;
 }
@@ -351,7 +460,8 @@ PhysicalPlan Planner::PlanUCQ(const UnionQuery& ucq) const {
     plan.feasibility = Status::QueryTooComplex(
         UnionLimitMessage(ucq.disjuncts.size(), *profile_));
   }
-  plan.root = BuildComponent(ucq, /*component_index=*/0);
+  plan.root = BuildComponent(ucq, /*component_index=*/0,
+                             &plan.shared_subplans);
   Finalize(&plan);
   return plan;
 }
@@ -375,8 +485,8 @@ PhysicalPlan Planner::PlanJUCQ(const JoinOfUnions& jucq) const {
       plan.feasibility = Status::QueryTooComplex(
           UnionLimitMessage(component.disjuncts.size(), *profile_));
     }
-    std::unique_ptr<PlanNode> root =
-        BuildComponent(component, static_cast<int>(c));
+    std::unique_ptr<PlanNode> root = BuildComponent(
+        component, static_cast<int>(c), &plan.shared_subplans);
     inputs.emplace_back(root->est_rows, component.head);
     roots.push_back(std::move(root));
   }

@@ -1,6 +1,8 @@
 #ifndef RDFOPT_ENGINE_PLANNER_H_
 #define RDFOPT_ENGINE_PLANNER_H_
 
+#include <array>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -80,13 +82,28 @@ class Planner {
   const EngineProfile& profile() const { return *profile_; }
 
  private:
+  /// Identity of a triple pattern (term kinds + variable ids / constant
+  /// values per position) — the key of the union-subplan factoring pass:
+  /// two scans with equal keys produce the identical relation.
+  using SharedAtomKey = std::array<uint64_t, 6>;
+  using SharedScanMap = std::map<SharedAtomKey, int>;
+
   /// Join tree over the disjunct's atoms (constant atoms become boolean
   /// existence guards below the driving scan); no projection or dedup.
   /// Null for a disjunct with no atoms (the always-true CQ).
-  std::unique_ptr<PlanNode> BuildCqChain(const ConjunctiveQuery& cq) const;
+  /// When `shared_scans` is non-null, scans of atoms in the map become
+  /// kSharedRef leaves (est_cost 0 — the shared subplan is priced once at
+  /// the union); operator choices are estimate-driven and unaffected.
+  std::unique_ptr<PlanNode> BuildCqChain(
+      const ConjunctiveQuery& cq,
+      const SharedScanMap* shared_scans = nullptr) const;
   /// Dedup(UnionAll(disjunct chains)) — one JUCQ component (or a whole UCQ).
-  std::unique_ptr<PlanNode> BuildComponent(const UnionQuery& ucq,
-                                           int component_index) const;
+  /// With profile().share_union_subplans, atom scans appearing in two or
+  /// more disjunct chains are factored into execute-once subplans appended
+  /// to `shared_out` (the plan's shared_subplans vector); null disables.
+  std::unique_ptr<PlanNode> BuildComponent(
+      const UnionQuery& ucq, int component_index,
+      std::vector<std::unique_ptr<PlanNode>>* shared_out) const;
   /// Preorder ids + node count + plan-level aggregates.
   void Finalize(PhysicalPlan* plan) const;
 

@@ -292,6 +292,7 @@ Result<ServiceOutcome> QueryService::Answer(const Query& query,
     rec.plan_ms = outcome.plan_ms;
     rec.evaluate_ms = outcome.evaluate_ms;
     rec.total_ms = outcome.total_ms;
+    rec.vector_width = outcome.vector_width;
     rec.eval = outcome.eval;
     rec.nodes = outcome.node_stats;
     slow_log_.MaybeRecord(rec);
@@ -339,6 +340,7 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
     outcome.evaluate_ms = outcome.eval.elapsed_ms;
     outcome.plan_digest = PlanDigest(plan);
     outcome.node_stats = CollectNodeStats(plan);
+    outcome.vector_width = plan.vector_width;
     exec_span.Attr("rows", static_cast<uint64_t>(outcome.answers.num_rows()));
     return outcome;
   }
@@ -372,6 +374,7 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
     // Harvest the per-operator accounting before the plan's actuals are
     // reset for the cache below.
     outcome.node_stats = CollectNodeStats(*answered.plan);
+    outcome.vector_width = answered.plan->vector_width;
   }
 
   if (use_cache && answered.plan.has_value() &&

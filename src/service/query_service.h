@@ -87,6 +87,8 @@ struct ServiceOutcome {
   /// Per-operator accounting of the executed plan, flattened out of the plan
   /// tree (empty when no plan was available). Feeds the slow-query log.
   std::vector<PlanNodeStats> node_stats;
+  /// Batch size of the executed plan (1 = tuple-at-a-time engine).
+  size_t vector_width = 1;
 };
 
 /// The concurrent front door to the answering pipeline (DESIGN.md §10): a

@@ -30,6 +30,7 @@ std::string SlowQueryLog::RenderLine(const Record& record) {
   json.Key("plan_ms").Value(record.plan_ms);
   json.Key("evaluate_ms").Value(record.evaluate_ms);
   json.Key("total_ms").Value(record.total_ms);
+  json.Key("vector_width").Value(static_cast<uint64_t>(record.vector_width));
   json.Key("eval").BeginObject();
   json.Key("rows_scanned").Value(static_cast<uint64_t>(record.eval.rows_scanned));
   json.Key("join_input_rows")
@@ -48,6 +49,7 @@ std::string SlowQueryLog::RenderLine(const Record& record) {
     json.BeginObject();
     json.Key("id").Value(node.id);
     json.Key("kind").Value(node.kind);
+    if (node.shared_index >= 0) json.Key("shared").Value(node.shared_index);
     json.Key("rows").Value(static_cast<uint64_t>(node.actual_rows));
     json.Key("ms").Value(node.actual_ms);
     json.Key("scanned").Value(static_cast<uint64_t>(node.rows_scanned));
@@ -110,6 +112,7 @@ std::vector<PlanNodeStats> CollectNodeStats(const PhysicalPlan& plan) {
     PlanNodeStats stats;
     stats.id = node.id;
     stats.kind = PlanNodeKindName(node.kind);
+    stats.shared_index = node.shared_index;
     stats.actual_rows = node.actual_rows;
     stats.actual_ms = node.actual_ms;
     stats.rows_scanned = node.rows_scanned;

@@ -21,6 +21,9 @@ namespace rdfopt {
 struct PlanNodeStats {
   int id = -1;
   std::string_view kind;  ///< PlanNodeKindName — static storage.
+  /// For SharedRef nodes and shared-subplan roots: the index of the
+  /// execute-once shared subplan (union-subplan factoring); -1 otherwise.
+  int shared_index = -1;
   size_t actual_rows = 0;
   double actual_ms = 0.0;
   size_t rows_scanned = 0;
@@ -66,6 +69,8 @@ class SlowQueryLog {
     double plan_ms = 0.0;
     double evaluate_ms = 0.0;
     double total_ms = 0.0;
+    size_t vector_width = 1;  ///< Batch size of the executed plan (1 =
+                              ///< tuple-at-a-time).
     EvalMetrics eval;  ///< Resource totals of the evaluation.
     std::vector<PlanNodeStats> nodes;
   };

@@ -14,8 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/evaluator.h"
 #include "engine/explain.h"
 #include "optimizer/answering.h"
+#include "reformulation/reformulator.h"
 #include "sparql/parser.h"
 #include "workload/lubm.h"
 #include "workload/query_sets.h"
@@ -101,6 +103,37 @@ TEST_F(ExplainGoldenTest, MotivatingQ1ExplainAndAnalyze) {
   analyze.analyze_timing = false;
   CheckGolden("lubm_q1_scq_explain_analyze.txt",
               ExplainPlan(*o.plan, *o.jucq_vars, graph_->dict(), analyze));
+}
+
+TEST_F(ExplainGoldenTest, MotivatingQ1BatchEngineSharedExplainAndAnalyze) {
+  // The batch engine's plan for q1's UCQ reformulation: the [vector=1024]
+  // header, the shared-subplan preamble (union-subplan factoring), the
+  // "[shared sN + hash join ...]" chain references, and — under ANALYZE —
+  // scan counters attributed to each shared node exactly once, with the
+  // consuming refs showing reuse (actual rows) but no scan work.
+  Result<Query> parsed =
+      ParseQuery(LubmMotivatingQ1().text, &graph_->dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Query q = parsed.TakeValue();
+  Reformulator reformulator(&graph_->schema(), &graph_->vocab());
+  Result<UnionQuery> ucq = reformulator.ReformulateCQ(q.cq, &q.vars);
+  ASSERT_TRUE(ucq.ok()) << ucq.status().ToString();
+
+  EngineProfile batch = Vectorized(PostgresLikeProfile());
+  batch.timeout_seconds = 300.0;
+  Evaluator evaluator(store_, &batch);
+  Planner planner = evaluator.planner();
+  PhysicalPlan plan = planner.PlanUCQ(ucq.ValueOrDie());
+  ASSERT_TRUE(evaluator.ExecutePlan(&plan, nullptr).ok());
+
+  CheckGolden("lubm_q1_batch_shared_explain.txt",
+              ExplainPlan(plan, q.vars, graph_->dict()));
+  ExplainOptions analyze;
+  analyze.analyze = true;
+  // Per-node wall times are nondeterministic; keep them out of the golden.
+  analyze.analyze_timing = false;
+  CheckGolden("lubm_q1_batch_shared_explain_analyze.txt",
+              ExplainPlan(plan, q.vars, graph_->dict(), analyze));
 }
 
 TEST_F(ExplainGoldenTest, MotivatingQ2ExplainAndAnalyze) {

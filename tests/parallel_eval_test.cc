@@ -182,6 +182,40 @@ TEST(ParallelEvalTest, ExplainActualsMatchSequential) {
   EXPECT_EQ(actuals_of(1), actuals_of(4));
 }
 
+TEST(ParallelEvalTest, BatchEngineIdenticalRowsAndMetricsAcrossThreadCounts) {
+  // The batch engine (PR 7): kBatchRows-wide operators plus union-subplan
+  // factoring must keep the same determinism contract — shared subplans run
+  // once on the coordinator, workers borrow them read-only, and the
+  // morsel-ordered merge is bit-identical to the sequential run.
+  ParallelBench& bench = Bench();
+  Query q;
+  UnionQuery ucq = MustReformulate(LubmMotivatingQ1().text, &q);
+
+  EngineProfile seq_profile = Vectorized(bench.profile);
+  seq_profile.worker_threads = 1;
+  EngineProfile par_profile = Vectorized(bench.profile);
+  par_profile.worker_threads = 4;
+  Evaluator sequential(&bench.store, &seq_profile);
+  Evaluator parallel(&bench.store, &par_profile);
+
+  EvalMetrics seq_metrics, par_metrics;
+  Result<Relation> seq = sequential.EvaluateUCQ(ucq, &seq_metrics);
+  Result<Relation> par = parallel.EvaluateUCQ(ucq, &par_metrics);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  ExpectIdenticalRelations(seq.ValueOrDie(), par.ValueOrDie());
+  EXPECT_EQ(Counters(seq_metrics), Counters(par_metrics));
+
+  // And the batch engine's rows match the seed tuple engine's exactly.
+  EngineProfile tuple_profile = bench.profile;
+  tuple_profile.worker_threads = 1;
+  Evaluator tuple_engine(&bench.store, &tuple_profile);
+  Result<Relation> reference = tuple_engine.EvaluateUCQ(ucq, nullptr);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ExpectIdenticalRelations(reference.ValueOrDie(), par.ValueOrDie());
+}
+
 TEST(ParallelEvalTest, ErrorsPropagateFromWorkers) {
   ParallelBench& bench = Bench();
   Query q;
