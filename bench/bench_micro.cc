@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench_common.h"
 #include "common/trace.h"
+#include "rdf/hierarchy_encoding.h"
 #include "engine/evaluator.h"
 #include "engine/operators.h"
 #include "engine/planner.h"
@@ -256,6 +259,136 @@ void BM_ExecuteUnionParallel(benchmark::State& state) {
                           static_cast<int64_t>(jucq.components[0].size()));
 }
 BENCHMARK(BM_ExecuteUnionParallel)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Hash-join probe loop with and without software prefetch of the upcoming
+// probe's hash-table slot (EngineProfile::prefetch_probes). The build and
+// probe sides are the two largest scans of the fixture, so the table
+// outgrows L2 and the probe loop is memory-latency-bound — the regime the
+// prefetch targets.
+void BM_HashJoinProbe(benchmark::State& state) {
+  MicroEnv& env = Env();
+  Relation left = ScanAtom(env.store,
+                           TriplePattern{PatternTerm::Var(0),
+                                         PatternTerm::Const(env.rdf_type),
+                                         PatternTerm::Var(1)});
+  Relation right = ScanAtom(env.store,
+                            TriplePattern{PatternTerm::Var(0),
+                                          PatternTerm::Const(env.takes_course),
+                                          PatternTerm::Var(2)});
+  for (auto _ : state) {
+    Relation joined = HashJoin(left, right, /*prefetch=*/false);
+    benchmark::DoNotOptimize(joined.num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(left.num_rows() +
+                                               right.num_rows()));
+}
+BENCHMARK(BM_HashJoinProbe);
+
+void BM_HashJoinProbePrefetch(benchmark::State& state) {
+  MicroEnv& env = Env();
+  Relation left = ScanAtom(env.store,
+                           TriplePattern{PatternTerm::Var(0),
+                                         PatternTerm::Const(env.rdf_type),
+                                         PatternTerm::Var(1)});
+  Relation right = ScanAtom(env.store,
+                            TriplePattern{PatternTerm::Var(0),
+                                          PatternTerm::Const(env.takes_course),
+                                          PatternTerm::Var(2)});
+  for (auto _ : state) {
+    Relation joined = HashJoin(left, right, /*prefetch=*/true);
+    benchmark::DoNotOptimize(joined.num_rows());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(left.num_rows() +
+                                               right.num_rows()));
+}
+BENCHMARK(BM_HashJoinProbePrefetch);
+
+// Hierarchy-range collapse fixture (DESIGN.md §12): one university with 240
+// fine-grained professor specialty leaf classes, so `?x type ub:Professor`
+// reformulates into ~247 type disjuncts whose class hids form one DFS
+// interval. Separate from MicroEnv on purpose — the specialty knob changes
+// the generated dataset, and every other benchmark must keep the stock one.
+struct HierarchyEnv {
+  Graph graph;
+  TripleStore store;
+  UnionQuery ucq;
+  VarTable vars;
+
+  HierarchyEnv() {
+    LubmOptions options;
+    options.num_universities = 1;
+    options.fine_grained_specializations = 240;
+    GenerateLubm(options, &graph);
+    graph.FinalizeSchema();
+    store = TripleStore::Build(graph.data_triples());
+    store.AttachHierarchy(std::make_shared<const HierarchyEncoding>(
+        HierarchyEncoding::Build(graph.schema(), graph.vocab().rdf_type)));
+    Result<Query> q = ParseQuery(
+        "PREFIX ub: <http://lubm.example.org/univ#>\n"
+        "SELECT ?x WHERE { ?x a ub:Professor . }",
+        &graph.dict());
+    Reformulator reformulator(&graph.schema(), &graph.vocab());
+    vars = q.ValueOrDie().vars;
+    ucq = reformulator.ReformulateCQ(q.ValueOrDie().cq, &vars).ValueOrDie();
+  }
+};
+
+HierarchyEnv& HierEnv() {
+  static HierarchyEnv& env = *new HierarchyEnv();
+  return env;
+}
+
+/// Batch profile with the emulated per-term/per-tuple engine overheads
+/// zeroed: the ScanRange-vs-union ratio below must come from real executor
+/// work (per-branch scan setup, projection, union append), not from the
+/// profile's physical emulation of external engines.
+EngineProfile HierarchyBenchProfile(bool hierarchy_ranges) {
+  EngineProfile p = Vectorized(PostgresLikeProfile());
+  p.tuple_us_per_row = 0.0;
+  p.materialization_us_per_row = 0.0;
+  p.union_term_overhead_us = 0.0;
+  p.hierarchy_ranges = hierarchy_ranges;
+  return p;
+}
+
+// The tentpole pair: the same ~247-term reformulated type query executed as
+// a single ScanRange plan (hierarchy encoding on) vs. the union-of-scans
+// plan (encoding off). The perf-smoke gate holds the ratio at >= 3x.
+void BM_ExecuteScanRangeJucq(benchmark::State& state) {
+  HierarchyEnv& env = HierEnv();
+  static const EngineProfile& profile =
+      *new EngineProfile(HierarchyBenchProfile(/*hierarchy_ranges=*/true));
+  Evaluator evaluator(&env.store, &profile);
+  PhysicalPlan plan = evaluator.planner().PlanUCQ(env.ucq);
+  if (plan.root->children[0]->union_terms >= env.ucq.disjuncts.size()) {
+    state.SkipWithError("union did not collapse");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Relation> r = evaluator.ExecutePlan(&plan, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(env.ucq.disjuncts.size()));
+}
+BENCHMARK(BM_ExecuteScanRangeJucq);
+
+void BM_ExecuteUnionOfScansJucq(benchmark::State& state) {
+  HierarchyEnv& env = HierEnv();
+  static const EngineProfile& profile =
+      *new EngineProfile(HierarchyBenchProfile(/*hierarchy_ranges=*/false));
+  Evaluator evaluator(&env.store, &profile);
+  PhysicalPlan plan = evaluator.planner().PlanUCQ(env.ucq);
+  for (auto _ : state) {
+    Result<Relation> r = evaluator.ExecutePlan(&plan, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(env.ucq.disjuncts.size()));
+}
+BENCHMARK(BM_ExecuteUnionOfScansJucq);
 
 void BM_ReformulateTypeVariableAtom(benchmark::State& state) {
   MicroEnv& env = Env();

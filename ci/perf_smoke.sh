@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Executor perf smoke: runs the headline batch-engine benchmark
-# (BM_ExecutePlannedJucq) plus the dedup microbenchmarks and fails if the
-# executor regresses more than the budget against the checked-in sidecar
-# (BENCH_baseline.json).
+# (BM_ExecutePlannedJucq), the dedup microbenchmarks, and the
+# hierarchy-range collapse pair (BM_ExecuteScanRangeJucq vs
+# BM_ExecuteUnionOfScansJucq), and fails if the executor regresses more
+# than the budget against the checked-in sidecar (BENCH_baseline.json).
 #
 # The baseline was recorded on a different machine, so an absolute
 # comparison would be noise; instead the gate is relative to the recorded
@@ -29,7 +30,7 @@ if [[ ! -f "$BASELINE" ]]; then
 fi
 
 "$BENCH" \
-  --benchmark_filter='BM_ExecutePlannedJucq(Tuple)?$|BM_Deduplicate(Sort)?$' \
+  --benchmark_filter='BM_ExecutePlannedJucq(Tuple)?$|BM_Deduplicate(Sort)?$|BM_Execute(ScanRange|UnionOfScans)Jucq$' \
   --benchmark_out="$OUT" --benchmark_out_format=json
 
 python3 - "$BASELINE" "$OUT" "$BUDGET_PCT" <<'EOF'
@@ -40,8 +41,17 @@ baseline_path, out_path, budget_pct = sys.argv[1], sys.argv[2], sys.argv[3]
 budget = float(budget_pct) / 100.0
 
 def times(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf_smoke: FAIL: cannot read benchmark JSON {path}: {e}",
+              file=sys.stderr)
+        sys.exit(1)
+    if "benchmarks" not in doc:
+        print(f"perf_smoke: FAIL: {path} has no 'benchmarks' array — "
+              f"not a google-benchmark JSON sidecar?", file=sys.stderr)
+        sys.exit(1)
     return {b["name"]: float(b["real_time"]) for b in doc["benchmarks"]}
 
 base = times(baseline_path)
@@ -50,23 +60,41 @@ now = times(out_path)
 failures = []
 
 def require(name):
+    # A benchmark absent from the smoke run means the filter regex and the
+    # bench binary disagree (renamed/deleted benchmark, stale build). That is
+    # a gate failure, not a skip: otherwise a rename silently disables the
+    # perf gate.
     if name not in now:
-        failures.append(f"{name}: missing from the smoke run")
+        failures.append(
+            f"{name}: missing from the smoke run output "
+            f"(filter regex matched {sorted(now)}; "
+            f"renamed benchmark or stale bench binary?)")
         return None
     return now[name]
+
+def baseline_ratio(num_name, den_name):
+    # Missing baseline columns are a warning, not a failure: the checked-in
+    # sidecar may predate a newly added benchmark until it is regenerated.
+    missing = [n for n in (num_name, den_name) if n not in base]
+    if missing:
+        print(f"perf_smoke: warning: {', '.join(missing)} missing from "
+              f"baseline {baseline_path}; using the static floor only")
+        return None
+    return base[num_name] / base[den_name]
 
 batch = require("BM_ExecutePlannedJucq")
 tuple_t = require("BM_ExecutePlannedJucqTuple")
 dedup = require("BM_Deduplicate")
 dedup_sort = require("BM_DeduplicateSort")
+range_t = require("BM_ExecuteScanRangeJucq")
+union_t = require("BM_ExecuteUnionOfScansJucq")
 
 # Gate 1: the in-process batch-vs-tuple executor ratio. Machine-independent:
 # both sides ran seconds apart on the same host.
 if batch and tuple_t:
     ratio = tuple_t / batch
-    base_ratio = None
-    if "BM_ExecutePlannedJucqTuple" in base and "BM_ExecutePlannedJucq" in base:
-        base_ratio = base["BM_ExecutePlannedJucqTuple"] / base["BM_ExecutePlannedJucq"]
+    base_ratio = baseline_ratio("BM_ExecutePlannedJucqTuple",
+                                "BM_ExecutePlannedJucq")
     # Never below the PR's acceptance bar of 5x, and within budget of the
     # recorded ratio when the baseline has both columns.
     floor = 5.0
@@ -87,6 +115,25 @@ if dedup and dedup_sort:
         failures.append(
             f"BM_Deduplicate: radix dedup ({dedup:.0f} ns) slower than the "
             f"sort path ({dedup_sort:.0f} ns)")
+
+# Gate 3: the hierarchy-range collapse. The ScanRange plan for the
+# fine-grained LUBM Professor query must stay a large multiple faster than
+# the equivalent union-of-scans plan measured in the same process. Floor is
+# the acceptance bar of 3x, tightened by the baseline's recorded ratio.
+if range_t and union_t:
+    ratio = union_t / range_t
+    base_ratio = baseline_ratio("BM_ExecuteUnionOfScansJucq",
+                                "BM_ExecuteScanRangeJucq")
+    floor = 3.0
+    if base_ratio is not None:
+        floor = max(floor, base_ratio * (1.0 - budget))
+    print(f"perf_smoke: scan-range {range_t/1e3:.0f} us, "
+          f"union-of-scans {union_t/1e3:.0f} us, "
+          f"ratio {ratio:.1f}x (floor {floor:.1f}x)")
+    if ratio < floor:
+        failures.append(
+            f"BM_ExecuteScanRangeJucq: range/union ratio {ratio:.1f}x below "
+            f"the floor {floor:.1f}x (budget {budget_pct}%)")
 
 if failures:
     for f in failures:

@@ -19,6 +19,12 @@
 //   .trace on|off          print the span tree after each query
 //   .threads N             evaluator worker threads (1 = sequential;
 //                          answers are identical at any setting)
+//   .encoding on|off       hierarchy-aware (LiteMat-style) dictionary
+//                          encoding: class/property ids are DFS-ordered
+//                          over the subsumption DAG and the planner
+//                          collapses reformulation unions into single
+//                          interval range scans (.explain shows the
+//                          ScanRange nodes and "collapsed from N")
 //   .vector [N|off]        switch to the batch execution engine with batch
 //                          size N (default 1024) and union-subplan
 //                          factoring; `off` restores the tuple-at-a-time
@@ -158,7 +164,8 @@ int main(int argc, char** argv) {
         std::printf(".strategy ucq|scq|ecov|gcov|saturation | .prune on|off "
                     "| .subsume on|off | .minimize on|off "
                     "| .explain on|off|analyze | .sql on|off | .trace on|off "
-                    "| .threads N | .vector [N|off] | .metrics [reset|prom] "
+                    "| .threads N | .encoding on|off | .vector [N|off] "
+                    "| .metrics [reset|prom] "
                     "| .service [on|off] | .slowlog [N|ms X|clear] "
                     "| .calibrate | .stats | .quit\n"
                     ".explain analyze prints the executed plan with "
@@ -208,6 +215,29 @@ int main(int argc, char** argv) {
         profile.worker_threads = static_cast<size_t>(n);
         std::printf("threads = %d%s\n", n,
                     n == 1 ? " (sequential)" : "");
+      } else if (op == ".encoding") {
+        if (arg == "on") {
+          if (store.hierarchy() == nullptr) {
+            store.AttachHierarchy(std::make_shared<const HierarchyEncoding>(
+                HierarchyEncoding::Build(graph.schema(),
+                                         graph.vocab().rdf_type)));
+          }
+          profile.hierarchy_ranges = true;
+          std::printf("encoding = on (%zu class hids, %zu property hids; "
+                      "reformulation unions collapse to interval scans)\n",
+                      static_cast<size_t>(store.hierarchy()->num_class_hids()),
+                      static_cast<size_t>(store.hierarchy()->num_property_hids()));
+        } else if (arg == "off") {
+          profile.hierarchy_ranges = false;
+          std::printf("encoding = off\n");
+        } else {
+          std::printf(".encoding on|off\n");
+          continue;
+        }
+        if (service != nullptr) {
+          std::printf("note: run .service on again to apply the encoding "
+                      "switch to the service front door\n");
+        }
       } else if (op == ".vector") {
         // The answerer holds a pointer to `profile`, so assigning through
         // it switches the engine for every later query. Worker threads are

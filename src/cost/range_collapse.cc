@@ -1,0 +1,184 @@
+#include "cost/range_collapse.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace rdfopt {
+
+namespace {
+
+/// Disjunct counts beyond this skip the analysis outright: reformulations
+/// past the cap exceed every engine's plan limit by orders of magnitude, so
+/// there is nothing a collapse could still rescue.
+constexpr size_t kAnalysisCap = size_t{1} << 20;
+
+struct MaskSite {
+  bool found = false;
+  size_t atom_index = 0;
+  bool class_space = false;
+  uint32_t hid = 0;
+};
+
+/// First maskable site of the disjunct, in atom order: a type atom whose
+/// constant object is an encoded class, else a non-type atom whose constant
+/// predicate is an encoded property.
+MaskSite FindMaskSite(const ConjunctiveQuery& cq,
+                      const HierarchyEncoding& enc) {
+  const ValueId rdf_type = enc.rdf_type();
+  for (size_t a = 0; a < cq.atoms.size(); ++a) {
+    const TriplePattern& atom = cq.atoms[a];
+    if (atom.p.is_var()) continue;
+    if (rdf_type != kInvalidValueId && atom.p.value() == rdf_type) {
+      if (atom.o.is_var()) continue;
+      uint32_t hid = enc.ClassHid(atom.o.value());
+      if (hid == HierarchyEncoding::kInvalidHid) continue;
+      return {true, a, /*class_space=*/true, hid};
+    }
+    uint32_t hid = enc.PropertyHid(atom.p.value());
+    if (hid == HierarchyEncoding::kInvalidHid) continue;
+    return {true, a, /*class_space=*/false, hid};
+  }
+  return {};
+}
+
+// Term-kind tags of the signature serialization.
+constexpr uint64_t kTagConst = 2;
+constexpr uint64_t kTagMasked = 3;
+constexpr uint64_t kTagHeadVar = 4;
+constexpr uint64_t kTagBodyVar = 5;
+
+using Signature = std::vector<uint64_t>;
+
+/// Canonical serialization of the disjunct with the masked site replaced by
+/// a sentinel: head and head_bindings literal, non-head variables renumbered
+/// by first occurrence. Two disjuncts with equal signatures are identical up
+/// to the masked constant and the names of their existential variables.
+Signature SignatureOf(const ConjunctiveQuery& cq, size_t masked_atom,
+                      int masked_pos) {
+  Signature sig;
+  sig.reserve(4 + 2 * cq.head.size() + 2 * cq.head_bindings.size() +
+              6 * cq.atoms.size());
+  sig.push_back(cq.head.size());
+  for (VarId v : cq.head) sig.push_back(v);
+  sig.push_back(cq.head_bindings.size());
+  for (const auto& [v, value] : cq.head_bindings) {
+    sig.push_back(v);
+    sig.push_back(value);
+  }
+  auto in_head = [&](VarId v) {
+    return std::find(cq.head.begin(), cq.head.end(), v) != cq.head.end();
+  };
+  std::unordered_map<VarId, uint64_t> renumber;
+  for (size_t a = 0; a < cq.atoms.size(); ++a) {
+    const TriplePattern& atom = cq.atoms[a];
+    const PatternTerm* terms[3] = {&atom.s, &atom.p, &atom.o};
+    for (int i = 0; i < 3; ++i) {
+      if (a == masked_atom && i == masked_pos) {
+        sig.push_back(kTagMasked);
+        sig.push_back(0);
+        continue;
+      }
+      const PatternTerm& t = *terms[i];
+      if (!t.is_var()) {
+        sig.push_back(kTagConst);
+        sig.push_back(t.value());
+      } else if (in_head(t.var())) {
+        sig.push_back(kTagHeadVar);
+        sig.push_back(t.var());
+      } else {
+        auto [it, inserted] = renumber.emplace(t.var(), renumber.size());
+        sig.push_back(kTagBodyVar);
+        sig.push_back(it->second);
+      }
+    }
+  }
+  return sig;
+}
+
+struct Member {
+  size_t disjunct;
+  uint32_t hid;
+  size_t atom_index;
+  bool class_space;
+};
+
+}  // namespace
+
+RangeCollapsePlan AnalyzeRangeCollapse(const UnionQuery& ucq,
+                                       const HierarchyEncoding& encoding) {
+  RangeCollapsePlan plan;
+  const size_t n = ucq.disjuncts.size();
+  auto all_residual = [&]() {
+    plan.residual.resize(n);
+    for (size_t d = 0; d < n; ++d) plan.residual[d] = d;
+    return plan;
+  };
+  if (n < 2 || n > kAnalysisCap) return all_residual();
+
+  // Group disjuncts by signature. std::map: deterministic group order.
+  std::map<Signature, std::vector<Member>> groups;
+  for (size_t d = 0; d < n; ++d) {
+    MaskSite site = FindMaskSite(ucq.disjuncts[d], encoding);
+    if (!site.found) continue;
+    Signature sig = SignatureOf(ucq.disjuncts[d], site.atom_index,
+                                site.class_space ? 2 : 1);
+    groups[std::move(sig)].push_back(
+        Member{d, site.hid, site.atom_index, site.class_space});
+  }
+
+  std::vector<bool> collapsed(n, false);
+  for (auto& [sig, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end(), [](const Member& a,
+                                                 const Member& b) {
+      return a.hid != b.hid ? a.hid < b.hid : a.disjunct < b.disjunct;
+    });
+    // Duplicate masked constants stay residual: a range emits each hid's
+    // rows once, so absorbing a duplicate would drop its bag contribution.
+    std::vector<Member> unique;
+    unique.reserve(members.size());
+    for (const Member& m : members) {
+      if (!unique.empty() && unique.back().hid == m.hid) continue;
+      unique.push_back(m);
+    }
+    // Maximal consecutive-hid runs of length >= 2 become ranges.
+    size_t run_begin = 0;
+    for (size_t i = 1; i <= unique.size(); ++i) {
+      if (i < unique.size() && unique[i].hid == unique[i - 1].hid + 1) {
+        continue;
+      }
+      const size_t run_len = i - run_begin;
+      if (run_len >= 2) {
+        CollapsedRange range;
+        range.lo = unique[run_begin].hid;
+        range.hi = unique[i - 1].hid + 1;
+        range.class_space = unique[run_begin].class_space;
+        range.atom_index = unique[run_begin].atom_index;
+        range.rep = unique[run_begin].disjunct;
+        for (size_t j = run_begin; j < i; ++j) {
+          range.members.push_back(unique[j].disjunct);
+          range.rep = std::min(range.rep, unique[j].disjunct);
+          collapsed[unique[j].disjunct] = true;
+        }
+        std::sort(range.members.begin(), range.members.end());
+        // The masked atom index is positional in the signature, so every
+        // member agrees with the representative's.
+        plan.ranges.push_back(std::move(range));
+      }
+      run_begin = i;
+    }
+  }
+
+  for (size_t d = 0; d < n; ++d) {
+    if (!collapsed[d]) plan.residual.push_back(d);
+  }
+  // Deterministic final order: ranges by smallest member disjunct.
+  std::sort(plan.ranges.begin(), plan.ranges.end(),
+            [](const CollapsedRange& a, const CollapsedRange& b) {
+              return a.members.front() < b.members.front();
+            });
+  return plan;
+}
+
+}  // namespace rdfopt

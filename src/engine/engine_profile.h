@@ -84,6 +84,19 @@ struct EngineProfile {
   /// isolation — and on for vectorized profiles.
   bool share_union_subplans = false;
 
+  /// Enables the planner's hierarchy-range collapse (DESIGN.md §12): when
+  /// the store carries a HierarchyEncoding, a reformulated N-branch union of
+  /// per-class (per-property) scans becomes a single kScanRange interval
+  /// scan plus a residual union. Off by default — including for Vectorized
+  /// profiles — because it changes plan shapes and costs; opted into by the
+  /// shell (`.encoding on`), benchmarks and the hierarchy test suites.
+  bool hierarchy_ranges = false;
+
+  /// Issues software prefetches ahead of the probe loops of the hash join
+  /// and the radix dedup (ROADMAP "Prefetching + SIMD", first slice). Pure
+  /// execution tweak: results are bit-identical either way.
+  bool prefetch_probes = false;
+
   /// Calibrated §4.1 cost-model constants for this engine.
   CostConstants cost;
 };

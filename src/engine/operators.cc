@@ -95,6 +95,16 @@ class JoinTable {
   /// Next build row with the same key (build insertion order), or kNoRow.
   uint32_t Next(uint32_t row) const { return next_[row]; }
 
+  /// Hints the cache at the home slot of a future probe. The table exceeds
+  /// L2 on large builds, so issuing this a few probes ahead hides the
+  /// first-slot miss (collision chains still fault, but the first touch
+  /// dominates at our load factor).
+  void PrefetchSlot(uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[static_cast<size_t>(hash) & mask_]);
+#endif
+  }
+
  private:
   void Insert(uint32_t row) {
     const uint64_t hash = hashes_[row];
@@ -128,33 +138,39 @@ class JoinTable {
   size_t mask_ = 0;
 };
 
-}  // namespace
-
-size_t ScanAtomInputSize(const TripleStore& store, const TriplePattern& atom) {
-  return store.CountMatches(BoundOrAny(atom.s), BoundOrAny(atom.p),
-                            BoundOrAny(atom.o));
-}
-
-Relation ScanAtom(const TripleStore& store, const TriplePattern& atom) {
-  AtomShape shape = ShapeOf(atom);
-  std::span<const Triple> matches = store.Match(
-      BoundOrAny(atom.s), BoundOrAny(atom.p), BoundOrAny(atom.o));
-  Relation out(shape.columns);
-  const size_t arity = out.arity();
+/// Shared scan projection core: appends `matches` projected onto `shape`'s
+/// columns to `out`. Positions with `filter[i] != kAnyValue` must equal it
+/// (ScanRange re-checks constants its shadow-index slice does not pin), and
+/// repeated variables must agree.
+void AppendMatches(const AtomShape& shape, std::span<const Triple> matches,
+                   const ValueId filter[3], Relation* out) {
+  const size_t arity = out->arity();
+  const bool has_filter = filter[0] != kAnyValue || filter[1] != kAnyValue ||
+                          filter[2] != kAnyValue;
   if (arity == 0) {
-    // Fully bound pattern: every match contributes one empty (boolean) row.
-    out.AppendUninitialized(matches.size());
-    return out;
+    // Boolean output: matches passing the filter contribute one empty row.
+    size_t count = 0;
+    for (const Triple& t : matches) {
+      const ValueId values[3] = {t.s, t.p, t.o};
+      bool ok = true;
+      for (int i = 0; i < 3; ++i) {
+        if (filter[i] != kAnyValue && values[i] != filter[i]) ok = false;
+      }
+      count += ok ? 1 : 0;
+    }
+    out->AppendUninitialized(count);
+    return;
   }
 
   int var_positions = 0;
   for (int i = 0; i < 3; ++i) {
     if (shape.pos_to_col[i] >= 0) ++var_positions;
   }
-  if (static_cast<size_t>(var_positions) == arity) {
-    // No repeated variable: every match qualifies, so the whole scan is one
-    // dense batch — a single grow, then straight-line stores.
-    ValueId* w = out.AppendUninitialized(matches.size());
+  if (!has_filter && static_cast<size_t>(var_positions) == arity) {
+    // No repeated variable, nothing to filter: every match qualifies, so the
+    // whole scan is one dense batch — a single grow, then straight-line
+    // stores.
+    ValueId* w = out->AppendUninitialized(matches.size());
     for (const Triple& t : matches) {
       const ValueId values[3] = {t.s, t.p, t.o};
       for (int i = 0; i < 3; ++i) {
@@ -163,17 +179,21 @@ Relation ScanAtom(const TripleStore& store, const TriplePattern& atom) {
       }
       w += arity;
     }
-    return out;
+    return;
   }
 
-  // Repeated-variable filter: stage qualifying rows batch-at-a-time, then
-  // bulk-append each full batch.
+  // Filter path: stage qualifying rows batch-at-a-time, then bulk-append
+  // each full batch.
   std::vector<ValueId> stage(kBatchRows * arity);
   size_t staged = 0;
   for (const Triple& t : matches) {
     const ValueId values[3] = {t.s, t.p, t.o};
-    ValueId* row = stage.data() + staged * arity;
     bool consistent = true;
+    for (int i = 0; i < 3; ++i) {
+      if (filter[i] != kAnyValue && values[i] != filter[i]) consistent = false;
+    }
+    if (!consistent) continue;
+    ValueId* row = stage.data() + staged * arity;
     // First write wins; later positions mapping to the same column must
     // agree (repeated-variable filter).
     for (size_t c = 0; c < arity; ++c) row[c] = kInvalidValueId;
@@ -188,17 +208,64 @@ Relation ScanAtom(const TripleStore& store, const TriplePattern& atom) {
     }
     if (!consistent) continue;
     if (++staged == kBatchRows) {
-      out.AppendBatch(Batch{stage.data(), arity, staged, nullptr, 0});
+      out->AppendBatch(Batch{stage.data(), arity, staged, nullptr, 0});
       staged = 0;
     }
   }
   if (staged > 0) {
-    out.AppendBatch(Batch{stage.data(), arity, staged, nullptr, 0});
+    out->AppendBatch(Batch{stage.data(), arity, staged, nullptr, 0});
   }
+}
+
+constexpr ValueId kNoFilter[3] = {kAnyValue, kAnyValue, kAnyValue};
+
+}  // namespace
+
+size_t ScanAtomInputSize(const TripleStore& store, const TriplePattern& atom) {
+  return store.CountMatches(BoundOrAny(atom.s), BoundOrAny(atom.p),
+                            BoundOrAny(atom.o));
+}
+
+Relation ScanAtom(const TripleStore& store, const TriplePattern& atom) {
+  AtomShape shape = ShapeOf(atom);
+  std::span<const Triple> matches = store.Match(
+      BoundOrAny(atom.s), BoundOrAny(atom.p), BoundOrAny(atom.o));
+  Relation out(shape.columns);
+  AppendMatches(shape, matches, kNoFilter, &out);
   return out;
 }
 
-Relation HashJoin(const Relation& left, const Relation& right) {
+size_t ScanRangeInputSize(const TripleStore& store, bool class_space,
+                          uint32_t lo, uint32_t hi) {
+  return class_space ? store.CountClassHidRange(lo, hi)
+                     : store.CountPropertyHidRange(lo, hi);
+}
+
+Relation ScanRange(const TripleStore& store, const TriplePattern& rep_atom,
+                   bool class_space, uint32_t lo, uint32_t hi) {
+  AtomShape shape = ShapeOf(rep_atom);
+  std::span<const Triple> matches = class_space
+                                        ? store.MatchClassHidRange(lo, hi)
+                                        : store.MatchPropertyHidRange(lo, hi);
+  Relation out(shape.columns);
+  // The masked position (type-atom object / predicate) ranges over the hid
+  // interval, so it is never filtered; other constant positions the shadow
+  // index does not pin are re-checked per triple. In class space the
+  // predicate is rdf:type on every shadow triple already.
+  const int masked = class_space ? 2 : 1;
+  const PatternTerm* terms[3] = {&rep_atom.s, &rep_atom.p, &rep_atom.o};
+  ValueId filter[3] = {kAnyValue, kAnyValue, kAnyValue};
+  for (int i = 0; i < 3; ++i) {
+    if (i == masked || terms[i]->is_var()) continue;
+    if (class_space && i == 1) continue;
+    filter[i] = terms[i]->value();
+  }
+  AppendMatches(shape, matches, filter, &out);
+  return out;
+}
+
+Relation HashJoin(const Relation& left, const Relation& right,
+                  bool prefetch) {
   // Shared columns and the right-only tail of the output schema.
   std::vector<std::pair<int, int>> shared;  // (left col, right col)
   std::vector<int> right_only;
@@ -314,7 +381,11 @@ Relation HashJoin(const Relation& left, const Relation& right) {
     for (size_t i = 0; i < n; ++i) {
       probe_hashes[i] = HashKey(probe_keys.data() + i * key_arity, key_arity);
     }
+    constexpr size_t kPrefetchDistance = 8;
     for (size_t i = 0; i < n; ++i) {
+      if (prefetch && i + kPrefetchDistance < n) {
+        table.PrefetchSlot(probe_hashes[i + kPrefetchDistance]);
+      }
       uint32_t bi = table.Find(probe_keys.data() + i * key_arity,
                                probe_hashes[i]);
       const size_t pi = begin + i;

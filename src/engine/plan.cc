@@ -20,6 +20,8 @@ std::string_view PlanNodeKindName(PlanNodeKind kind) {
       return "MaterializeBarrier";
     case PlanNodeKind::kSharedRef:
       return "SharedRef";
+    case PlanNodeKind::kScanRange:
+      return "ScanRange";
   }
   return "Unknown";
 }
@@ -61,6 +63,11 @@ std::unique_ptr<PlanNode> CloneNode(const PlanNode* node) {
   copy->component = node->component;
   copy->component_join = node->component_join;
   copy->shared_index = node->shared_index;
+  copy->range_lo = node->range_lo;
+  copy->range_hi = node->range_hi;
+  copy->range_class_space = node->range_class_space;
+  copy->range_terms = node->range_terms;
+  copy->pre_collapse_terms = node->pre_collapse_terms;
   copy->out_columns = node->out_columns;
   copy->est_rows = node->est_rows;
   copy->est_cost = node->est_cost;
@@ -118,6 +125,11 @@ void DigestNode(uint64_t* h, const PlanNode* node) {
   FnvTerm(h, node->atom.o);
   FnvMix(h, node->union_terms);
   FnvMix(h, static_cast<uint64_t>(static_cast<int64_t>(node->shared_index)));
+  if (node->kind == PlanNodeKind::kScanRange) {
+    FnvMix(h, (static_cast<uint64_t>(node->range_lo) << 33) |
+                  (static_cast<uint64_t>(node->range_hi) << 1) |
+                  (node->range_class_space ? 1u : 0u));
+  }
   for (const auto& child : node->children) DigestNode(h, child.get());
 }
 }  // namespace

@@ -36,6 +36,10 @@ enum class PlanNodeKind {
                         ///< the enclosing plan (union-subplan factoring):
                         ///< the node produces the shared result by
                         ///< reference, without re-executing it.
+  kScanRange,           ///< Hierarchy interval scan (DESIGN.md §12): one
+                        ///< slice of the hid-ordered shadow index covering
+                        ///< what would otherwise be a union of per-constant
+                        ///< scans over `[range_lo, range_hi)`.
 };
 
 std::string_view PlanNodeKindName(PlanNodeKind kind);
@@ -94,6 +98,22 @@ struct PlanNode {
   /// this node references. Also set on the shared subplan's own root (its
   /// index), so EXPLAIN and the slow-query log can label both sides.
   int shared_index = -1;
+  /// kScanRange: the hid interval scanned, half-open. `atom` holds the
+  /// representative pattern (the first collapsed disjunct's atom) whose
+  /// masked position — the type-atom object, or the predicate — ranges over
+  /// the interval; the variable layout of every collapsed disjunct is
+  /// identical by construction (the collapse signature).
+  uint32_t range_lo = 0;
+  uint32_t range_hi = 0;
+  /// kScanRange: true when the interval ranges over class hids (a type-atom
+  /// object; scans the type shadow index), false for property hids (a
+  /// predicate; scans the property shadow index).
+  bool range_class_space = false;
+  /// kScanRange: number of union disjuncts this node collapsed.
+  size_t range_terms = 0;
+  /// kUnionAll: disjunct count before range collapse (equals `union_terms`
+  /// when no collapse happened). EXPLAIN prints "collapsed from N".
+  size_t pre_collapse_terms = 0;
 
   /// Output schema, fixed at plan time; also the column set of the empty
   /// relation produced when a subtree is short-circuited.

@@ -102,10 +102,17 @@ CachingCoverCostOracle::GetFragment(const std::vector<int>& fragment) {
         fragment_cq, &scratch_vars_, effective_disjunct_cap_);
     if (ucq.ok()) {
       entry.ucq = ucq.TakeValue();
+      // With hierarchy ranges on, fragments are priced (and declared
+      // feasible) on their post-collapse term counts — the terms the engine
+      // will actually run (cost_model.h, the hierarchy-aware overload).
+      const HierarchyEncoding* encoding =
+          evaluator_->profile().hierarchy_ranges
+              ? estimator_->store()->hierarchy()
+              : nullptr;
       entry.inputs =
           options_.literal_scan_sums
               ? ComputeUcqCostInputsLiteral(entry.ucq, *estimator_)
-              : ComputeUcqCostInputs(entry.ucq, *estimator_);
+              : ComputeUcqCostInputs(entry.ucq, *estimator_, encoding);
       entry.feasible = true;
       if (options_.use_engine_cost_model) {
         // Plan the fragment's component once; its cost and result estimate

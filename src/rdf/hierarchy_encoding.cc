@@ -1,0 +1,114 @@
+#include "rdf/hierarchy_encoding.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace rdfopt {
+
+namespace {
+
+/// DFS-preorder hid assignment over one subsumption space (classes or
+/// properties). Roots are nodes without direct supers, visited in ValueId
+/// order; children in sorted ValueId order; a node already visited through
+/// an earlier parent is skipped (first-parent ownership). Nodes reachable
+/// only through a cycle have no root above them — a leftover pass promotes
+/// them, in ValueId order, to roots of their own.
+void BuildSpace(
+    const std::vector<ValueId>& all_nodes,  // sorted
+    const std::function<std::vector<ValueId>(ValueId)>& direct_subs,
+    const std::function<std::vector<ValueId>(ValueId)>& direct_supers,
+    const std::function<std::vector<ValueId>(ValueId)>& closure,
+    std::unordered_map<ValueId, uint32_t>* hid_of,
+    std::vector<ValueId>* by_hid,
+    std::unordered_map<ValueId, HierarchyInterval>* interval_of,
+    std::unordered_map<ValueId, std::vector<ValueId>>* residuals_of) {
+  by_hid->reserve(all_nodes.size());
+  uint32_t counter = 0;
+  std::unordered_set<ValueId> visited;
+
+  struct Frame {
+    ValueId node;
+    std::vector<ValueId> kids;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+
+  auto enter = [&](ValueId node) {
+    visited.insert(node);
+    uint32_t hid = counter++;
+    (*hid_of)[node] = hid;
+    by_hid->push_back(node);
+    (*interval_of)[node].lo = hid;
+    stack.push_back(Frame{node, direct_subs(node), 0});
+  };
+
+  auto dfs_from = [&](ValueId root) {
+    if (visited.count(root)) return;
+    enter(root);
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next >= top.kids.size()) {
+        (*interval_of)[top.node].hi = counter;
+        stack.pop_back();
+        continue;
+      }
+      ValueId kid = top.kids[top.next++];
+      // `enter` may reallocate the stack; do not touch `top` after it.
+      if (!visited.count(kid)) enter(kid);
+    }
+  };
+
+  for (ValueId node : all_nodes) {
+    if (direct_supers(node).empty()) dfs_from(node);
+  }
+  // Cycle-only components: every member has a direct super, so none was a
+  // root above. Promote the smallest unvisited member of each.
+  for (ValueId node : all_nodes) dfs_from(node);
+
+  // Residuals: closure members whose owned hid lies outside the interval.
+  for (ValueId node : all_nodes) {
+    HierarchyInterval iv = (*interval_of)[node];
+    std::vector<ValueId> residual;
+    for (ValueId member : closure(node)) {
+      auto it = hid_of->find(member);
+      // Closure members are schema nodes of this space, so always present.
+      uint32_t hid = it->second;
+      if (hid < iv.lo || hid >= iv.hi) residual.push_back(member);
+    }
+    if (!residual.empty()) {
+      std::sort(residual.begin(), residual.end());
+      (*residuals_of)[node] = std::move(residual);
+    }
+  }
+}
+
+}  // namespace
+
+HierarchyEncoding HierarchyEncoding::Build(const Schema& schema,
+                                           ValueId rdf_type) {
+  HierarchyEncoding enc;
+  enc.rdf_type_ = rdf_type;
+  BuildSpace(
+      schema.AllClasses(),
+      [&](ValueId c) { return schema.DirectSubClassesOf(c); },
+      [&](ValueId c) { return schema.DirectSuperClassesOf(c); },
+      [&](ValueId c) { return schema.SubClassesOf(c); }, &enc.class_hid_,
+      &enc.class_by_hid_, &enc.class_interval_, &enc.class_residuals_);
+  BuildSpace(
+      schema.AllProperties(),
+      [&](ValueId p) { return schema.DirectSubPropertiesOf(p); },
+      [&](ValueId p) { return schema.DirectSuperPropertiesOf(p); },
+      [&](ValueId p) { return schema.SubPropertiesOf(p); }, &enc.prop_hid_,
+      &enc.prop_by_hid_, &enc.prop_interval_, &enc.prop_residuals_);
+  return enc;
+}
+
+const std::vector<ValueId>& HierarchyEncoding::ResidualsOf(
+    const ResidualMap& map, ValueId id) {
+  static const std::vector<ValueId> kEmpty;
+  auto it = map.find(id);
+  return it == map.end() ? kEmpty : it->second;
+}
+
+}  // namespace rdfopt

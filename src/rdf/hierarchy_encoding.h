@@ -1,0 +1,122 @@
+#ifndef RDFOPT_RDF_HIERARCHY_ENCODING_H_
+#define RDFOPT_RDF_HIERARCHY_ENCODING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "schema/schema.h"
+
+namespace rdfopt {
+
+/// A contiguous half-open interval of hierarchical ids (see below).
+struct HierarchyInterval {
+  uint32_t lo = 0;
+  uint32_t hi = 0;  ///< Exclusive.
+  bool valid() const { return hi > lo; }
+  uint32_t size() const { return hi - lo; }
+};
+
+/// LiteMat-style hierarchy-aware encoding (DESIGN.md §12): assigns every
+/// schema class and property a *hierarchical id* ("hid") by a DFS preorder
+/// over the subsumption DAG, so the subtree owned by a node C occupies the
+/// contiguous interval `[lo(C), hi(C))` of the hid space. A reformulated
+/// atom `?x rdf:type <C>` — normally an N-branch union over SubClassesOf(C)
+/// — then collapses to one index range scan over that interval (the engine's
+/// ScanRange operator), plus a small residual union for closure members
+/// reachable only through another parent.
+///
+/// Raw dictionary ValueIds are NOT renumbered: the Dictionary is shared,
+/// append-only and pinned by snapshots, so the encoding is a side table
+/// mapping class/property ValueIds to hids and back, attached per snapshot
+/// (TripleStore::AttachHierarchy) so re-encodes are epoch-scoped. Class and
+/// property hids live in separate spaces: classes order the POS index
+/// (rdf:type objects), properties the PSO index.
+///
+/// Multi-parent nodes (the subsumption relation is a DAG, not a tree): each
+/// node is owned by the first parent the DFS reaches it through. For every
+/// other ancestor A the node falls outside `[lo(A), hi(A))` and appears in
+/// `ClassResiduals(A)` / `PropertyResiduals(A)`; callers emit those as
+/// ordinary single-constant scan branches, per LiteMat. By construction,
+///   SubClassesOf(C) == { classes with hid in ClassInterval(C) }
+///                       ∪ ClassResiduals(C)       (disjointly),
+/// and likewise for properties. Cycles (A ≼ B ≼ A) are handled: one cycle
+/// member is promoted to a root, the rest become its residual-covered
+/// descendants.
+class HierarchyEncoding {
+ public:
+  static constexpr uint32_t kInvalidHid = 0xffffffffu;
+
+  /// Builds the encoding from a finalized schema. `rdf_type` is recorded for
+  /// consumers that need to identify type triples (TripleStore's shadow
+  /// index build); pass kInvalidValueId when the vocabulary has none.
+  static HierarchyEncoding Build(const Schema& schema, ValueId rdf_type);
+
+  ValueId rdf_type() const { return rdf_type_; }
+
+  // --- Class hid space -----------------------------------------------------
+  size_t num_class_hids() const { return class_by_hid_.size(); }
+  /// hid of `cls`, or kInvalidHid when the class is unknown to the schema.
+  uint32_t ClassHid(ValueId cls) const { return HidOf(class_hid_, cls); }
+  /// The class owning `hid` (valid hids only).
+  ValueId ClassOfHid(uint32_t hid) const { return class_by_hid_[hid]; }
+  const std::vector<ValueId>& classes_by_hid() const { return class_by_hid_; }
+  /// Owned-subtree interval of `cls`; !valid() for unknown classes.
+  HierarchyInterval ClassInterval(ValueId cls) const {
+    return IntervalOf(class_interval_, cls);
+  }
+  /// Closure members of `cls` not covered by ClassInterval (multi-parent /
+  /// cycle fallout). Sorted by ValueId; empty for unknown classes.
+  const std::vector<ValueId>& ClassResiduals(ValueId cls) const {
+    return ResidualsOf(class_residuals_, cls);
+  }
+
+  // --- Property hid space --------------------------------------------------
+  size_t num_property_hids() const { return prop_by_hid_.size(); }
+  uint32_t PropertyHid(ValueId property) const {
+    return HidOf(prop_hid_, property);
+  }
+  ValueId PropertyOfHid(uint32_t hid) const { return prop_by_hid_[hid]; }
+  const std::vector<ValueId>& properties_by_hid() const {
+    return prop_by_hid_;
+  }
+  HierarchyInterval PropertyInterval(ValueId property) const {
+    return IntervalOf(prop_interval_, property);
+  }
+  const std::vector<ValueId>& PropertyResiduals(ValueId property) const {
+    return ResidualsOf(prop_residuals_, property);
+  }
+
+ private:
+  using HidMap = std::unordered_map<ValueId, uint32_t>;
+  using IntervalMap = std::unordered_map<ValueId, HierarchyInterval>;
+  using ResidualMap = std::unordered_map<ValueId, std::vector<ValueId>>;
+
+  static uint32_t HidOf(const HidMap& map, ValueId id) {
+    auto it = map.find(id);
+    return it == map.end() ? kInvalidHid : it->second;
+  }
+  static HierarchyInterval IntervalOf(const IntervalMap& map, ValueId id) {
+    auto it = map.find(id);
+    return it == map.end() ? HierarchyInterval{} : it->second;
+  }
+  static const std::vector<ValueId>& ResidualsOf(const ResidualMap& map,
+                                                 ValueId id);
+
+  ValueId rdf_type_ = kInvalidValueId;
+
+  HidMap class_hid_;
+  std::vector<ValueId> class_by_hid_;
+  IntervalMap class_interval_;
+  ResidualMap class_residuals_;  // Only nodes with residuals are present.
+
+  HidMap prop_hid_;
+  std::vector<ValueId> prop_by_hid_;
+  IntervalMap prop_interval_;
+  ResidualMap prop_residuals_;
+};
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_RDF_HIERARCHY_ENCODING_H_

@@ -55,9 +55,13 @@ struct LubmVocab {
 
   ValueId rdf_type;
   ValueId subclassof, subpropertyof, domain, range;
+
+  /// Leaf specialty classes per professor rank (see
+  /// LubmOptions::fine_grained_specializations); empty at the default 0.
+  std::vector<ValueId> specialties[3];  // full / associate / assistant.
 };
 
-LubmVocab InternVocab(Graph* graph) {
+LubmVocab InternVocab(Graph* graph, size_t fine_grained) {
   Dictionary& d = graph->dict();
   auto cls = [&](const char* local) {
     return d.InternIri(std::string(kLubmNs) + local);
@@ -121,6 +125,11 @@ LubmVocab InternVocab(Graph* graph) {
   v.email = cls("emailAddress");
   v.telephone = cls("telephone");
 
+  for (size_t i = 0; i < fine_grained; ++i) {
+    v.specialties[i % 3].push_back(
+        cls(("Specialty" + std::to_string(i)).c_str()));
+  }
+
   v.rdf_type = graph->vocab().rdf_type;
   v.subclassof = graph->vocab().rdfs_subclassof;
   v.subpropertyof = graph->vocab().rdfs_subpropertyof;
@@ -178,6 +187,12 @@ void EmitSchema(const LubmVocab& v, Graph* g) {
   sc(v.book, v.publication);
   sc(v.manual_cls, v.publication);
   sc(v.software, v.publication);
+  // Fine-grained professor specialty leaves (empty at the default 0).
+  const ValueId rank_of[3] = {v.full_professor, v.associate_professor,
+                              v.assistant_professor};
+  for (int r = 0; r < 3; ++r) {
+    for (ValueId specialty : v.specialties[r]) sc(specialty, rank_of[r]);
+  }
 
   // Properties.
   dom(v.member_of, v.person);
@@ -304,7 +319,21 @@ class UniversityEmitter {
         std::string piri =
             dbase + "/" + rank.label + std::to_string(i);
         ValueId prof = Iri(piri);
-        Type(prof, rank.cls);
+        // With fine-grained specializations, professors of the three
+        // specialized ranks are typed at a leaf specialty (round-robin);
+        // reasoning still derives the rank, but raw type triples sit at the
+        // leaves — the regime where reformulations explode.
+        const std::vector<ValueId>* specialties =
+            rank.cls == v_.full_professor        ? &v_.specialties[0]
+            : rank.cls == v_.associate_professor ? &v_.specialties[1]
+            : rank.cls == v_.assistant_professor ? &v_.specialties[2]
+                                                 : nullptr;
+        if (specialties != nullptr && !specialties->empty()) {
+          Type(prof, (*specialties)[specialty_counter_++ %
+                                    specialties->size()]);
+        } else {
+          Type(prof, rank.cls);
+        }
         Add(prof, v_.works_for, dept);
         Add(prof, v_.undergraduate_degree_from, RandomUniversity());
         if (rank.cls != v_.lecturer) {
@@ -391,12 +420,14 @@ class UniversityEmitter {
   ValueId univ_ = kInvalidValueId;
   size_t num_universities_ = 0;
   size_t triples_emitted_ = 0;
+  size_t specialty_counter_ = 0;
 };
 
 }  // namespace
 
 size_t GenerateLubm(const LubmOptions& options, Graph* graph) {
-  LubmVocab vocab = InternVocab(graph);
+  LubmVocab vocab =
+      InternVocab(graph, options.fine_grained_specializations);
   EmitSchema(vocab, graph);
   WorkloadRng rng(options.seed);
   UniversityEmitter emitter(vocab, graph, &rng);

@@ -39,6 +39,16 @@ class WorkloadRng {
 struct LubmOptions {
   size_t num_universities = 2;
   uint64_t seed = 20150323;  // EDBT 2015.
+  /// When > 0, the ontology additionally declares this many leaf
+  /// "SpecialtyK" classes, round-robined as direct subclasses of
+  /// FullProfessor / AssociateProfessor / AssistantProfessor, and every
+  /// professor of those ranks is typed at one of its rank's specialty
+  /// leaves instead of at the rank. A query over ub:Professor then
+  /// reformulates into hundreds of type disjuncts — the deep-hierarchy
+  /// regime the hierarchy-range collapse (DESIGN.md §12) targets. 0 (the
+  /// default) leaves the generated dataset bit-identical to earlier
+  /// versions.
+  size_t fine_grained_specializations = 0;
 };
 
 /// Adds the LUBM-style schema and data to `graph` (which may be empty) and

@@ -1,0 +1,221 @@
+// Unit tests for the LiteMat-style hierarchy encoding (DESIGN.md §12):
+// DFS-preorder hid assignment must give every class/property subtree a
+// contiguous interval, with multi-parent and cycle fallout exposed as
+// residuals such that
+//   SubClassesOf(C) == interval(C) ∪ residuals(C)   (disjointly)
+// for every schema node, in both the class and the property hid space.
+
+#include "rdf/hierarchy_encoding.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/triple_store.h"
+
+namespace rdfopt {
+namespace {
+
+// Fixed ids for readability. Classes 1..19, properties 20..29.
+constexpr ValueId kWork = 1, kPublication = 2, kBook = 3, kNovel = 4,
+                  kArticle = 5, kPerson = 6, kAuthor = 7;
+constexpr ValueId kContributor = 20, kHasAuthor = 21, kWrittenBy = 22,
+                  kHasEditor = 23;
+constexpr ValueId kRdfType = 90;
+
+std::set<ValueId> IntervalMembers(const HierarchyEncoding& enc,
+                                  HierarchyInterval iv, bool class_space) {
+  std::set<ValueId> out;
+  for (uint32_t hid = iv.lo; hid < iv.hi; ++hid) {
+    out.insert(class_space ? enc.ClassOfHid(hid) : enc.PropertyOfHid(hid));
+  }
+  return out;
+}
+
+/// The §12 invariant for one node: the closure equals the owned interval
+/// plus the residual list, with no overlap between the two.
+void ExpectCoversClosure(const Schema& schema, const HierarchyEncoding& enc,
+                         ValueId node, bool class_space) {
+  const HierarchyInterval iv =
+      class_space ? enc.ClassInterval(node) : enc.PropertyInterval(node);
+  ASSERT_TRUE(iv.valid()) << "node " << node;
+  std::set<ValueId> covered = IntervalMembers(enc, iv, class_space);
+  const std::vector<ValueId>& residuals =
+      class_space ? enc.ClassResiduals(node) : enc.PropertyResiduals(node);
+  for (ValueId r : residuals) {
+    EXPECT_TRUE(covered.insert(r).second)
+        << "node " << node << ": residual " << r
+        << " already inside the owned interval";
+  }
+  const std::vector<ValueId> closure = class_space
+                                           ? schema.SubClassesOf(node)
+                                           : schema.SubPropertiesOf(node);
+  EXPECT_EQ(covered, std::set<ValueId>(closure.begin(), closure.end()))
+      << "node " << node;
+}
+
+TEST(HierarchyEncodingTest, TreeSubtreesAreContiguousIntervals) {
+  // Work > Publication > {Book > Novel, Article}; Person > Author.
+  Schema schema;
+  schema.AddSubClass(kPublication, kWork);
+  schema.AddSubClass(kBook, kPublication);
+  schema.AddSubClass(kNovel, kBook);
+  schema.AddSubClass(kArticle, kPublication);
+  schema.AddSubClass(kAuthor, kPerson);
+  schema.Finalize();
+
+  HierarchyEncoding enc = HierarchyEncoding::Build(schema, kRdfType);
+  EXPECT_EQ(enc.rdf_type(), kRdfType);
+  EXPECT_EQ(enc.num_class_hids(), 7u);
+
+  for (ValueId c : {kWork, kPublication, kBook, kNovel, kArticle, kPerson,
+                    kAuthor}) {
+    ExpectCoversClosure(schema, enc, c, /*class_space=*/true);
+    // A tree has no multi-parent fallout.
+    EXPECT_TRUE(enc.ClassResiduals(c).empty()) << "class " << c;
+    // hids round-trip.
+    EXPECT_EQ(enc.ClassOfHid(enc.ClassHid(c)), c);
+    // The node's own hid is the base of its subtree interval (DFS preorder).
+    EXPECT_EQ(enc.ClassHid(c), enc.ClassInterval(c).lo);
+  }
+  // Subtree sizes match closure sizes when there are no residuals.
+  EXPECT_EQ(enc.ClassInterval(kWork).size(), 5u);
+  EXPECT_EQ(enc.ClassInterval(kPublication).size(), 4u);
+  EXPECT_EQ(enc.ClassInterval(kBook).size(), 2u);
+  EXPECT_EQ(enc.ClassInterval(kNovel).size(), 1u);
+  // Disjoint roots get disjoint intervals.
+  const HierarchyInterval work = enc.ClassInterval(kWork);
+  const HierarchyInterval person = enc.ClassInterval(kPerson);
+  EXPECT_TRUE(work.hi <= person.lo || person.hi <= work.lo);
+}
+
+TEST(HierarchyEncodingTest, DiamondChildOwnedByOneParentResidualInOther) {
+  // Diamond: Novel < Book, Novel < Article, Book < Work, Article < Work.
+  Schema schema;
+  schema.AddSubClass(kBook, kWork);
+  schema.AddSubClass(kArticle, kWork);
+  schema.AddSubClass(kNovel, kBook);
+  schema.AddSubClass(kNovel, kArticle);
+  schema.Finalize();
+
+  HierarchyEncoding enc = HierarchyEncoding::Build(schema, kRdfType);
+  EXPECT_EQ(enc.num_class_hids(), 4u);
+
+  // Novel is owned by exactly one of its parents; the other sees it as a
+  // residual. Which parent wins is an implementation detail (DFS order),
+  // but ownership must be exclusive and the closure invariant must hold.
+  const bool in_book =
+      enc.ClassHid(kNovel) >= enc.ClassInterval(kBook).lo &&
+      enc.ClassHid(kNovel) < enc.ClassInterval(kBook).hi;
+  const bool in_article =
+      enc.ClassHid(kNovel) >= enc.ClassInterval(kArticle).lo &&
+      enc.ClassHid(kNovel) < enc.ClassInterval(kArticle).hi;
+  EXPECT_NE(in_book, in_article);
+  const ValueId other = in_book ? kArticle : kBook;
+  EXPECT_EQ(enc.ClassResiduals(other), std::vector<ValueId>{kNovel});
+
+  for (ValueId c : {kWork, kBook, kArticle, kNovel}) {
+    ExpectCoversClosure(schema, enc, c, /*class_space=*/true);
+  }
+  // The diamond's apex owns everything: all four classes fall inside its
+  // interval, so it needs no residuals.
+  EXPECT_EQ(enc.ClassInterval(kWork).size(), 4u);
+  EXPECT_TRUE(enc.ClassResiduals(kWork).empty());
+}
+
+TEST(HierarchyEncodingTest, CycleMembersStayMutuallyReachable) {
+  // Book ≼ Publication ≼ Book (equivalence cycle) hanging under Work.
+  Schema schema;
+  schema.AddSubClass(kBook, kPublication);
+  schema.AddSubClass(kPublication, kBook);
+  schema.AddSubClass(kPublication, kWork);
+  schema.Finalize();
+
+  HierarchyEncoding enc = HierarchyEncoding::Build(schema, kRdfType);
+  EXPECT_EQ(enc.num_class_hids(), 3u);
+  // Every node still gets exactly one hid and the closure invariant holds —
+  // for cycle members the closure includes each other.
+  for (ValueId c : {kWork, kPublication, kBook}) {
+    ExpectCoversClosure(schema, enc, c, /*class_space=*/true);
+    EXPECT_NE(enc.ClassHid(c), HierarchyEncoding::kInvalidHid);
+  }
+}
+
+TEST(HierarchyEncodingTest, PropertySpaceIsIndependentOfClassSpace) {
+  Schema schema;
+  schema.AddSubClass(kBook, kWork);
+  schema.AddSubProperty(kHasAuthor, kContributor);
+  schema.AddSubProperty(kWrittenBy, kHasAuthor);
+  schema.AddSubProperty(kHasEditor, kContributor);
+  schema.Finalize();
+
+  HierarchyEncoding enc = HierarchyEncoding::Build(schema, kRdfType);
+  EXPECT_EQ(enc.num_class_hids(), 2u);
+  EXPECT_EQ(enc.num_property_hids(), 4u);
+  for (ValueId p : {kContributor, kHasAuthor, kWrittenBy, kHasEditor}) {
+    ExpectCoversClosure(schema, enc, p, /*class_space=*/false);
+    EXPECT_EQ(enc.PropertyOfHid(enc.PropertyHid(p)), p);
+  }
+  EXPECT_EQ(enc.PropertyInterval(kContributor).size(), 4u);
+  EXPECT_EQ(enc.PropertyInterval(kHasAuthor).size(), 2u);
+  // Properties are invisible to the class space and vice versa.
+  EXPECT_EQ(enc.ClassHid(kContributor), HierarchyEncoding::kInvalidHid);
+  EXPECT_EQ(enc.PropertyHid(kBook), HierarchyEncoding::kInvalidHid);
+}
+
+TEST(HierarchyEncodingTest, UnknownNodesYieldInvalidLookups) {
+  Schema schema;
+  schema.AddSubClass(kBook, kWork);
+  schema.Finalize();
+  HierarchyEncoding enc = HierarchyEncoding::Build(schema, kRdfType);
+
+  constexpr ValueId kUnknown = 999;
+  EXPECT_EQ(enc.ClassHid(kUnknown), HierarchyEncoding::kInvalidHid);
+  EXPECT_FALSE(enc.ClassInterval(kUnknown).valid());
+  EXPECT_TRUE(enc.ClassResiduals(kUnknown).empty());
+  EXPECT_EQ(enc.PropertyHid(kUnknown), HierarchyEncoding::kInvalidHid);
+  EXPECT_FALSE(enc.PropertyInterval(kUnknown).valid());
+  EXPECT_TRUE(enc.PropertyResiduals(kUnknown).empty());
+}
+
+TEST(HierarchyEncodingTest, TripleStoreHidRangeMatchesPerClassScans) {
+  // Work > {Book, Article}; instances typed at the leaves plus one at the
+  // root. The shadow index must return exactly the union of the per-class
+  // type scans for the root's interval.
+  Schema schema;
+  schema.AddSubClass(kBook, kWork);
+  schema.AddSubClass(kArticle, kWork);
+  schema.Finalize();
+
+  constexpr ValueId kB1 = 100, kB2 = 101, kA1 = 102, kW1 = 103, kX = 104,
+                    kLikes = 30;
+  std::vector<Triple> triples = {
+      {kB1, kRdfType, kBook},  {kB2, kRdfType, kBook},
+      {kA1, kRdfType, kArticle}, {kW1, kRdfType, kWork},
+      {kX, kLikes, kB1},
+  };
+  TripleStore store = TripleStore::Build(triples);
+  store.AttachHierarchy(std::make_shared<const HierarchyEncoding>(
+      HierarchyEncoding::Build(schema, kRdfType)));
+  const HierarchyEncoding& enc = *store.hierarchy();
+
+  const HierarchyInterval work = enc.ClassInterval(kWork);
+  EXPECT_EQ(store.CountClassHidRange(work.lo, work.hi), 4u);
+  std::set<ValueId> subjects;
+  for (const Triple& t : store.MatchClassHidRange(work.lo, work.hi)) {
+    EXPECT_EQ(t.p, kRdfType);
+    subjects.insert(t.s);
+  }
+  EXPECT_EQ(subjects, (std::set<ValueId>{kB1, kB2, kA1, kW1}));
+
+  const HierarchyInterval book = enc.ClassInterval(kBook);
+  EXPECT_EQ(store.CountClassHidRange(book.lo, book.hi), 2u);
+  // Non-type triples never enter the class shadow index.
+  EXPECT_EQ(store.CountClassHidRange(0, enc.num_class_hids()), 4u);
+}
+
+}  // namespace
+}  // namespace rdfopt
