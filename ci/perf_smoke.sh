@@ -11,6 +11,12 @@
 # than the tuple engine measured in the same process, and may drift at most
 # RDFOPT_PERF_BUDGET_PCT (default 20) from the baseline's recorded ratio.
 #
+# When RDFOPT_PERF_UNCHECKED_DIR names a second build tree configured with
+# -DRDFOPT_DISABLE_CHECKS=ON, the script additionally measures the cost of
+# the always-on RDFOPT_CHECK contracts: BM_ExecutePlannedJucq from both
+# trees runs back-to-back on this host, and the checked build may be at
+# most RDFOPT_CHECK_BUDGET_PCT (default 2) slower.
+#
 # Usage: ci/perf_smoke.sh [build_dir]   (default: build)
 set -euo pipefail
 
@@ -141,3 +147,56 @@ if failures:
     sys.exit(1)
 print("perf_smoke: OK")
 EOF
+
+# Gate 4 (optional): RDFOPT_CHECK overhead. Needs a sibling build tree with
+# the contracts compiled out (-DRDFOPT_DISABLE_CHECKS=ON); both binaries run
+# the headline benchmark back-to-back in this process's environment, so the
+# comparison is machine-independent. Medians over repetitions keep a single
+# noisy run from tripping a 2% budget.
+UNCHECKED_DIR="${RDFOPT_PERF_UNCHECKED_DIR:-}"
+if [[ -n "$UNCHECKED_DIR" ]]; then
+  CHECK_BUDGET_PCT="${RDFOPT_CHECK_BUDGET_PCT:-2}"
+  UNCHECKED_BENCH="$UNCHECKED_DIR/bench/bench_micro"
+  if [[ ! -x "$UNCHECKED_BENCH" ]]; then
+    echo "perf_smoke: FAIL: RDFOPT_PERF_UNCHECKED_DIR set but" \
+         "$UNCHECKED_BENCH not built" >&2
+    exit 1
+  fi
+  CHECKED_OUT="$BUILD_DIR/perf_smoke_checked.json"
+  UNCHECKED_OUT="$BUILD_DIR/perf_smoke_unchecked.json"
+  for pass in checked unchecked; do
+    if [[ "$pass" == checked ]]; then bin="$BENCH"; out="$CHECKED_OUT";
+    else bin="$UNCHECKED_BENCH"; out="$UNCHECKED_OUT"; fi
+    "$bin" --benchmark_filter='BM_ExecutePlannedJucq$' \
+      --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \
+      --benchmark_out="$out" --benchmark_out_format=json
+  done
+  python3 - "$CHECKED_OUT" "$UNCHECKED_OUT" "$CHECK_BUDGET_PCT" <<'EOF'
+import json
+import sys
+
+checked_path, unchecked_path, budget_pct = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def median(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name") == "median":
+            return float(b["real_time"])
+    print(f"perf_smoke: FAIL: no median aggregate in {path}", file=sys.stderr)
+    sys.exit(1)
+
+checked = median(checked_path)
+unchecked = median(unchecked_path)
+overhead = (checked - unchecked) / unchecked * 100.0
+print(f"perf_smoke: RDFOPT_CHECK overhead on BM_ExecutePlannedJucq: "
+      f"checked {checked/1e6:.3f} ms, unchecked {unchecked/1e6:.3f} ms, "
+      f"{overhead:+.2f}% (budget {budget_pct}%)")
+if overhead > float(budget_pct):
+    print(f"perf_smoke: FAIL: always-on contract overhead {overhead:.2f}% "
+          f"exceeds the {budget_pct}% budget — a check landed on the "
+          f"per-row hot path; demote it to RDFOPT_DCHECK", file=sys.stderr)
+    sys.exit(1)
+print("perf_smoke: check-overhead OK")
+EOF
+fi

@@ -30,6 +30,10 @@
 //                          factoring; `off` restores the tuple-at-a-time
 //                          engine. Answers are identical either way;
 //                          .explain shows [vector=N] and shared nodes
+//   .verify on|off         statically verify every physical plan against
+//                          the executor's structural invariants before
+//                          running it (engine/plan_verifier.h); a violation
+//                          fails the query with the offending node marked
 //   .metrics [reset|prom]  dump (or zero) the process metrics registry;
 //                          `prom` prints the Prometheus text exposition
 //   .service [on|off]      route queries through the QueryService front
@@ -165,7 +169,7 @@ int main(int argc, char** argv) {
                     "| .subsume on|off | .minimize on|off "
                     "| .explain on|off|analyze | .sql on|off | .trace on|off "
                     "| .threads N | .encoding on|off | .vector [N|off] "
-                    "| .metrics [reset|prom] "
+                    "| .verify on|off | .metrics [reset|prom] "
                     "| .service [on|off] | .slowlog [N|ms X|clear] "
                     "| .calibrate | .stats | .quit\n"
                     ".explain analyze prints the executed plan with "
@@ -255,6 +259,14 @@ int main(int argc, char** argv) {
                         "(default %zu)\n", kBatchRows);
             continue;
           }
+          if (n > static_cast<long>(kBatchRows)) {
+            // The executor's batch buffers and selection vectors are
+            // physically kBatchRows wide; a wider width would only misprice
+            // the cost model (and fail plan verification).
+            std::printf("note: batch size clamped to %zu (the executor's "
+                        "physical batch width)\n", kBatchRows);
+            n = static_cast<long>(kBatchRows);
+          }
           profile = Vectorized(PostgresLikeProfile(),
                                static_cast<size_t>(n));
           profile.worker_threads = threads;
@@ -264,6 +276,24 @@ int main(int argc, char** argv) {
         if (service != nullptr) {
           std::printf("note: run .service on again to apply the engine "
                       "switch to the service front door\n");
+        }
+      } else if (op == ".verify") {
+        if (arg == "on" || arg == "off") {
+          options.verify_plans = (arg == "on");
+          std::printf("verify = %s%s\n", arg.c_str(),
+                      options.verify_plans
+                          ? " (every plan is structurally verified before "
+                            "execution; violations abort the query with the "
+                            "offending node marked)"
+                          : "");
+          if (service != nullptr) {
+            std::printf("note: run .service on again to apply the verify "
+                        "switch to the service front door\n");
+          }
+        } else {
+          std::printf(".verify on|off — static plan verification before "
+                      "execution (currently %s)\n",
+                      options.verify_plans ? "on" : "off");
         }
       } else if (op == ".metrics") {
         if (arg == "reset") {

@@ -1,0 +1,35 @@
+// Fuzz target: the service-layer canonicalizer. Whatever the parser
+// accepts, Canonicalize must (a) not crash, (b) be idempotent — the
+// canonical form canonicalizes to itself — and (c) produce a key that is a
+// pure function of the canonical query. A violation here is a plan-cache
+// corruption bug: two runs of the same query landing on different entries,
+// or worse, different queries sharing one.
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_target.h"
+#include "rdf/dictionary.h"
+#include "service/canonical.h"
+#include "sparql/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > 1 << 16) return 0;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  rdfopt::Dictionary dict;
+  rdfopt::Result<rdfopt::Query> parsed = rdfopt::ParseQuery(input, &dict);
+  if (!parsed.ok()) return 0;
+
+  const rdfopt::CanonicalizedQuery first =
+      rdfopt::Canonicalize(parsed.ValueOrDie().cq);
+  // Determinism: same input, same key.
+  const rdfopt::CanonicalizedQuery again =
+      rdfopt::Canonicalize(parsed.ValueOrDie().cq);
+  if (first.key != again.key) __builtin_trap();
+  // Idempotence: the canonical form is its own canonical form.
+  const rdfopt::CanonicalizedQuery fixpoint =
+      rdfopt::Canonicalize(first.query.cq);
+  if (fixpoint.key != first.key) __builtin_trap();
+  return 0;
+}

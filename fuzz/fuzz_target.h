@@ -1,0 +1,13 @@
+#ifndef RDFOPT_FUZZ_FUZZ_TARGET_H_
+#define RDFOPT_FUZZ_FUZZ_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// The libFuzzer entry point every harness defines. Under Clang the runtime
+// (-fsanitize=fuzzer) drives it with mutated inputs; under other compilers
+// standalone_driver.cc replays corpus files through the same symbol, so one
+// harness source serves both the fuzzing CI job and a plain gcc build.
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#endif  // RDFOPT_FUZZ_FUZZ_TARGET_H_

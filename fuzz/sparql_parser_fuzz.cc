@@ -1,0 +1,31 @@
+// Fuzz target: the SPARQL parser must treat arbitrary bytes as a value —
+// parsed Query or typed error Status — never a crash, hang, or contract
+// failure. Parsed queries additionally survive the printer (the common
+// "accepts it, then dies rendering it" failure mode).
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_target.h"
+#include "rdf/dictionary.h"
+#include "sparql/parser.h"
+#include "sparql/printer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Bound the input so a pathological token sequence can't turn one unit of
+  // fuzz budget into a multi-second parse.
+  if (size > 1 << 16) return 0;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  rdfopt::Dictionary dict;
+  rdfopt::Result<rdfopt::Query> parsed = rdfopt::ParseQuery(input, &dict);
+  if (parsed.ok()) {
+    // Everything the parser accepted must render back to text.
+    (void)rdfopt::ToString(parsed.ValueOrDie(), dict);
+  } else {
+    // Errors carry a message; forcing it catches dangling string_views into
+    // the (now-dead) input buffer.
+    (void)parsed.status().ToString().size();
+  }
+  return 0;
+}

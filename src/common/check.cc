@@ -1,0 +1,93 @@
+#include "common/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace rdfopt {
+
+std::string CheckFailureInfo::ToString() const {
+  std::string out;
+  out += file != nullptr ? file : "?";
+  out += ':';
+  out += std::to_string(line);
+  out += ": RDFOPT_CHECK(";
+  out += condition != nullptr ? condition : "?";
+  out += ") failed";
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  if (!context_dump.empty()) {
+    out += "\n--- check context ---\n";
+    out += context_dump;
+    if (out.back() != '\n') out += '\n';
+    out += "---------------------";
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void DefaultCheckFailureHandler(const CheckFailureInfo& info) {
+  std::string report = info.ToString();
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<CheckFailureHandler> g_handler{&DefaultCheckFailureHandler};
+
+thread_local ScopedCheckContext* g_context_top = nullptr;
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  if (handler == nullptr) handler = &DefaultCheckFailureHandler;
+  return g_handler.exchange(handler);
+}
+
+ScopedCheckContext::ScopedCheckContext(std::function<std::string()> dump)
+    : prev_(g_context_top), dump_(std::move(dump)) {
+  g_context_top = this;
+}
+
+ScopedCheckContext::~ScopedCheckContext() { g_context_top = prev_; }
+
+std::string CollectCheckContext() {
+  // Outermost frame first: walk to the bottom of the stack, then unwind.
+  std::vector<const ScopedCheckContext*> frames;
+  for (const ScopedCheckContext* f = g_context_top; f != nullptr;
+       f = f->prev_) {
+    frames.push_back(f);
+  }
+  std::string out;
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    if ((*it)->dump_) {
+      if (!out.empty() && out.back() != '\n') out += '\n';
+      out += (*it)->dump_();
+    }
+  }
+  return out;
+}
+
+namespace internal {
+
+CheckFailureStream::~CheckFailureStream() noexcept(false) {
+  CheckFailureInfo info;
+  info.file = file_;
+  info.line = line_;
+  info.condition = condition_;
+  info.message = stream_.str();
+  info.context_dump = CollectCheckContext();
+  g_handler.load()(info);
+  // The handler must abort or throw; if a buggy handler returns, die rather
+  // than let execution continue past a failed contract.
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace rdfopt

@@ -1,0 +1,168 @@
+#ifndef RDFOPT_COMMON_CHECK_H_
+#define RDFOPT_COMMON_CHECK_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace rdfopt {
+
+/// Invariant-checking macros (DESIGN.md §13). Three tiers:
+///
+///   RDFOPT_CHECK(cond) << "context " << value;
+///     Always-on contract, every build type. A failed check is a bug in the
+///     engine, never a data- or user-dependent condition; user-facing
+///     failures go through Status. The message stream is only evaluated on
+///     failure, so streaming arbitrary context is free on the passing path.
+///
+///   RDFOPT_DCHECK(cond) << ...;
+///     Debug-only contract for checks too hot for release (per-row loops).
+///     Compiled out entirely under NDEBUG: the condition is NOT evaluated,
+///     so it must be side-effect free.
+///
+///   RDFOPT_CHECK_OK(status_expr);
+///     Asserts a Status (or Result) is OK; the failure message carries the
+///     status's ToString(). RDFOPT_DCHECK_OK is the debug-only variant.
+///
+/// Failure invokes the installed CheckFailureHandler (default: write the
+/// report to stderr and abort) after appending the dumps of every
+/// ScopedCheckContext frame on the calling thread — the hook the engine
+/// uses to attach a rendered plan or trace tail to a contract failure.
+/// Handlers must not return; tests install a throwing handler to assert on
+/// contract failures without dying (see SetCheckFailureHandler).
+
+/// Everything known about one contract failure.
+struct CheckFailureInfo {
+  const char* file = nullptr;
+  int line = 0;
+  const char* condition = nullptr;  ///< The stringified expression.
+  std::string message;              ///< Streamed-in context, may be empty.
+  std::string context_dump;         ///< ScopedCheckContext frames, if any.
+
+  /// "file:line: RDFOPT_CHECK(cond) failed: message" plus the context dump.
+  std::string ToString() const;
+};
+
+/// Must not return: abort, _exit or throw. Throwing handlers are how tests
+/// observe contract failures; the default handler prints and aborts.
+using CheckFailureHandler = void (*)(const CheckFailureInfo&);
+
+/// Installs `handler` process-wide and returns the previous one. Passing
+/// nullptr restores the default abort handler. Not thread-safe against
+/// concurrent failures mid-swap; tests install handlers up front.
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
+/// Registers a lazy context dump for the current thread's contract
+/// failures: if a check fails while the frame is alive, `dump()` is invoked
+/// and its result appended to the failure report. Used to attach expensive
+/// renderings (EXPLAIN of the executing plan) only when something actually
+/// goes wrong. Frames nest; dumps print outermost first.
+class ScopedCheckContext {
+ public:
+  explicit ScopedCheckContext(std::function<std::string()> dump);
+  ~ScopedCheckContext();
+
+  ScopedCheckContext(const ScopedCheckContext&) = delete;
+  ScopedCheckContext& operator=(const ScopedCheckContext&) = delete;
+
+ private:
+  ScopedCheckContext* prev_;
+  std::function<std::string()> dump_;
+  friend std::string CollectCheckContext();
+};
+
+/// Concatenated dumps of the calling thread's live context frames.
+std::string CollectCheckContext();
+
+namespace internal {
+
+/// Collects the streamed message and fires the failure handler from its
+/// destructor, so `RDFOPT_CHECK(x) << a << b;` reports after the whole
+/// message is built. The destructor does not return normally (the handler
+/// aborts or throws).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  [[noreturn]] ~CheckFailureStream() noexcept(false);
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+/// Makes the ternary in RDFOPT_CHECK type-check: both arms void. Binds
+/// looser than << so the whole streamed chain is swallowed on the passing
+/// path.
+struct CheckVoidifier {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#ifndef RDFOPT_DISABLE_CHECKS
+#define RDFOPT_CHECK(cond)                                          \
+  (__builtin_expect(static_cast<bool>(cond), 1))                    \
+      ? (void)0                                                     \
+      : ::rdfopt::internal::CheckVoidifier() &                      \
+            ::rdfopt::internal::CheckFailureStream(__FILE__, __LINE__, #cond) \
+                .stream()
+#else
+// Baseline-only build (cmake -DRDFOPT_DISABLE_CHECKS=ON) for measuring the
+// cost of the always-on contracts; the dead `while (false)` keeps condition
+// and message type-checked without evaluating either. Never ship this.
+#define RDFOPT_CHECK(cond)                                          \
+  while (false)                                                     \
+  (static_cast<bool>(cond))                                         \
+      ? (void)0                                                     \
+      : ::rdfopt::internal::CheckVoidifier() &                      \
+            ::rdfopt::internal::CheckFailureStream(__FILE__, __LINE__, #cond) \
+                .stream()
+#endif
+
+/// Asserts `expr` (a Status, or anything with ok() and a status()/ToString)
+/// is OK; reports the status text on failure. Evaluates `expr` once.
+#define RDFOPT_CHECK_OK(expr)                                            \
+  do {                                                                   \
+    const auto& _rdfopt_check_st = (expr);                               \
+    RDFOPT_CHECK(_rdfopt_check_st.ok())                                  \
+        << "status: " << ::rdfopt::internal::StatusText(_rdfopt_check_st); \
+  } while (0)
+
+#ifndef NDEBUG
+#define RDFOPT_DCHECK(cond) RDFOPT_CHECK(cond)
+#define RDFOPT_DCHECK_OK(expr) RDFOPT_CHECK_OK(expr)
+#else
+// Dead `while (false)` keeps the condition and message type-checked (so a
+// Release-only build break is impossible) while evaluating neither.
+#define RDFOPT_DCHECK(cond) \
+  while (false) RDFOPT_CHECK(cond)
+#define RDFOPT_DCHECK_OK(expr) \
+  while (false) RDFOPT_CHECK_OK(expr)
+#endif
+
+namespace internal {
+
+/// Failure text of a Status-like object (Status has ToString; Result
+/// carries a status()).
+template <typename T>
+std::string StatusText(const T& status_like) {
+  if constexpr (requires { status_like.ToString(); }) {
+    return status_like.ToString();
+  } else {
+    return status_like.status().ToString();
+  }
+}
+
+}  // namespace internal
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_COMMON_CHECK_H_

@@ -1,10 +1,11 @@
 #ifndef RDFOPT_COMMON_STATUS_H_
 #define RDFOPT_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace rdfopt {
 
@@ -49,7 +50,7 @@ const char* StatusCodeName(StatusCode code);
 /// Cheap to copy in the OK case (empty message). Follows the Arrow/RocksDB
 /// idiom: construct via the named factories, test with `ok()`, propagate with
 /// `RDFOPT_RETURN_NOT_OK`.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -101,37 +102,47 @@ class Status {
   std::string message_;
 };
 
-/// Either a value of type T or an error Status. `ValueOrDie()` asserts in
-/// debug builds; callers on fallible paths should test `ok()` first.
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error Result is a contract violation, fatal in every build type (it used
+/// to be UB under NDEBUG); callers on fallible paths test `ok()` first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: allows `return value;` in Result-returning code.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from an error: allows `return Status::...;`.
   Result(Status status)  // NOLINT(runtime/explicit)
       : status_(std::move(status)) {
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    RDFOPT_CHECK(!status_.ok())
+        << "Result constructed from OK status without value";
   }
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
   const T& ValueOrDie() const {
-    assert(ok());
+    CheckHoldsValue();
     return *value_;
   }
   T& ValueOrDie() {
-    assert(ok());
+    CheckHoldsValue();
     return *value_;
   }
   /// Moves the value out; the Result must hold a value.
   T TakeValue() {
-    assert(ok());
+    CheckHoldsValue();
     return std::move(*value_);
   }
 
  private:
+  /// Fatal (all build types) when this Result holds an error: yielding a
+  /// moved-from/empty optional's value would be UB, and the error it hides
+  /// is exactly the message worth dying with.
+  void CheckHoldsValue() const {
+    RDFOPT_CHECK(ok()) << "value of an error Result accessed; "
+                       << status_.ToString();
+  }
+
   std::optional<T> value_;
   Status status_;
 };

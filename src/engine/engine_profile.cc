@@ -1,5 +1,7 @@
 #include "engine/engine_profile.h"
 
+#include "engine/relation.h"
+
 namespace rdfopt {
 
 namespace {
@@ -91,6 +93,10 @@ EngineProfile MakeNativeStore() {
 EngineProfile Vectorized(const EngineProfile& base, size_t width) {
   EngineProfile p = base;
   if (width == 0) width = 1;
+  // The executor's batch loops and selection vectors are physically sized
+  // kBatchRows; a wider width would amortize costs the engine never
+  // amortizes (and fail plan verification's batch-width rule).
+  if (width > kBatchRows) width = kBatchRows;
   p.name = base.name + "+vectorized";
   p.vector_width = width;
   p.share_union_subplans = true;

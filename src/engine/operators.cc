@@ -1,9 +1,10 @@
 #include "engine/operators.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <cstring>
+
+#include "common/check.h"
 
 namespace rdfopt {
 
@@ -508,8 +509,8 @@ void ProjectAppend(Relation* out, const Relation& input,
       for (const auto& [v, c] : bindings) {
         if (v == head[i]) constant[i] = c;
       }
-      assert(constant[i] != kInvalidValueId &&
-             "head variable neither bound by the relation nor by bindings");
+      RDFOPT_CHECK(constant[i] != kInvalidValueId)
+          << "head variable neither bound by the relation nor by bindings";
     }
   }
   ValueId* w = out->AppendUninitialized(rows);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "engine/plan_verifier.h"
+
 namespace rdfopt {
 
 namespace {
@@ -708,6 +710,7 @@ PhysicalPlan Planner::PlanCQ(const ConjunctiveQuery& cq) const {
   dedup->children.push_back(std::move(project));
   plan.root = std::move(dedup);
   Finalize(&plan);
+  DebugCheckPlan(plan, estimator_->store(), "planner (CQ)");
   return plan;
 }
 
@@ -729,6 +732,7 @@ PhysicalPlan Planner::PlanUCQ(const UnionQuery& ucq) const {
         UnionLimitMessage(u->union_terms, *profile_));
   }
   Finalize(&plan);
+  DebugCheckPlan(plan, estimator_->store(), "planner (UCQ)");
   return plan;
 }
 
@@ -815,6 +819,7 @@ PhysicalPlan Planner::PlanJUCQ(const JoinOfUnions& jucq) const {
   dedup->children.push_back(std::move(project));
   plan.root = std::move(dedup);
   Finalize(&plan);
+  DebugCheckPlan(plan, estimator_->store(), "planner (JUCQ)");
   return plan;
 }
 

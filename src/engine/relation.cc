@@ -1,9 +1,10 @@
 #include "engine/relation.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <numeric>
+
+#include "common/check.h"
 
 namespace rdfopt {
 
@@ -15,7 +16,7 @@ int Relation::ColumnIndex(VarId v) const {
 }
 
 void Relation::AppendRow(std::span<const ValueId> row) {
-  assert(row.size() == columns_.size());
+  RDFOPT_DCHECK(row.size() == columns_.size());  // Per-row hot path.
   if (columns_.empty()) {
     ++scalar_rows_;
     return;
@@ -24,12 +25,13 @@ void Relation::AppendRow(std::span<const ValueId> row) {
 }
 
 void Relation::AppendEmptyRow() {
-  assert(columns_.empty());
+  RDFOPT_DCHECK(columns_.empty());
   ++scalar_rows_;
 }
 
 void Relation::Append(const Relation& other) {
-  assert(other.columns_ == columns_);
+  RDFOPT_CHECK(other.columns_ == columns_)
+      << "Append between relations of different schemas";
   if (columns_.empty()) {
     scalar_rows_ += other.scalar_rows_;
     return;
@@ -48,7 +50,9 @@ ValueId* Relation::AppendUninitialized(size_t rows) {
 }
 
 void Relation::AppendBatch(const Batch& batch) {
-  assert(batch.arity == columns_.size());
+  RDFOPT_CHECK(batch.arity == columns_.size())
+      << "batch arity " << batch.arity << " vs relation arity "
+      << columns_.size();
   if (columns_.empty()) {
     scalar_rows_ += batch.size();
     return;

@@ -6,6 +6,7 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "engine/plan_verifier.h"
 #include "engine/planner.h"
 #include "optimizer/gcov.h"
 #include "reformulation/minimize.h"
@@ -310,6 +311,12 @@ Result<AnswerOutcome> QueryAnswerer::AnswerByCover(
     outcome.plan_ms = plan_timer.ElapsedMillis();
     span.Attr("nodes", plan.num_nodes);
     span.Attr("est_cost", plan.est_cost());
+  }
+
+  // Release-mode plan verification gate (debug builds verify inside the
+  // planner itself): refuse to execute a structurally invalid plan.
+  if (oracle->options().verify_plans) {
+    RDFOPT_RETURN_NOT_OK(VerifyPlanOrError(plan, &evaluator_.store()));
   }
 
   {

@@ -65,6 +65,13 @@ struct AnswerOptions {
   /// most `subsumption_pruning_limit` disjuncts.
   bool prune_subsumed_disjuncts = false;
   size_t subsumption_pruning_limit = 4096;
+  /// Run the static plan verifier (engine/plan_verifier.h) on every built
+  /// plan before executing it, in all build types; verification failures
+  /// surface as kInternal instead of executing a corrupt plan. Debug builds
+  /// always verify regardless of this flag. Costs one structural walk per
+  /// plan (microseconds), so it is safe to leave on in production when plan
+  /// integrity matters more than the last percent of planning latency.
+  bool verify_plans = false;
 };
 
 /// Everything measured about answering one query; the raw material of every

@@ -1,7 +1,7 @@
 #include "schema/schema.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace rdfopt {
 
@@ -140,7 +140,7 @@ void Schema::Finalize() {
 }
 
 void Schema::CheckFinalized() const {
-  assert(finalized_ && "Schema::Finalize() must be called before queries");
+  RDFOPT_CHECK(finalized_) << "Schema::Finalize() must be called before queries";
 }
 
 std::vector<ValueId> Schema::LookupClosure(const ClosureMap& closure,

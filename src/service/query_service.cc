@@ -6,6 +6,7 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "engine/plan_verifier.h"
 #include "reasoner/saturation.h"
 #include "sparql/parser.h"
 #include "storage/statistics.h"
@@ -342,6 +343,10 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
     outcome.union_terms = entry->union_terms;
     outcome.num_components = entry->num_components;
     PhysicalPlan plan = entry->plan.Clone();
+    // Clone is the other producer of executable plans (besides the planner);
+    // a Clone bug would corrupt every hit of the entry, so it gets the same
+    // debug-build structural verification as freshly planned trees.
+    DebugCheckPlan(plan, &snapshot->data, "plan-cache clone");
     Evaluator evaluator(&snapshot->data, &request_profile,
                         &snapshot->estimator);
     // Cache hits keep feeding the feedback loop: their actuals refresh the

@@ -1,8 +1,9 @@
 #include "sparql/sql.h"
 
-#include <cassert>
 #include <cctype>
 #include <vector>
+
+#include "common/check.h"
 
 namespace rdfopt {
 
@@ -54,7 +55,7 @@ std::string SqlColumnName(VarId var, const VarTable& vars) {
 
 std::string ToSql(const ConjunctiveQuery& cq, const VarTable& vars,
                   const SqlOptions& options) {
-  assert(!cq.atoms.empty());
+  RDFOPT_CHECK(!cq.atoms.empty()) << "ToSql of an atom-less CQ";
   const char* sep = Sep(options);
 
   std::string select = "SELECT DISTINCT ";
@@ -73,7 +74,7 @@ std::string ToSql(const ConjunctiveQuery& cq, const VarTable& vars,
       for (const auto& [v, c] : cq.head_bindings) {
         if (v == var) value = c;
       }
-      assert(value != kInvalidValueId && "unbound head variable");
+      RDFOPT_CHECK(value != kInvalidValueId) << "unbound head variable";
       select += std::to_string(value);
     }
     select += " AS " + SqlColumnName(var, vars);
@@ -118,7 +119,7 @@ std::string ToSql(const ConjunctiveQuery& cq, const VarTable& vars,
 
 std::string ToSql(const UnionQuery& ucq, const VarTable& vars,
                   const SqlOptions& options) {
-  assert(!ucq.disjuncts.empty());
+  RDFOPT_CHECK(!ucq.disjuncts.empty()) << "ToSql of an empty union";
   const char* sep = Sep(options);
   std::string sql;
   for (size_t i = 0; i < ucq.disjuncts.size(); ++i) {
@@ -134,7 +135,7 @@ std::string ToSql(const UnionQuery& ucq, const VarTable& vars,
 
 std::string ToSql(const JoinOfUnions& jucq, const VarTable& vars,
                   const SqlOptions& options) {
-  assert(!jucq.components.empty());
+  RDFOPT_CHECK(!jucq.components.empty()) << "ToSql of a component-less JUCQ";
   const char* sep = Sep(options);
 
   // Which component first exposes each variable?
@@ -152,7 +153,7 @@ std::string ToSql(const JoinOfUnions& jucq, const VarTable& vars,
   for (size_t i = 0; i < jucq.head.size(); ++i) {
     if (i > 0) select += ", ";
     int c = component_of(jucq.head[i]);
-    assert(c >= 0 && "JUCQ head variable not exposed by any component");
+    RDFOPT_CHECK(c >= 0) << "JUCQ head variable not exposed by any component";
     std::string column = SqlColumnName(jucq.head[i], vars);
     select += "f" + std::to_string(c) + "." + column + " AS " + column;
   }

@@ -1,0 +1,181 @@
+// Contract-layer tests (common/check.h): macro evaluation discipline (the
+// condition once, the message never on the passing path), failure reports,
+// the hookable handler, lazy context frames, and the Result<T> value-access
+// contract that used to be UB under NDEBUG.
+
+#include "common/check.h"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace rdfopt {
+namespace {
+
+CheckFailureInfo g_last_info;
+
+[[noreturn]] void ThrowingHandler(const CheckFailureInfo& info) {
+  g_last_info = info;
+  throw std::runtime_error(info.ToString());
+}
+
+/// Installs the throwing handler so contract failures become observable
+/// exceptions instead of process death; restores the previous handler on
+/// exit.
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_last_info = CheckFailureInfo{};
+    previous_ = SetCheckFailureHandler(&ThrowingHandler);
+  }
+  void TearDown() override { SetCheckFailureHandler(previous_); }
+
+ private:
+  CheckFailureHandler previous_ = nullptr;
+};
+
+std::string Touch(int* counter) {
+  ++*counter;
+  return "touched";
+}
+
+TEST_F(CheckTest, PassingCheckEvaluatesConditionExactlyOnce) {
+  int evals = 0;
+  RDFOPT_CHECK(++evals == 1) << "never reached";
+#ifdef RDFOPT_DISABLE_CHECKS
+  // The measurement-only build compiles the condition out entirely.
+  EXPECT_EQ(evals, 0);
+#else
+  EXPECT_EQ(evals, 1);
+#endif
+}
+
+TEST_F(CheckTest, PassingCheckNeverBuildsTheMessage) {
+  int built = 0;
+  RDFOPT_CHECK(true) << Touch(&built);
+  EXPECT_EQ(built, 0) << "message stream evaluated on the passing path";
+}
+
+#ifndef RDFOPT_DISABLE_CHECKS
+
+TEST_F(CheckTest, FailureReportsFileLineConditionAndMessage) {
+  const int a = 1, b = 2;
+  try {
+    RDFOPT_CHECK(a == b) << "a=" << a << " b=" << b;
+    FAIL() << "failed check did not fire the handler";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("RDFOPT_CHECK(a == b) failed"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("a=1 b=2"), std::string::npos) << what;
+  }
+  EXPECT_STREQ(g_last_info.condition, "a == b");
+  EXPECT_GT(g_last_info.line, 0);
+  EXPECT_EQ(g_last_info.message, "a=1 b=2");
+  EXPECT_TRUE(g_last_info.context_dump.empty());
+}
+
+TEST_F(CheckTest, CheckOkPassesSilentlyOnOkStatus) {
+  RDFOPT_CHECK_OK(Status::OK());
+}
+
+TEST_F(CheckTest, CheckOkReportsTheStatusText) {
+  EXPECT_THROW(RDFOPT_CHECK_OK(Status::InvalidArgument("bad arg")),
+               std::runtime_error);
+  EXPECT_NE(g_last_info.message.find("InvalidArgument: bad arg"),
+            std::string::npos)
+      << g_last_info.message;
+}
+
+TEST_F(CheckTest, CheckOkAcceptsResults) {
+  Result<int> ok_result = 42;
+  RDFOPT_CHECK_OK(ok_result);
+  Result<int> err_result = Status::NotFound("no such row");
+  EXPECT_THROW(RDFOPT_CHECK_OK(err_result), std::runtime_error);
+  EXPECT_NE(g_last_info.message.find("NotFound: no such row"),
+            std::string::npos)
+      << g_last_info.message;
+}
+
+TEST_F(CheckTest, ScopedContextFramesDumpOutermostFirst) {
+  ScopedCheckContext outer([] { return std::string("outer frame"); });
+  {
+    ScopedCheckContext inner([] { return std::string("inner frame"); });
+    EXPECT_THROW(RDFOPT_CHECK(false) << "with context", std::runtime_error);
+  }
+  const std::string& dump = g_last_info.context_dump;
+  const size_t outer_pos = dump.find("outer frame");
+  const size_t inner_pos = dump.find("inner frame");
+  ASSERT_NE(outer_pos, std::string::npos) << dump;
+  ASSERT_NE(inner_pos, std::string::npos) << dump;
+  EXPECT_LT(outer_pos, inner_pos) << dump;
+}
+
+TEST_F(CheckTest, ContextDumpsAreLazy) {
+  int dumped = 0;
+  ScopedCheckContext frame([&dumped] {
+    ++dumped;
+    return std::string("expensive rendering");
+  });
+  RDFOPT_CHECK(true) << "passes";
+  EXPECT_EQ(dumped, 0) << "context dump rendered without a failure";
+  EXPECT_THROW(RDFOPT_CHECK(false) << "fails", std::runtime_error);
+  EXPECT_EQ(dumped, 1);
+}
+
+TEST_F(CheckTest, ExpiredContextFramesDoNotDump) {
+  {
+    ScopedCheckContext frame([] { return std::string("stale frame"); });
+  }
+  EXPECT_THROW(RDFOPT_CHECK(false) << "after scope", std::runtime_error);
+  EXPECT_TRUE(g_last_info.context_dump.empty())
+      << g_last_info.context_dump;
+}
+
+TEST_F(CheckTest, ErrorResultValueAccessIsFatalWithTheStatusMessage) {
+  Result<int> r = Status::Timeout("query budget exhausted");
+  EXPECT_THROW((void)r.ValueOrDie(), std::runtime_error);
+  EXPECT_NE(g_last_info.message.find("Timeout: query budget exhausted"),
+            std::string::npos)
+      << g_last_info.message;
+  EXPECT_THROW((void)r.TakeValue(), std::runtime_error);
+}
+
+TEST_F(CheckTest, ResultFromOkStatusIsFatal) {
+  // An OK status carries no value; constructing a Result from it would make
+  // every later access UB, so the constructor itself is the contract point.
+  EXPECT_THROW(Result<int>{Status::OK()}, std::runtime_error);
+}
+
+TEST_F(CheckTest, SetHandlerReturnsThePreviousOne) {
+  // nullptr restores the default abort handler; the previous (throwing)
+  // handler comes back so scoped installs can nest.
+  CheckFailureHandler prev = SetCheckFailureHandler(nullptr);
+  EXPECT_EQ(prev, &ThrowingHandler);
+  SetCheckFailureHandler(&ThrowingHandler);
+}
+
+#endif  // RDFOPT_DISABLE_CHECKS
+
+TEST_F(CheckTest, DcheckMatchesTheBuildType) {
+#ifdef NDEBUG
+  // Release: the condition is type-checked but never evaluated.
+  int evals = 0;
+  RDFOPT_DCHECK([&evals] {
+    ++evals;
+    return false;
+  }());
+  EXPECT_EQ(evals, 0) << "RDFOPT_DCHECK evaluated its condition under NDEBUG";
+  RDFOPT_DCHECK_OK(Status::Internal("never constructed"));
+#elif !defined(RDFOPT_DISABLE_CHECKS)
+  // Debug: identical to RDFOPT_CHECK.
+  EXPECT_THROW(RDFOPT_DCHECK(false) << "debug contract", std::runtime_error);
+#endif
+}
+
+}  // namespace
+}  // namespace rdfopt
