@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <unordered_map>
 
 #include "bench_common.h"
 #include "common/trace.h"
@@ -13,6 +14,7 @@
 #include "engine/evaluator.h"
 #include "engine/operators.h"
 #include "engine/planner.h"
+#include "engine/view_resolver.h"
 #include "optimizer/ecov.h"
 #include "reasoner/saturation.h"
 #include "reformulation/reformulator.h"
@@ -389,6 +391,72 @@ void BM_ExecuteUnionOfScansJucq(benchmark::State& state) {
                           static_cast<int64_t>(env.ucq.disjuncts.size()));
 }
 BENCHMARK(BM_ExecuteUnionOfScansJucq);
+
+/// Minimal in-process view resolver for the pair below: remembers every
+/// offered fragment result and serves it back, so the second planning of the
+/// same UCQ substitutes a kViewScan (DESIGN.md §14).
+class BenchViewResolver : public ViewResolver {
+ public:
+  void NoteComponent(const std::string&, const UnionQuery&, double,
+                     size_t) override {}
+  std::shared_ptr<const Relation> Lookup(
+      const std::string& signature) override {
+    auto it = store_.find(signature);
+    return it == store_.end() ? nullptr : it->second;
+  }
+  void Offer(const std::string& signature, const Relation& rows) override {
+    store_[signature] = std::make_shared<const Relation>(rows.Copy());
+  }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Relation>> store_;
+};
+
+// The materialized-view pair: the same ~247-term reformulated type query
+// executed from a substituted kViewScan plan (fragment rows pinned by the
+// resolver) vs. re-evaluating the full union of scans each time. The
+// perf-smoke gate holds the ratio at >= 3x.
+void BM_ExecuteViewScanJucq(benchmark::State& state) {
+  HierarchyEnv& env = HierEnv();
+  static const EngineProfile& profile =
+      *new EngineProfile(HierarchyBenchProfile(/*hierarchy_ranges=*/false));
+  Evaluator evaluator(&env.store, &profile);
+  BenchViewResolver views;
+  evaluator.set_views(&views);
+  PhysicalPlan cold = evaluator.planner().PlanUCQ(env.ucq);
+  Result<Relation> harvest = evaluator.ExecutePlan(&cold, nullptr);
+  if (!harvest.ok()) {
+    state.SkipWithError("harvest execution failed");
+    return;
+  }
+  PhysicalPlan plan = evaluator.planner().PlanUCQ(env.ucq);
+  if (plan.root->children[0]->kind != PlanNodeKind::kViewScan) {
+    state.SkipWithError("no view was substituted");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Relation> r = evaluator.ExecutePlan(&plan, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(env.ucq.disjuncts.size()));
+}
+BENCHMARK(BM_ExecuteViewScanJucq);
+
+void BM_ExecuteViewsOffJucq(benchmark::State& state) {
+  HierarchyEnv& env = HierEnv();
+  static const EngineProfile& profile =
+      *new EngineProfile(HierarchyBenchProfile(/*hierarchy_ranges=*/false));
+  Evaluator evaluator(&env.store, &profile);
+  PhysicalPlan plan = evaluator.planner().PlanUCQ(env.ucq);
+  for (auto _ : state) {
+    Result<Relation> r = evaluator.ExecutePlan(&plan, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(env.ucq.disjuncts.size()));
+}
+BENCHMARK(BM_ExecuteViewsOffJucq);
 
 void BM_ReformulateTypeVariableAtom(benchmark::State& state) {
   MicroEnv& env = Env();

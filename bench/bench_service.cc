@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "service/query_service.h"
@@ -53,18 +54,22 @@ double Percentile(std::vector<double>* sorted_latencies, double q) {
 /// One load configuration: `clients` threads, each issuing
 /// `requests_per_client` queries round-robin over the first `distinct`
 /// pool entries (offset by client id, so misses interleave). The service is
-/// built fresh per call — every configuration starts cache-cold.
-LoadResult RunLoad(Graph* graph, const std::vector<std::string>& pool,
-                   const std::vector<uint64_t>& reference_hashes,
-                   size_t clients, size_t distinct,
-                   size_t requests_per_client) {
-  ServiceOptions options;
-  options.max_concurrent = clients;
-  options.max_queue = 1024;
-  options.default_deadline_ms = 600'000.0;
-  options.answer.strategy = Strategy::kGcov;
+/// built per call; `warmup_passes` serial passes over the pool run before
+/// the clock starts (0 = cache-cold, the classic sweep).
+LoadResult RunLoadWithOptions(Graph* graph,
+                              const std::vector<std::string>& pool,
+                              const std::vector<uint64_t>& reference_hashes,
+                              size_t clients, size_t distinct,
+                              size_t requests_per_client,
+                              const ServiceOptions& options,
+                              size_t warmup_passes) {
   QueryService service(graph, WithBenchThreads(PostgresLikeProfile()),
                        options);
+  for (size_t pass = 0; pass < warmup_passes; ++pass) {
+    for (size_t qi = 0; qi < distinct; ++qi) {
+      (void)service.AnswerText(pool[qi]);
+    }
+  }
 
   std::vector<double> latencies;
   latencies.reserve(clients * requests_per_client);
@@ -110,6 +115,20 @@ LoadResult RunLoad(Graph* graph, const std::vector<std::string>& pool,
   return result;
 }
 
+LoadResult RunLoad(Graph* graph, const std::vector<std::string>& pool,
+                   const std::vector<uint64_t>& reference_hashes,
+                   size_t clients, size_t distinct,
+                   size_t requests_per_client) {
+  ServiceOptions options;
+  options.max_concurrent = clients;
+  options.max_queue = 1024;
+  options.default_deadline_ms = 600'000.0;
+  options.answer.strategy = Strategy::kGcov;
+  return RunLoadWithOptions(graph, pool, reference_hashes, clients, distinct,
+                            requests_per_client, options,
+                            /*warmup_passes=*/0);
+}
+
 std::string LoadRecord(size_t clients, size_t distinct,
                        const LoadResult& result) {
   JsonWriter json;
@@ -136,6 +155,146 @@ std::string LoadRecord(size_t clients, size_t distinct,
   json.Key("worker_threads").Value(uint64_t{BenchWorkerThreads()});
   json.EndObject();
   return json.TakeString();
+}
+
+std::string SharedRecord(size_t clients, size_t distinct, bool views,
+                         const LoadResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").Value("service_shared_fragments");
+  json.Key("views").Value(views);
+  json.Key("clients").Value(uint64_t{clients});
+  json.Key("distinct_queries").Value(uint64_t{distinct});
+  json.Key("requests").Value(uint64_t{result.requests});
+  json.Key("wall_ms").Value(result.wall_ms);
+  json.Key("throughput_qps").Value(result.qps);
+  json.Key("p50_ms").Value(result.p50_ms);
+  json.Key("p95_ms").Value(result.p95_ms);
+  json.Key("p99_ms").Value(result.p99_ms);
+  json.Key("view_hits").Value(result.stats.views.hits);
+  json.Key("view_admitted").Value(result.stats.views.admitted);
+  json.Key("view_bytes").Value(uint64_t{result.stats.views.bytes});
+  json.Key("errors").Value(uint64_t{result.errors});
+  json.Key("row_mismatches").Value(uint64_t{result.mismatches});
+  json.Key("worker_threads").Value(uint64_t{BenchWorkerThreads()});
+  json.EndObject();
+  return json.TakeString();
+}
+
+/// Shared-fragment workload (DESIGN.md §14): many *distinct* queries that
+/// all contain the same hot fragment — `?x rdf:type ub:Professor`, which
+/// under fine-grained specializations reformulates into a ~250-term union
+/// (the same width as bench_micro's HierEnv) — paired with a
+/// per-department constant atom that makes every query different. The plan
+/// cache cannot help across the pool (64+ distinct plans); the view
+/// catalog can: under SCQ the type atom is its own component, so every
+/// query substitutes the one materialized union.
+/// Both sides are warmed (plans cached, catalog populated) before the
+/// clock starts, so the reported ratio is steady-state execution.
+size_t RunSharedFragmentMode(size_t target, size_t requests_per_client) {
+  Graph graph;
+  LubmOptions lubm = LubmOptionsForTripleTarget(target);
+  lubm.fine_grained_specializations = 240;
+  // Two queries per department and >= 12 departments per university: three
+  // universities guarantee the >= 64 distinct queries this mode is about.
+  lubm.num_universities = std::max<size_t>(lubm.num_universities, 3);
+  std::printf("\n== shared-fragment mode: target %zu triples "
+              "(%zu universities, 240 specialty leaves)\n",
+              target, lubm.num_universities);
+  GenerateLubm(lubm, &graph);
+  graph.FinalizeSchema();
+
+  // Every department hosts professors; enumerate them from the data so the
+  // discriminating constants are valid at any scale.
+  const ValueId works_for =
+      graph.dict().InternIri("http://lubm.example.org/univ#worksFor");
+  std::vector<std::string> departments;
+  {
+    std::set<ValueId> seen;
+    for (const Triple& t : graph.data_triples()) {
+      if (t.p != works_for) continue;
+      if (seen.insert(t.o).second) {
+        departments.push_back(graph.dict().term(t.o).Encoded());
+      }
+    }
+    std::sort(departments.begin(), departments.end());
+  }
+  const char* kPreamble = "PREFIX ub: <http://lubm.example.org/univ#> ";
+  std::vector<std::string> pool;
+  for (const std::string& dept : departments) {
+    pool.push_back(std::string(kPreamble) +
+                   "SELECT ?x WHERE { ?x rdf:type ub:Professor . "
+                   "?x ub:worksFor " + dept + " . }");
+    pool.push_back(std::string(kPreamble) +
+                   "SELECT ?x WHERE { ?x rdf:type ub:Professor . "
+                   "?x ub:headOf " + dept + " . }");
+  }
+  if (pool.size() < 64) {
+    std::fprintf(stderr, "shared-fragment pool too small: %zu queries\n",
+                 pool.size());
+    return 1;
+  }
+  if (pool.size() > 128) pool.resize(128);
+  std::printf("# %zu distinct queries over %zu departments, one shared hot "
+              "fragment\n", pool.size(), departments.size());
+
+  auto shared_options = [&](size_t clients, bool views) {
+    ServiceOptions options;
+    options.max_concurrent = clients;
+    options.max_queue = 1024;
+    options.default_deadline_ms = 600'000.0;
+    // Singleton covers: each atom is its own component, so the hot type
+    // atom is a shared fragment with one catalog-wide signature.
+    options.answer.strategy = Strategy::kScq;
+    options.enable_views = views;
+    options.view_advisor_interval = 32;
+    options.view_min_observations = 2;
+    return options;
+  };
+
+  // Serial reference (views off): defines the row fingerprint every
+  // measured answer — views on or off — is checked against.
+  std::vector<uint64_t> reference_hashes;
+  {
+    QueryService reference(&graph, WithBenchThreads(PostgresLikeProfile()),
+                           shared_options(1, false));
+    for (const std::string& text : pool) {
+      Result<ServiceOutcome> r = reference.AnswerText(text);
+      if (!r.ok()) {
+        std::fprintf(stderr, "shared-fragment reference failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      reference_hashes.push_back(HashRows(r.ValueOrDie().answers));
+    }
+  }
+
+  std::printf("%8s %7s %9s %10s %9s %9s %11s %6s\n", "clients", "views",
+              "requests", "qps", "p50 ms", "p99 ms", "view hits", "err");
+  size_t mismatches = 0;
+  double qps_off = 0.0, qps_on = 0.0;
+  for (size_t clients : {size_t{1}, size_t{8}}) {
+    for (bool views : {false, true}) {
+      LoadResult r = RunLoadWithOptions(
+          &graph, pool, reference_hashes, clients, pool.size(),
+          requests_per_client, shared_options(clients, views),
+          /*warmup_passes=*/2);
+      std::printf("%8zu %7s %9zu %10.1f %9.2f %9.2f %11llu %6zu\n", clients,
+                  views ? "on" : "off", r.requests, r.qps, r.p50_ms, r.p99_ms,
+                  static_cast<unsigned long long>(r.stats.views.hits),
+                  r.errors + r.mismatches);
+      if (BenchJsonWriter::Active() != nullptr) {
+        BenchJsonWriter::Active()->Record(
+            SharedRecord(clients, pool.size(), views, r));
+      }
+      mismatches += r.mismatches + r.errors;
+      if (clients == 8) (views ? qps_on : qps_off) = r.qps;
+    }
+  }
+  std::printf("# shared-fragment throughput, views on vs off (8 clients, "
+              "%zu distinct queries): %.1fx\n",
+              pool.size(), qps_off > 0 ? qps_on / qps_off : 0.0);
+  return mismatches;
 }
 
 int Main(int argc, char** argv) {
@@ -229,6 +388,8 @@ int Main(int argc, char** argv) {
               serial_qps > 0 ? concurrent_qps / serial_qps : 0.0,
               total_mismatches == 0 ? "all rows identical to serial reference"
                                     : "ROW MISMATCHES DETECTED");
+
+  total_mismatches += RunSharedFragmentMode(target, requests_per_client);
   return total_mismatches == 0 ? 0 : 1;
 }
 

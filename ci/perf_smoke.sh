@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Executor perf smoke: runs the headline batch-engine benchmark
-# (BM_ExecutePlannedJucq), the dedup microbenchmarks, and the
+# (BM_ExecutePlannedJucq), the dedup microbenchmarks, the
 # hierarchy-range collapse pair (BM_ExecuteScanRangeJucq vs
-# BM_ExecuteUnionOfScansJucq), and fails if the executor regresses more
-# than the budget against the checked-in sidecar (BENCH_baseline.json).
+# BM_ExecuteUnionOfScansJucq), and the materialized-view pair
+# (BM_ExecuteViewScanJucq vs BM_ExecuteViewsOffJucq), and fails if the
+# executor regresses more than the budget against the checked-in sidecar
+# (BENCH_baseline.json).
 #
 # The baseline was recorded on a different machine, so an absolute
 # comparison would be noise; instead the gate is relative to the recorded
@@ -36,7 +38,7 @@ if [[ ! -f "$BASELINE" ]]; then
 fi
 
 "$BENCH" \
-  --benchmark_filter='BM_ExecutePlannedJucq(Tuple)?$|BM_Deduplicate(Sort)?$|BM_Execute(ScanRange|UnionOfScans)Jucq$' \
+  --benchmark_filter='BM_ExecutePlannedJucq(Tuple)?$|BM_Deduplicate(Sort)?$|BM_Execute(ScanRange|UnionOfScans|ViewScan|ViewsOff)Jucq$' \
   --benchmark_out="$OUT" --benchmark_out_format=json
 
 python3 - "$BASELINE" "$OUT" "$BUDGET_PCT" <<'EOF'
@@ -94,6 +96,8 @@ dedup = require("BM_Deduplicate")
 dedup_sort = require("BM_DeduplicateSort")
 range_t = require("BM_ExecuteScanRangeJucq")
 union_t = require("BM_ExecuteUnionOfScansJucq")
+view_t = require("BM_ExecuteViewScanJucq")
+no_view_t = require("BM_ExecuteViewsOffJucq")
 
 # Gate 1: the in-process batch-vs-tuple executor ratio. Machine-independent:
 # both sides ran seconds apart on the same host.
@@ -139,6 +143,26 @@ if range_t and union_t:
     if ratio < floor:
         failures.append(
             f"BM_ExecuteScanRangeJucq: range/union ratio {ratio:.1f}x below "
+            f"the floor {floor:.1f}x (budget {budget_pct}%)")
+
+# Gate 5: materialized-view substitution. Executing the substituted
+# kViewScan plan for the same fine-grained Professor query must stay a
+# large multiple faster than re-evaluating its union-of-scans plan in the
+# same process. Floor is the acceptance bar of 3x, tightened by the
+# baseline's recorded ratio.
+if view_t and no_view_t:
+    ratio = no_view_t / view_t
+    base_ratio = baseline_ratio("BM_ExecuteViewsOffJucq",
+                                "BM_ExecuteViewScanJucq")
+    floor = 3.0
+    if base_ratio is not None:
+        floor = max(floor, base_ratio * (1.0 - budget))
+    print(f"perf_smoke: view-scan {view_t/1e3:.0f} us, "
+          f"views-off {no_view_t/1e3:.0f} us, "
+          f"ratio {ratio:.1f}x (floor {floor:.1f}x)")
+    if ratio < floor:
+        failures.append(
+            f"BM_ExecuteViewScanJucq: view/union ratio {ratio:.1f}x below "
             f"the floor {floor:.1f}x (budget {budget_pct}%)")
 
 if failures:

@@ -101,8 +101,22 @@ for required in (
     "rdfopt_engine_evaluate_ms",
     "rdfopt_cost_estimate_drift",
     "rdfopt_service_slow_queries",
+    "rdfopt_views_lookups",
+    "rdfopt_views_hits",
+    "rdfopt_views_bytes",
 ):
     assert required in prom_text, f"missing metric: {required}"
+
+# --- !views: the materialized-view catalog ------------------------------
+send("!views")
+views = json.loads(read_line())
+assert views["enabled"] is True, views
+for key in ("lookups", "hits", "offers", "admitted", "bytes", "entries"):
+    assert key in views, f"!views missing {key}: {views}"
+assert views["offers"] >= 1, f"no view was ever offered: {views}"
+for entry in views["entries"]:
+    for key in ("signature", "pinned", "resident", "rows", "observations"):
+        assert key in entry, f"!views entry missing {key}: {entry}"
 
 # --- !slowlog: JSON lines ----------------------------------------------
 send("!slowlog")

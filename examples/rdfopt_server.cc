@@ -23,6 +23,9 @@
 //               what a Prometheus file_sd/blackbox relay should forward).
 //   !slowlog    the slow-query log, one JSON line per record, oldest first,
 //               terminated by a "# EOF" line
+//   !views      the materialized-view catalog (DESIGN.md §14): counters plus
+//               one entry per known fragment, as JSON. Views are on by
+//               default in the server (--views off disables them)
 //   !quit       closes this connection
 //   !shutdown   stops the whole server (drains open connections)
 //
@@ -148,6 +151,47 @@ std::string StatsResponse(ServerState* state) {
   return json.TakeString();
 }
 
+std::string ViewsResponse(ServerState* state) {
+  const ViewCatalog* views = state->service->views();
+  ViewCatalogStats vs = views->stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("enabled").Value(state->service->options().enable_views);
+  json.Key("epoch").Value(uint64_t{views->current_epoch()});
+  json.Key("lookups").Value(vs.lookups);
+  json.Key("hits").Value(vs.hits);
+  json.Key("misses").Value(vs.misses);
+  json.Key("offers").Value(vs.offers);
+  json.Key("admitted").Value(vs.admitted);
+  json.Key("rejected").Value(vs.rejected);
+  json.Key("stale_offers").Value(vs.stale_offers);
+  json.Key("evictions").Value(vs.evictions);
+  json.Key("invalidations").Value(vs.invalidations);
+  json.Key("carry_forwards").Value(vs.carry_forwards);
+  json.Key("refreshes").Value(vs.refreshes);
+  json.Key("promotions").Value(vs.promotions);
+  json.Key("demotions").Value(vs.demotions);
+  json.Key("bytes").Value(uint64_t{vs.bytes});
+  json.Key("entries").BeginArray();
+  for (const ViewInfo& info : views->Entries()) {
+    json.BeginObject();
+    json.Key("signature").Value(info.signature);
+    json.Key("pinned").Value(info.pinned);
+    json.Key("resident").Value(info.resident);
+    json.Key("epoch").Value(uint64_t{info.epoch});
+    json.Key("rows").Value(uint64_t{info.rows});
+    json.Key("bytes").Value(uint64_t{info.bytes});
+    json.Key("observations").Value(info.observations);
+    json.Key("hits").Value(info.hits);
+    json.Key("union_terms").Value(uint64_t{info.union_terms});
+    json.Key("est_cost").Value(info.est_cost);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
 /// One connection: buffered line reads, one JSON line back per request.
 void ServeConnection(ServerState* state, int fd) {
   std::string buffer;
@@ -181,6 +225,8 @@ void ServeConnection(ServerState* state, int fd) {
       // Ends with "# EOF\n"; SendLine adds the final newline itself.
       response = MetricsRegistry::Global().ToPrometheusText();
       if (!response.empty() && response.back() == '\n') response.pop_back();
+    } else if (line == "!views") {
+      response = ViewsResponse(state);
     } else if (line == "!slowlog") {
       for (const std::string& entry : state->service->slow_log()->Lines()) {
         response += entry;
@@ -204,6 +250,7 @@ void ServeConnection(ServerState* state, int fd) {
 int Usage() {
   std::fprintf(stderr,
                "usage: rdfopt_server [--port N] [--max-rows N] [--slow-ms X] "
+               "[--views on|off] "
                "<file.nt> | --lubm <universities> | --dblp <publications>\n");
   return 2;
 }
@@ -214,6 +261,7 @@ int main(int argc, char** argv) {
   uint16_t port = 8094;
   size_t max_rows = 100;
   double slow_ms = -1.0;  // < 0: keep the service default.
+  bool enable_views = true;  // The serving deployment wants warm fragments.
   std::vector<std::string> args(argv + 1, argv + argc);
   Graph graph;
   std::string preamble;
@@ -225,6 +273,8 @@ int main(int argc, char** argv) {
       max_rows = static_cast<size_t>(std::atoi(args[++i].c_str()));
     } else if (args[i] == "--slow-ms" && i + 1 < args.size()) {
       slow_ms = std::atof(args[++i].c_str());
+    } else if (args[i] == "--views" && i + 1 < args.size()) {
+      enable_views = (args[++i] != "off");
     } else if (args[i] == "--lubm" && i + 1 < args.size()) {
       LubmOptions options;
       options.num_universities = static_cast<size_t>(
@@ -266,6 +316,7 @@ int main(int argc, char** argv) {
   EngineProfile profile = PostgresLikeProfile();
   ServiceOptions service_options;
   if (slow_ms >= 0.0) service_options.slow_query_ms = slow_ms;
+  service_options.enable_views = enable_views;
   QueryService service(&graph, profile, service_options);
   ServerState state;
   state.service = &service;
@@ -291,8 +342,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("rdfopt_server: %zu data triples, serving on port %u "
-              "(one query per line; !stats !metrics !prom !slowlog !quit "
-              "!shutdown)\n",
+              "(one query per line; !stats !metrics !prom !slowlog !views "
+              "!quit !shutdown)\n",
               graph.data_triples().size(), static_cast<unsigned>(port));
   std::fflush(stdout);
 

@@ -42,6 +42,10 @@
 //   .slowlog [N|ms X|clear]  the service's slow-query log (JSON lines,
 //                          newest N; `ms X` sets the threshold; needs
 //                          .service on)
+//   .views [on|off|stats]  materialized fragment views (DESIGN.md §14):
+//                          on/off arms the flag for the next .service on;
+//                          `stats` (or bare .views) prints the catalog's
+//                          counters and per-view entries
 //   .calibrate             fit the cost-model constants on this machine
 //   .stats                 database statistics
 //   .help / .quit
@@ -152,6 +156,7 @@ int main(int argc, char** argv) {
   bool explain_analyze = false;
   bool emit_sql = false;
   bool trace = false;
+  bool enable_views = false;
   std::unique_ptr<QueryService> service;
   TraceSession trace_session;
   CardinalityEstimator estimator(&store, &stats);
@@ -171,13 +176,15 @@ int main(int argc, char** argv) {
                     "| .threads N | .encoding on|off | .vector [N|off] "
                     "| .verify on|off | .metrics [reset|prom] "
                     "| .service [on|off] | .slowlog [N|ms X|clear] "
-                    "| .calibrate | .stats | .quit\n"
+                    "| .views [on|off|stats] | .calibrate | .stats | .quit\n"
                     ".explain analyze prints the executed plan with "
                     "estimated AND actual rows per node\n"
                     ".service on routes queries through the caching front "
                     "door; bare .service prints its counters\n"
                     ".slowlog prints the service's slow-query log as JSON "
-                    "lines (.slowlog ms 50 sets the threshold)\n");
+                    "lines (.slowlog ms 50 sets the threshold)\n"
+                    ".views on arms materialized fragment views for the next "
+                    ".service on; .views stats prints the catalog\n");
       } else if (op == ".strategy") {
         if (arg == "ucq") options.strategy = Strategy::kUcq;
         else if (arg == "scq") options.strategy = Strategy::kScq;
@@ -329,10 +336,64 @@ int main(int argc, char** argv) {
           std::printf("(%zu record(s), threshold %.1f ms)\n", entries.size(),
                       service->slow_log()->threshold_ms());
         }
+      } else if (op == ".views") {
+        if (arg == "on" || arg == "off") {
+          enable_views = (arg == "on");
+          std::printf("views = %s\n", enable_views ? "on" : "off");
+          if (service != nullptr &&
+              service->options().enable_views != enable_views) {
+            std::printf("note: run .service on again to apply the views "
+                        "switch to the service front door\n");
+          }
+        } else if (arg.empty() || arg == "stats") {
+          if (!service) {
+            std::printf("views = %s (armed for .service on; the catalog "
+                        "lives in the service front door)\n",
+                        enable_views ? "on" : "off");
+            continue;
+          }
+          ViewCatalogStats vs = service->views()->stats();
+          std::printf(
+              "views = %s: lookups=%llu hits=%llu misses=%llu offers=%llu "
+              "admitted=%llu rejected=%llu stale_offers=%llu evictions=%llu "
+              "invalidations=%llu carry_forwards=%llu refreshes=%llu "
+              "promotions=%llu demotions=%llu bytes=%zu entries=%zu "
+              "resident=%zu pinned=%zu\n",
+              service->options().enable_views ? "on" : "off",
+              static_cast<unsigned long long>(vs.lookups),
+              static_cast<unsigned long long>(vs.hits),
+              static_cast<unsigned long long>(vs.misses),
+              static_cast<unsigned long long>(vs.offers),
+              static_cast<unsigned long long>(vs.admitted),
+              static_cast<unsigned long long>(vs.rejected),
+              static_cast<unsigned long long>(vs.stale_offers),
+              static_cast<unsigned long long>(vs.evictions),
+              static_cast<unsigned long long>(vs.invalidations),
+              static_cast<unsigned long long>(vs.carry_forwards),
+              static_cast<unsigned long long>(vs.refreshes),
+              static_cast<unsigned long long>(vs.promotions),
+              static_cast<unsigned long long>(vs.demotions), vs.bytes,
+              vs.entries, vs.resident, vs.pinned);
+          for (const ViewInfo& info : service->views()->Entries()) {
+            std::printf("  %s%s %s epoch=%llu rows=%zu bytes=%zu obs=%llu "
+                        "hits=%llu terms=%zu cost=%.0f\n",
+                        info.pinned ? "[pinned] " : "",
+                        info.resident ? "[resident]" : "[ledger-only]",
+                        info.signature.c_str(),
+                        static_cast<unsigned long long>(info.epoch),
+                        info.rows, info.bytes,
+                        static_cast<unsigned long long>(info.observations),
+                        static_cast<unsigned long long>(info.hits),
+                        info.union_terms, info.est_cost);
+          }
+        } else {
+          std::printf(".views [on|off|stats]\n");
+        }
       } else if (op == ".service") {
         if (arg == "on") {
           ServiceOptions service_options;
           service_options.answer = options;
+          service_options.enable_views = enable_views;
           service = std::make_unique<QueryService>(&graph, profile,
                                                    service_options);
           std::printf("service = on — plans cached per (canonical query, "

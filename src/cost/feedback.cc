@@ -69,6 +69,55 @@ std::string FragmentSignature(const ConjunctiveQuery& cq) {
   return signature;
 }
 
+std::string ViewSignature(const UnionQuery& ucq) {
+  std::string signature = "h" + std::to_string(ucq.head.size());
+  for (const ConjunctiveQuery& d : ucq.disjuncts) {
+    signature += "|";
+    // Per-disjunct canonical numbering: the UCQ head variables first (in
+    // head order — they are the view's column layout), then the disjunct's
+    // remaining variables by first occurrence in query order. No sorting
+    // anywhere: atom order is part of the key.
+    std::unordered_map<VarId, size_t> numbering;
+    auto number = [&numbering](const PatternTerm& t) {
+      if (t.is_var() && numbering.find(t.var()) == numbering.end()) {
+        numbering.emplace(t.var(), numbering.size());
+      }
+    };
+    for (VarId v : ucq.head) number(PatternTerm::Var(v));
+    for (VarId v : d.head) number(PatternTerm::Var(v));
+    for (const TriplePattern& atom : d.atoms) {
+      number(atom.s);
+      number(atom.p);
+      number(atom.o);
+    }
+    for (const auto& [var, value] : d.head_bindings) {
+      number(PatternTerm::Var(var));
+      (void)value;
+    }
+    for (size_t i = 0; i < d.head.size(); ++i) {
+      signature += (i == 0 ? "" : ",");
+      signature += "v" + std::to_string(numbering.at(d.head[i]));
+    }
+    signature += ":";
+    for (size_t i = 0; i < d.atoms.size(); ++i) {
+      if (i != 0) signature += ";";
+      signature += AtomKey(d.atoms[i], &numbering);
+    }
+    // Bindings are a var→constant map; their list order does not affect
+    // projection, so sort them for a canonical rendering.
+    std::vector<std::pair<size_t, ValueId>> bindings;
+    bindings.reserve(d.head_bindings.size());
+    for (const auto& [var, value] : d.head_bindings) {
+      bindings.emplace_back(numbering.at(var), value);
+    }
+    std::sort(bindings.begin(), bindings.end());
+    for (const auto& [var, value] : bindings) {
+      signature += "!v" + std::to_string(var) + "=" + std::to_string(value);
+    }
+  }
+  return signature;
+}
+
 void EstimateFeedbackStore::Record(const ConjunctiveQuery& cq,
                                    double estimated_rows, size_t actual_rows) {
   MetricsRegistry& registry = MetricsRegistry::Global();

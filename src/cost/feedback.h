@@ -25,6 +25,17 @@ struct PhysicalPlan;
 /// body estimate (EstimateCQ), which is head-independent.
 std::string FragmentSignature(const ConjunctiveQuery& cq);
 
+/// Canonical signature of a whole component UCQ — the key of the
+/// materialized-view catalog (DESIGN.md §14). Like FragmentSignature it is
+/// invariant under variable renaming, but deliberately NOT under disjunct or
+/// atom permutation, and it includes the head and per-disjunct head
+/// bindings: a view substitutes a component's *rows in order*, and the
+/// planner derives atom order (greedy, tie-broken by input position) and
+/// union output order from exactly this syntactic shape. Two components with
+/// equal ViewSignature therefore plan to the same tree modulo variable
+/// names and produce bit-identical rows against the same snapshot.
+std::string ViewSignature(const UnionQuery& ucq);
+
 /// Estimated-vs-actual cardinality feedback, keyed by FragmentSignature (see
 /// DESIGN.md §8). The evaluator records every executed union disjunct's
 /// (estimate, actual) pair here; CardinalityEstimator consults the store on

@@ -159,9 +159,22 @@ class Evaluator {
   /// service requests record through their shared snapshot store.
   void set_feedback(EstimateFeedbackStore* feedback) { feedback_ = feedback; }
 
+  /// Wires the materialized-view catalog (DESIGN.md §14). Opt-in like the
+  /// feedback store, null disables (the default). With a resolver set, the
+  /// planner substitutes kViewScan nodes for components whose signature
+  /// resolves, and ExecDedup offers every freshly deduplicated component
+  /// result to the resolver for opportunistic admission. The pointee must
+  /// outlive the evaluator and be thread-safe (offers arrive from worker
+  /// threads when components execute in parallel).
+  void set_views(ViewResolver* views) { views_ = views; }
+
   /// A planner over this evaluator's estimator and profile — the plans it
   /// builds are exactly the plans Evaluate* executes.
-  Planner planner() const { return Planner(&estimator(), profile_); }
+  Planner planner() const {
+    Planner p(&estimator(), profile_);
+    p.set_view_resolver(views_);
+    return p;
+  }
 
   const CardinalityEstimator& estimator() const {
     return external_estimator_ != nullptr ? *external_estimator_
@@ -238,6 +251,10 @@ class Evaluator {
   Result<RelHandle> ExecUnionAll(PlanNode* node, Exec* exec) const;
   Result<RelHandle> ExecProject(PlanNode* node, Exec* exec) const;
   Result<RelHandle> ExecDedup(PlanNode* node, Exec* exec) const;
+  /// Reads the materialized view rows pinned in the node, re-labelled with
+  /// the node's out_columns (the stored relation carries the populating
+  /// query's VarIds; arity and column order match by signature).
+  Result<RelHandle> ExecViewScan(PlanNode* node, Exec* exec) const;
   Result<RelHandle> ExecMaterialize(PlanNode* node, Exec* exec) const;
   /// Borrows the already-materialized shared result this node references.
   /// Charges nothing: the shared subplan's scan work and counters were
@@ -262,6 +279,7 @@ class Evaluator {
   const CardinalityEstimator* external_estimator_;
   std::optional<CardinalityEstimator> owned_estimator_;
   EstimateFeedbackStore* feedback_ = nullptr;
+  ViewResolver* views_ = nullptr;
   /// shared_ptr keeps the evaluator copyable (copies share the pool, which
   /// is safe: pools are stateless between batches).
   mutable std::shared_ptr<WorkerPool> pool_;

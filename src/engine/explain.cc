@@ -22,6 +22,14 @@ std::string FormatRows(double rows) {
   return buf;
 }
 
+/// View signatures key full UCQ fragments and can run to kilobytes; EXPLAIN
+/// shows a prefix long enough to identify the fragment by eye.
+std::string AbbreviatedSignature(const std::string& signature) {
+  constexpr size_t kMaxShown = 48;
+  if (signature.size() <= kMaxShown) return signature;
+  return signature.substr(0, kMaxShown) + "...";
+}
+
 /// One JUCQ component as found in the plan tree, in execution order.
 struct ComponentRef {
   const PlanNode* dedup = nullptr;  // kDedup with component >= 0.
@@ -162,7 +170,8 @@ class PlanPrinter {
   }
 
   /// One component: its UNION header, sampled term chains, over-limit flag.
-  /// `dedup` is the component root (kDedup over kUnionAll).
+  /// `dedup` is the component root (kDedup over kUnionAll, or over kViewScan
+  /// when the planner substituted a materialized view for the union).
   void RenderComponent(const PlanNode* dedup, bool materialized) {
     const PlanNode* u = dedup->children[0].get();
     out_ += "  ";
@@ -177,6 +186,13 @@ class PlanPrinter {
     }
     if (plan_.num_components > 1) {
       out_ += materialized ? " [materialized]" : " [pipelined]";
+    }
+    if (u->kind == PlanNodeKind::kViewScan) {
+      // The union was replaced by a materialized-view read: no term chains
+      // to show, just the signature that keyed the substitution.
+      out_ += " [view: " + AbbreviatedSignature(u->view_signature) + "]" +
+              NodeSuffix(*u) + "\n";
+      return;
     }
     if (u->over_limit) {
       out_ += "  ** exceeds the plan limit of " +
@@ -257,6 +273,12 @@ class PlanPrinter {
       case PlanNodeKind::kProject:
         // An atom-less disjunct: one constant (true) row.
         out_ += "      const  [1 row]" + NodeSuffix(*node) + "\n";
+        break;
+      case PlanNodeKind::kViewScan:
+        out_ += "      view   [" +
+                AbbreviatedSignature(node->view_signature) + ", ~" +
+                FormatRows(node->est_rows) + " rows]" + NodeSuffix(*node) +
+                "\n";
         break;
       default:
         out_ += "      " + std::string(PlanNodeKindName(node->kind)) +

@@ -12,6 +12,7 @@
 #include "cost/range_collapse.h"
 #include "engine/engine_profile.h"
 #include "engine/plan.h"
+#include "engine/view_resolver.h"
 #include "sparql/query.h"
 
 namespace rdfopt {
@@ -82,6 +83,15 @@ class Planner {
   const CardinalityEstimator& estimator() const { return *estimator_; }
   const EngineProfile& profile() const { return *profile_; }
 
+  /// Wires the materialized-view catalog (DESIGN.md §14); null disables.
+  /// With a resolver set, every executable component the planner builds is
+  /// announced to it, and components whose ViewSignature resolves to
+  /// materialized rows have their union subtree replaced by a kViewScan
+  /// node. The view node inherits the replaced subtree's estimates, so
+  /// join order, pipelining, feasibility and cover pricing are identical
+  /// with views on or off — substitution accelerates execution only.
+  void set_view_resolver(ViewResolver* views) { views_ = views; }
+
  private:
   /// Identity of a triple pattern (term kinds + variable ids / constant
   /// values per position) — the key of the union-subplan factoring pass:
@@ -121,11 +131,22 @@ class Planner {
   /// never index-probed).
   std::unique_ptr<PlanNode> BuildRangeChain(const ConjunctiveQuery& cq,
                                             const CollapsedRange& range) const;
+  /// View-catalog tail of BuildComponent: announces the component to the
+  /// resolver and, on a catalog hit, swaps the dedup root's union subtree
+  /// for a kViewScan carrying the subtree's own estimates. `shared_base` is
+  /// shared_out's size before this component was built — substitution
+  /// truncates back to it, dropping subplans only the replaced chains
+  /// referenced. No-op without a resolver.
+  std::unique_ptr<PlanNode> FinishComponent(
+      std::unique_ptr<PlanNode> dedup, const UnionQuery& ucq,
+      std::vector<std::unique_ptr<PlanNode>>* shared_out,
+      size_t shared_base) const;
   /// Preorder ids + node count + plan-level aggregates.
   void Finalize(PhysicalPlan* plan) const;
 
   const CardinalityEstimator* estimator_;
   const EngineProfile* profile_;
+  ViewResolver* views_ = nullptr;
 };
 
 }  // namespace rdfopt

@@ -202,6 +202,16 @@ class QueryAnswerer {
     evaluator_.set_feedback(feedback);
   }
 
+  /// Wires the materialized-view resolver (DESIGN.md §14) into the final
+  /// plan build and execution: planned components are announced to (and
+  /// substituted from) the catalog, and freshly computed component results
+  /// are offered back. Opt-in like EnableFeedback — disabled, answering
+  /// never touches views, which the paper benches and golden plans rely on.
+  /// The cover-search oracle prices fragments with its own resolver-free
+  /// planner, so cover choice is identical with views on or off. Null
+  /// disables. The pointee must outlive the answerer.
+  void EnableViews(ViewResolver* views) { evaluator_.set_views(views); }
+
   const Evaluator& evaluator() const { return evaluator_; }
   const Reformulator& reformulator() const { return reformulator_; }
   const CardinalityEstimator& estimator() const { return estimator_; }

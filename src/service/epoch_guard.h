@@ -1,0 +1,31 @@
+#ifndef RDFOPT_SERVICE_EPOCH_GUARD_H_
+#define RDFOPT_SERVICE_EPOCH_GUARD_H_
+
+#include "storage/epoch.h"
+
+namespace rdfopt {
+
+/// The shared stale-write rule of every epoch-keyed derived-artifact store
+/// (the query plan cache and the materialized-view catalog).
+///
+/// The race it guards: a request pins the snapshot of epoch N at admission;
+/// an update installs epoch N+1 while the request is still planning or
+/// executing; the request finishes and tries to publish its derived artifact
+/// (a plan, a materialized fragment result). The artifact was computed from
+/// epoch-N data, so publishing it into a store that now answers for epoch
+/// N+1 would serve stale results — the classic off-by-one epoch race.
+///
+/// The rule is exact equality of the stamp and the store's current epoch:
+/// `stamped < current` is the race above, and `stamped > current` means the
+/// writer saw a snapshot the store has not adopted yet (possible during an
+/// install, when the epoch counter advances before the new snapshot/catalog
+/// state is published) — admitting that would be stale the other way around.
+/// QueryPlanCache::Put and ViewCatalog::Offer both funnel through this one
+/// predicate so their rejection semantics cannot drift apart.
+inline bool EpochWriteAdmissible(Epoch stamped, Epoch current) {
+  return stamped == current;
+}
+
+}  // namespace rdfopt
+
+#endif  // RDFOPT_SERVICE_EPOCH_GUARD_H_

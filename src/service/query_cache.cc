@@ -1,5 +1,7 @@
 #include "service/query_cache.h"
 
+#include "service/epoch_guard.h"
+
 namespace rdfopt {
 
 namespace {
@@ -47,7 +49,7 @@ size_t QueryPlanCache::Put(const std::string& key,
                            std::shared_ptr<const CachedPlanEntry> entry,
                            Epoch current_epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (entry->epoch != current_epoch) {
+  if (!EpochWriteAdmissible(entry->epoch, current_epoch)) {
     ++stale_puts_;
     return 0;
   }

@@ -81,7 +81,11 @@ QueryService::QueryService(Graph* graph, const EngineProfile& profile,
       admission_(options_.max_concurrent, options_.max_queue),
       slow_log_(SlowQueryLog::Options{options_.slow_query_ms,
                                       options_.slow_log_capacity,
-                                      options_.slow_log_sample}) {
+                                      options_.slow_log_sample}),
+      views_(ViewCatalogOptions{options_.view_bytes,
+                                ViewCatalogOptions{}.max_ledger_entries}),
+      view_advisor_(ViewAdvisorOptions{options_.view_pin_limit,
+                                       options_.view_min_observations}) {
   std::lock_guard<std::mutex> lock(graph_mu_);
   InstallSnapshot(BuildSnapshotLocked(epoch_.Current()));
   Metrics().epoch->Set(static_cast<int64_t>(epoch_.Current()));
@@ -154,8 +158,13 @@ Status QueryService::ApplyUpdate(const std::vector<Triple>& additions) {
   Metrics().epoch->Set(static_cast<int64_t>(epoch));
   if (graph_->num_schema_triples() != schema_before) {
     // Schema changed: closures, saturation and every derived artifact must
-    // be recomputed from scratch.
-    InstallSnapshot(BuildSnapshotLocked(epoch));
+    // be recomputed from scratch — including pinned views, whose
+    // carry-forward test only covers data deltas.
+    std::shared_ptr<const Snapshot> next = BuildSnapshotLocked(epoch);
+    InstallSnapshot(next);
+    if (options_.enable_views) {
+      MaintainViews(next, data_delta, /*delta_is_complete=*/false);
+    }
     return Status::OK();
   }
   // Data-only delta: merge the sorted indexes and reason over the delta
@@ -174,9 +183,13 @@ Status QueryService::ApplyUpdate(const std::vector<Triple>& additions) {
                           graph_->vocab())
           .store;
   Statistics stats = Statistics::Compute(data);
-  InstallSnapshot(std::make_shared<Snapshot>(
+  std::shared_ptr<const Snapshot> next = std::make_shared<Snapshot>(
       epoch, std::move(data), std::move(saturated), std::move(stats),
-      ReplaySchemaLocked(), options_.enable_feedback));
+      ReplaySchemaLocked(), options_.enable_feedback);
+  InstallSnapshot(next);
+  if (options_.enable_views) {
+    MaintainViews(next, data_delta, /*delta_is_complete=*/true);
+  }
   return Status::OK();
 }
 
@@ -185,7 +198,36 @@ void QueryService::Refresh() {
   const Epoch epoch = epoch_.Advance();
   Metrics().epoch_bumps->Increment();
   Metrics().epoch->Set(static_cast<int64_t>(epoch));
-  InstallSnapshot(BuildSnapshotLocked(epoch));
+  std::shared_ptr<const Snapshot> next = BuildSnapshotLocked(epoch);
+  InstallSnapshot(next);
+  if (options_.enable_views) {
+    // Out-of-band graph change: no delta to reason about, refresh wholesale.
+    MaintainViews(next, {}, /*delta_is_complete=*/false);
+  }
+}
+
+void QueryService::MaintainViews(
+    const std::shared_ptr<const Snapshot>& snapshot,
+    const std::vector<Triple>& data_delta, bool delta_is_complete) {
+  std::vector<ViewCatalog::RefreshTask> tasks =
+      views_.BeginEpoch(snapshot->epoch, data_delta, delta_is_complete);
+  for (ViewCatalog::RefreshTask& task : tasks) {
+    // Deliberately no resolver on this evaluator: re-materialization must
+    // compute from base data, never substitute the rows being replaced.
+    Evaluator evaluator(&snapshot->data, &profile_, &snapshot->estimator);
+    PhysicalPlan plan = evaluator.planner().PlanUCQ(task.definition);
+    if (!plan.feasibility.ok()) {
+      views_.Drop(task.signature);
+      continue;
+    }
+    EvalMetrics eval;
+    Result<Relation> rows = evaluator.ExecutePlan(&plan, &eval);
+    if (!rows.ok()) {
+      views_.Drop(task.signature);
+      continue;
+    }
+    views_.InstallPinned(task.signature, rows.TakeValue(), snapshot->epoch);
+  }
 }
 
 Result<ServiceOutcome> QueryService::AnswerText(std::string_view text,
@@ -311,6 +353,14 @@ Result<ServiceOutcome> QueryService::Answer(const Query& query,
     rec.nodes = outcome.node_stats;
     slow_log_.MaybeRecord(rec);
   }
+  // The advisor piggybacks on the query stream: every Nth answered query
+  // triggers one scoring pass over the catalog's ledger (no extra threads).
+  if (options_.enable_views && options_.view_advisor_interval > 0 &&
+      (advisor_tick_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              options_.view_advisor_interval ==
+          0) {
+    view_advisor_.RunPass(&views_);
+  }
   return outcome;
 }
 
@@ -320,6 +370,13 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
     const EngineProfile& request_profile) {
   ServiceOutcome outcome;
   outcome.epoch = snapshot->epoch;
+
+  // Views are resolved through a per-request adapter pinning the snapshot's
+  // epoch, so a request that races an update can neither read rows from
+  // another epoch nor publish its results into one (epoch_guard.h).
+  EpochViewResolver view_resolver(&views_, snapshot->epoch);
+  const bool use_views = options_.enable_views &&
+                         options_.answer.strategy != Strategy::kSaturation;
 
   // Saturation answering builds no reusable physical plan, so it bypasses
   // the cache entirely.
@@ -352,6 +409,9 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
     // Cache hits keep feeding the feedback loop: their actuals refresh the
     // fragment EWMAs even though no planning happens on this path.
     if (options_.enable_feedback) evaluator.set_feedback(&snapshot->feedback);
+    // Cached plans still carry harvest stamps (and possibly view scans
+    // pinned at plan time), so hits keep offering fragment results too.
+    if (use_views) evaluator.set_views(&view_resolver);
     TraceSpan exec_span("service.execute");
     RDFOPT_ASSIGN_OR_RETURN(outcome.answers,
                             evaluator.ExecutePlan(&plan, &outcome.eval));
@@ -372,6 +432,7 @@ Result<ServiceOutcome> QueryService::AnswerOnSnapshot(
                          &snapshot->schema, &graph_->vocab(), &snapshot->stats,
                          &request_profile);
   if (options_.enable_feedback) answerer.EnableFeedback(&snapshot->feedback);
+  if (use_views) answerer.EnableViews(&view_resolver);
   AnswerOptions answer_options = options_.answer;
   // The slow-query log wants per-node timings even when caching is off.
   answer_options.keep_plan = use_cache || options_.enable_slow_log;
@@ -418,6 +479,7 @@ QueryService::Stats QueryService::stats() const {
   s.epoch = epoch_.Current();
   s.cache = cache_.stats();
   s.admission = admission_.stats();
+  s.views = views_.stats();
   return s;
 }
 

@@ -1,6 +1,7 @@
 #ifndef RDFOPT_SERVICE_QUERY_SERVICE_H_
 #define RDFOPT_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,6 +19,8 @@
 #include "service/query_cache.h"
 #include "service/slow_log.h"
 #include "storage/epoch.h"
+#include "views/view_advisor.h"
+#include "views/view_catalog.h"
 
 namespace rdfopt {
 
@@ -49,6 +52,21 @@ struct ServiceOptions {
   double slow_query_ms = 100.0;
   size_t slow_log_capacity = 128;
   size_t slow_log_sample = 1;
+  /// Materialized fragment views (DESIGN.md §14, views/view_catalog.h):
+  /// component results are cached by ViewSignature and substituted into
+  /// later plans, with a log-mining advisor pinning the hottest fragments.
+  /// Off by default — views change nothing about planning decisions, but
+  /// the paper-reproduction surfaces stay byte-for-byte history-free.
+  bool enable_views = false;
+  /// Byte budget of materialized view rows (pinned + unpinned).
+  size_t view_bytes = 16ull << 20;
+  /// Run an advisor scoring pass every this many queries; 0 disables the
+  /// advisor (views stay purely opportunistic/LRU).
+  size_t view_advisor_interval = 64;
+  /// Advisor knobs: most views pinned at once, and how often a fragment
+  /// must have been planned before pinning (see view_advisor.h).
+  size_t view_pin_limit = 8;
+  uint64_t view_min_observations = 3;
 };
 
 /// Per-request overrides.
@@ -157,6 +175,7 @@ class QueryService {
     Epoch epoch = 0;
     QueryPlanCache::Stats cache;
     AdmissionController::Stats admission;
+    ViewCatalogStats views;
   };
   Stats stats() const;
 
@@ -172,6 +191,12 @@ class QueryService {
 
   /// Entries currently in the active snapshot's estimate-feedback store.
   size_t feedback_entries() const { return CurrentSnapshot()->feedback.size(); }
+
+  /// The materialized-view catalog (always present; only consulted by the
+  /// answering paths when enable_views is set). Shell `.views` and the
+  /// server's `!views` read it; tests drive it directly.
+  ViewCatalog* views() { return &views_; }
+  const ViewCatalog* views() const { return &views_; }
 
  private:
   /// One immutable database state: everything the answering pipeline reads.
@@ -219,6 +244,16 @@ class QueryService {
       const std::shared_ptr<const Snapshot>& snapshot,
       const EngineProfile& request_profile);
 
+  /// View maintenance at an epoch change (DESIGN.md §14): advances the
+  /// catalog to `snapshot`'s epoch, handing it the data delta for the
+  /// carry-forward test (`delta_is_complete` false on schema epochs, which
+  /// forces a wholesale refresh), then re-materializes the returned pinned
+  /// views against `snapshot` — with no resolver wired, so a refresh can
+  /// never substitute the stale rows it is replacing.
+  void MaintainViews(const std::shared_ptr<const Snapshot>& snapshot,
+                     const std::vector<Triple>& data_delta,
+                     bool delta_is_complete);
+
   Graph* const graph_;
   const EngineProfile profile_;
   const ServiceOptions options_;
@@ -227,6 +262,10 @@ class QueryService {
   QueryPlanCache cache_;
   AdmissionController admission_;
   SlowQueryLog slow_log_;
+  ViewCatalog views_;
+  ViewAdvisor view_advisor_;
+  /// Queries answered since the last advisor pass (view_advisor_interval).
+  std::atomic<uint64_t> advisor_tick_{0};
 
   /// Serializes dictionary/graph mutation (query parsing interns constants,
   /// updates append triples) and dictionary reads (DecodeRow).

@@ -1,0 +1,55 @@
+#include "views/view_advisor.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rdfopt {
+
+ViewAdvisor::ViewAdvisor(ViewAdvisorOptions options) : options_(options) {}
+
+double ViewAdvisor::Score(const ViewInfo& info) {
+  return static_cast<double>(info.observations) * info.est_cost /
+         static_cast<double>(info.bytes + 1);
+}
+
+ViewAdvisor::PassResult ViewAdvisor::RunPass(ViewCatalog* catalog) const {
+  PassResult result;
+  std::vector<ViewInfo> entries = catalog->Entries();
+
+  // Candidates: resident fragments clearing the observation floor, best
+  // score first (signature-ordered input makes ties deterministic).
+  std::vector<const ViewInfo*> candidates;
+  for (const ViewInfo& info : entries) {
+    if (!info.resident) continue;
+    ++result.considered;
+    if (info.observations < options_.min_observations) continue;
+    candidates.push_back(&info);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const ViewInfo* a, const ViewInfo* b) {
+                     return Score(*a) > Score(*b);
+                   });
+  if (candidates.size() > options_.pin_limit) {
+    candidates.resize(options_.pin_limit);
+  }
+
+  for (const ViewInfo& info : entries) {
+    const bool should_pin =
+        std::find_if(candidates.begin(), candidates.end(),
+                     [&](const ViewInfo* c) {
+                       return c->signature == info.signature;
+                     }) != candidates.end();
+    if (should_pin == info.pinned) continue;
+    // SetPinned can miss if the entry was dropped since Entries(); such a
+    // lost decision simply waits for the next pass.
+    if (!catalog->SetPinned(info.signature, should_pin)) continue;
+    if (should_pin) {
+      ++result.promoted;
+    } else {
+      ++result.demoted;
+    }
+  }
+  return result;
+}
+
+}  // namespace rdfopt

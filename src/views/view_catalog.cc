@@ -1,0 +1,390 @@
+#include "views/view_catalog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "service/epoch_guard.h"
+
+namespace rdfopt {
+
+namespace {
+
+/// Registry twins of the catalog's counters, exported under `views.*` for
+/// `!prom` / ci/prom_smoke.sh. Cached pointers, per the metrics contract.
+struct ViewMetrics {
+  MetricCounter* lookups;
+  MetricCounter* hits;
+  MetricCounter* misses;
+  MetricCounter* offers;
+  MetricCounter* admitted;
+  MetricCounter* rejected;
+  MetricCounter* stale_offers;
+  MetricCounter* evictions;
+  MetricCounter* invalidations;
+  MetricCounter* carry_forwards;
+  MetricCounter* refreshes;
+  MetricCounter* promotions;
+  MetricCounter* demotions;
+  MetricGauge* bytes;
+  MetricGauge* entries;
+  MetricGauge* resident;
+  MetricGauge* pinned;
+};
+
+ViewMetrics& Metrics() {
+  static ViewMetrics m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    ViewMetrics out;
+    out.lookups = r.GetCounter("views.lookups");
+    out.hits = r.GetCounter("views.hits");
+    out.misses = r.GetCounter("views.misses");
+    out.offers = r.GetCounter("views.offers");
+    out.admitted = r.GetCounter("views.admitted");
+    out.rejected = r.GetCounter("views.rejected");
+    out.stale_offers = r.GetCounter("views.stale_offers");
+    out.evictions = r.GetCounter("views.evictions");
+    out.invalidations = r.GetCounter("views.invalidations");
+    out.carry_forwards = r.GetCounter("views.carry_forwards");
+    out.refreshes = r.GetCounter("views.refreshes");
+    out.promotions = r.GetCounter("views.promotions");
+    out.demotions = r.GetCounter("views.demotions");
+    out.bytes = r.GetGauge("views.bytes");
+    out.entries = r.GetGauge("views.entries");
+    out.resident = r.GetGauge("views.resident");
+    out.pinned = r.GetGauge("views.pinned");
+    return out;
+  }();
+  return m;
+}
+
+/// Does `t` match the (possibly variable-positioned) pattern `atom`?
+bool AtomMatchesTriple(const TriplePattern& atom, const Triple& t) {
+  return (atom.s.is_var() || atom.s.value() == t.s) &&
+         (atom.p.is_var() || atom.p.value() == t.p) &&
+         (atom.o.is_var() || atom.o.value() == t.o);
+}
+
+/// True iff some delta triple matches some atom of `definition` — the sound
+/// (conservative) carry-forward test: the view evaluates against the data
+/// store, so a delta matching none of its atom patterns cannot change any
+/// disjunct's result.
+bool DeltaTouches(const UnionQuery& definition,
+                  const std::vector<Triple>& delta) {
+  for (const ConjunctiveQuery& disjunct : definition.disjuncts) {
+    for (const TriplePattern& atom : disjunct.atoms) {
+      for (const Triple& t : delta) {
+        if (AtomMatchesTriple(atom, t)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t MaterializedBytes(const std::string& signature, const Relation& rows) {
+  return rows.num_cells() * sizeof(ValueId) + signature.size() +
+         sizeof(Relation);
+}
+
+}  // namespace
+
+ViewCatalog::ViewCatalog(ViewCatalogOptions options) : options_(options) {
+  Metrics();  // Register the views.* instruments eagerly for `!prom`.
+}
+
+void ViewCatalog::NoteComponent(const std::string& signature,
+                                const UnionQuery& ucq, double est_cost,
+                                size_t union_terms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = ledger_.try_emplace(signature);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.definition = ucq;  // Deep copy: the planner's UCQ is transient.
+    entry.union_terms = union_terms;
+  }
+  // Estimates drift as statistics and feedback evolve; score on the latest.
+  entry.est_cost = est_cost;
+  ++entry.observations;
+  entry.last_note_seq = ++note_seq_;
+  if (inserted) BoundLedgerLocked();
+  ExportGaugesLocked();
+}
+
+std::shared_ptr<const Relation> ViewCatalog::Lookup(
+    const std::string& signature, Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.lookups;
+  Metrics().lookups->Increment();
+  auto it = ledger_.find(signature);
+  if (it == ledger_.end() || it->second.rows == nullptr ||
+      it->second.epoch != epoch) {
+    ++counters_.misses;
+    Metrics().misses->Increment();
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  ++counters_.hits;
+  Metrics().hits->Increment();
+  ++entry.hits;
+  if (!entry.pinned) lru_.splice(lru_.begin(), lru_, entry.lru_it);
+  return entry.rows;
+}
+
+void ViewCatalog::Offer(const std::string& signature, const Relation& rows,
+                        Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.offers;
+  Metrics().offers->Increment();
+  auto it = ledger_.find(signature);
+  if (it == ledger_.end()) {
+    // Never announced by the planner (e.g. the ledger bound evicted the
+    // observation between planning and execution): nothing to attach to.
+    ++counters_.rejected;
+    Metrics().rejected->Increment();
+    return;
+  }
+  Entry& entry = it->second;
+  if (!EpochWriteAdmissible(epoch, epoch_)) {
+    // The off-by-one race: this result was computed on a snapshot the
+    // catalog has already moved past (or has not adopted yet).
+    ++counters_.stale_offers;
+    Metrics().stale_offers->Increment();
+    return;
+  }
+  if (entry.rows != nullptr && entry.epoch == epoch) return;  // Duplicate.
+  const size_t bytes = MaterializedBytes(signature, rows);
+  if (rows.arity() == 0 || bytes > options_.byte_budget) {
+    // Zero-arity (boolean) fragments are not worth a catalog slot; oversized
+    // results would evict everything else for one entry.
+    ++counters_.rejected;
+    Metrics().rejected->Increment();
+    return;
+  }
+  if (entry.rows != nullptr) DropRowsLocked(&entry, &counters_.evictions);
+  if (!MakeRoomLocked(bytes)) {
+    ++counters_.rejected;
+    Metrics().rejected->Increment();
+    ExportGaugesLocked();
+    return;
+  }
+  AdmitLocked(signature, &entry,
+              std::make_shared<const Relation>(rows.Copy()), bytes, epoch);
+  ExportGaugesLocked();
+}
+
+std::vector<ViewCatalog::RefreshTask> ViewCatalog::BeginEpoch(
+    Epoch new_epoch, const std::vector<Triple>& delta,
+    bool delta_is_complete) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = new_epoch;
+  std::vector<RefreshTask> tasks;
+  for (auto& [signature, entry] : ledger_) {
+    if (!entry.pinned) {
+      // Unpinned materializations are opportunistic: their epoch stamp makes
+      // them unreachable under the new epoch, so reclaim the budget eagerly.
+      if (entry.rows != nullptr) {
+        DropRowsLocked(&entry, &counters_.invalidations);
+      }
+      continue;
+    }
+    if (entry.rows != nullptr && delta_is_complete &&
+        !DeltaTouches(entry.definition, delta)) {
+      // Data-only epoch that provably leaves this view unchanged: adopt the
+      // rows under the new epoch without touching them.
+      entry.epoch = new_epoch;
+      ++counters_.carry_forwards;
+      Metrics().carry_forwards->Increment();
+      continue;
+    }
+    if (entry.rows != nullptr) {
+      DropRowsLocked(&entry, &counters_.invalidations);
+    }
+    tasks.push_back(RefreshTask{signature, entry.definition});
+  }
+  // Sorted so maintenance (and its metrics) is deterministic across runs.
+  std::sort(tasks.begin(), tasks.end(),
+            [](const RefreshTask& a, const RefreshTask& b) {
+              return a.signature < b.signature;
+            });
+  ExportGaugesLocked();
+  return tasks;
+}
+
+void ViewCatalog::InstallPinned(const std::string& signature, Relation rows,
+                                Epoch epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledger_.find(signature);
+  if (it == ledger_.end()) return;  // Dropped while re-materializing.
+  Entry& entry = it->second;
+  if (!EpochWriteAdmissible(epoch, epoch_)) {
+    // Another update raced the refresh; its own BeginEpoch re-issued the
+    // task, so this stale result is simply discarded.
+    ++counters_.stale_offers;
+    Metrics().stale_offers->Increment();
+    return;
+  }
+  const size_t bytes = MaterializedBytes(signature, rows);
+  if (rows.arity() == 0 || bytes > options_.byte_budget) {
+    ++counters_.rejected;
+    Metrics().rejected->Increment();
+    return;
+  }
+  if (entry.rows != nullptr) DropRowsLocked(&entry, &counters_.evictions);
+  if (!MakeRoomLocked(bytes)) {
+    // Pinned residue alone exceeds the budget: leave the view non-resident;
+    // the next advisor pass will rebalance the pin set.
+    ++counters_.rejected;
+    Metrics().rejected->Increment();
+    ExportGaugesLocked();
+    return;
+  }
+  AdmitLocked(signature, &entry,
+              std::make_shared<const Relation>(std::move(rows)), bytes, epoch);
+  ++counters_.refreshes;
+  Metrics().refreshes->Increment();
+  ExportGaugesLocked();
+}
+
+void ViewCatalog::Drop(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledger_.find(signature);
+  if (it == ledger_.end()) return;
+  if (it->second.rows != nullptr) {
+    DropRowsLocked(&it->second, &counters_.evictions);
+  }
+  ledger_.erase(it);
+  ExportGaugesLocked();
+}
+
+bool ViewCatalog::SetPinned(const std::string& signature, bool pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledger_.find(signature);
+  if (it == ledger_.end()) return false;
+  Entry& entry = it->second;
+  if (entry.pinned == pinned) return true;
+  if (pinned) {
+    if (entry.rows != nullptr) lru_.erase(entry.lru_it);
+    ++counters_.promotions;
+    Metrics().promotions->Increment();
+  } else {
+    if (entry.rows != nullptr) {
+      lru_.push_front(signature);
+      entry.lru_it = lru_.begin();
+    }
+    ++counters_.demotions;
+    Metrics().demotions->Increment();
+  }
+  entry.pinned = pinned;
+  ExportGaugesLocked();
+  return true;
+}
+
+std::vector<ViewInfo> ViewCatalog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ViewInfo> out;
+  out.reserve(ledger_.size());
+  for (const auto& [signature, entry] : ledger_) {
+    ViewInfo info;
+    info.signature = signature;
+    info.pinned = entry.pinned;
+    info.resident = entry.rows != nullptr;
+    info.epoch = entry.epoch;
+    info.bytes = entry.bytes;
+    info.rows = entry.rows != nullptr ? entry.rows->num_rows() : 0;
+    info.observations = entry.observations;
+    info.hits = entry.hits;
+    info.est_cost = entry.est_cost;
+    info.union_terms = entry.union_terms;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(), [](const ViewInfo& a, const ViewInfo& b) {
+    return a.signature < b.signature;
+  });
+  return out;
+}
+
+ViewCatalogStats ViewCatalog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViewCatalogStats s = counters_;
+  s.bytes = bytes_;
+  s.entries = ledger_.size();
+  s.resident = 0;
+  s.pinned = 0;
+  for (const auto& [signature, entry] : ledger_) {
+    if (entry.rows != nullptr) ++s.resident;
+    if (entry.pinned) ++s.pinned;
+  }
+  return s;
+}
+
+Epoch ViewCatalog::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+void ViewCatalog::DropRowsLocked(Entry* entry, uint64_t* counter) {
+  if (!entry->pinned) lru_.erase(entry->lru_it);
+  bytes_ -= entry->bytes;
+  entry->bytes = 0;
+  entry->rows.reset();
+  ++*counter;
+  if (counter == &counters_.evictions) {
+    Metrics().evictions->Increment();
+  } else {
+    Metrics().invalidations->Increment();
+  }
+}
+
+bool ViewCatalog::MakeRoomLocked(size_t needed) {
+  while (bytes_ + needed > options_.byte_budget && !lru_.empty()) {
+    auto it = ledger_.find(lru_.back());
+    DropRowsLocked(&it->second, &counters_.evictions);
+  }
+  return bytes_ + needed <= options_.byte_budget;
+}
+
+void ViewCatalog::AdmitLocked(const std::string& signature, Entry* entry,
+                              std::shared_ptr<const Relation> rows,
+                              size_t bytes, Epoch epoch) {
+  entry->rows = std::move(rows);
+  entry->epoch = epoch;
+  entry->bytes = bytes;
+  bytes_ += bytes;
+  if (!entry->pinned) {
+    lru_.push_front(signature);
+    entry->lru_it = lru_.begin();
+  }
+  ++counters_.admitted;
+  Metrics().admitted->Increment();
+}
+
+void ViewCatalog::BoundLedgerLocked() {
+  if (ledger_.size() <= options_.max_ledger_entries) return;
+  // Evict the coldest observation that holds no rows and no pin; if every
+  // entry is resident or pinned the ledger may overflow (the byte budget
+  // bounds those).
+  auto victim = ledger_.end();
+  for (auto it = ledger_.begin(); it != ledger_.end(); ++it) {
+    if (it->second.rows != nullptr || it->second.pinned) continue;
+    if (victim == ledger_.end() ||
+        it->second.last_note_seq < victim->second.last_note_seq) {
+      victim = it;
+    }
+  }
+  if (victim != ledger_.end()) ledger_.erase(victim);
+}
+
+void ViewCatalog::ExportGaugesLocked() {
+  size_t resident = 0;
+  size_t pinned = 0;
+  for (const auto& [signature, entry] : ledger_) {
+    if (entry.rows != nullptr) ++resident;
+    if (entry.pinned) ++pinned;
+  }
+  Metrics().bytes->Set(static_cast<int64_t>(bytes_));
+  Metrics().entries->Set(static_cast<int64_t>(ledger_.size()));
+  Metrics().resident->Set(static_cast<int64_t>(resident));
+  Metrics().pinned->Set(static_cast<int64_t>(pinned));
+}
+
+}  // namespace rdfopt

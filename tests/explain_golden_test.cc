@@ -9,13 +9,16 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 
 #include <gtest/gtest.h>
 
 #include "engine/evaluator.h"
 #include "engine/explain.h"
+#include "engine/view_resolver.h"
 #include "optimizer/answering.h"
 #include "reformulation/reformulator.h"
 #include "sparql/parser.h"
@@ -134,6 +137,40 @@ TEST_F(ExplainGoldenTest, MotivatingQ1BatchEngineSharedExplainAndAnalyze) {
   analyze.analyze_timing = false;
   CheckGolden("lubm_q1_batch_shared_explain_analyze.txt",
               ExplainPlan(plan, q.vars, graph_->dict(), analyze));
+}
+
+/// Remembers every offered fragment result and serves it back, so the second
+/// planning of the same query substitutes kViewScan nodes (DESIGN.md §14).
+class GoldenViewResolver : public ViewResolver {
+ public:
+  void NoteComponent(const std::string&, const UnionQuery&, double,
+                     size_t) override {}
+  std::shared_ptr<const Relation> Lookup(
+      const std::string& signature) override {
+    auto it = store_.find(signature);
+    return it == store_.end() ? nullptr : it->second;
+  }
+  void Offer(const std::string& signature, const Relation& rows) override {
+    store_[signature] = std::make_shared<const Relation>(rows.Copy());
+  }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Relation>> store_;
+};
+
+TEST_F(ExplainGoldenTest, MotivatingQ1ViewSubstitutedExplain) {
+  // Q1 answered twice through a view resolver: the first pass harvests each
+  // component's deduplicated result, the second substitutes them, so every
+  // component renders as a materialized-view read ("[view: <sig>]") instead
+  // of its union term chains — the user-facing face of plan substitution.
+  GoldenViewResolver views;
+  answerer_->EnableViews(&views);
+  (void)MustAnswerScq(LubmMotivatingQ1().text);
+  AnswerOutcome o = MustAnswerScq(LubmMotivatingQ1().text);
+  answerer_->EnableViews(nullptr);
+  ASSERT_TRUE(o.plan.has_value());
+  CheckGolden("lubm_q1_scq_view_explain.txt",
+              ExplainPlan(*o.plan, *o.jucq_vars, graph_->dict()));
 }
 
 TEST_F(ExplainGoldenTest, MotivatingQ2ExplainAndAnalyze) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -90,6 +91,26 @@ PlanNode* FindKind(PhysicalPlan* plan, PlanNodeKind kind) {
   return FindKind(plan->root.get(), kind);
 }
 
+/// Minimal in-test view resolver: remembers every offered fragment result
+/// and serves it back on Lookup, so the second plan of the same UCQ carries
+/// a kViewScan.
+class StubViewResolver : public ViewResolver {
+ public:
+  void NoteComponent(const std::string&, const UnionQuery&, double,
+                     size_t) override {}
+  std::shared_ptr<const Relation> Lookup(
+      const std::string& signature) override {
+    auto it = store_.find(signature);
+    return it == store_.end() ? nullptr : it->second;
+  }
+  void Offer(const std::string& signature, const Relation& rows) override {
+    store_[signature] = std::make_shared<const Relation>(rows.Copy());
+  }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Relation>> store_;
+};
+
 bool HasRule(const PlanVerifyResult& result, const std::string& rule) {
   for (const PlanViolation& v : result.violations) {
     if (v.rule == rule) return true;
@@ -140,6 +161,28 @@ class PlanVerifierTest : public ::testing::Test {
     EXPECT_FALSE(plan.shared_subplans.empty());
     PlanVerifyResult clean = VerifyPlan(plan, &Lubm().store,
                                         &Lubm().graph.dict());
+    EXPECT_TRUE(clean.ok()) << clean.ToString();
+    return plan;
+  }
+
+  /// A verified-clean plan whose Professor union is substituted by a
+  /// kViewScan: plan once to harvest the fragment into `resolver`, execute
+  /// to offer the rows, then plan again to substitute.
+  PhysicalPlan ViewScanUcqPlan(StubViewResolver* resolver) {
+    Query q = MustParse(LubmQuerySet()[1].text);
+    UnionQuery ucq = Reformulate(&q);
+    const EngineProfile profile = Fast();
+    Evaluator engine(&Lubm().store, &profile);
+    engine.set_views(resolver);
+    PhysicalPlan first = engine.planner().PlanUCQ(ucq);
+    EvalMetrics metrics;
+    Result<Relation> rows = engine.ExecutePlan(&first, &metrics);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    PhysicalPlan plan = engine.planner().PlanUCQ(ucq);
+    EXPECT_NE(FindKind(&plan, PlanNodeKind::kViewScan), nullptr)
+        << "second plan of the same UCQ did not substitute the view";
+    PlanVerifyResult clean =
+        VerifyPlan(plan, &Lubm().store, &Lubm().graph.dict());
     EXPECT_TRUE(clean.ok()) << clean.ToString();
     return plan;
   }
@@ -410,6 +453,53 @@ TEST_F(PlanVerifierTest, RejectsNonFiniteEstimates) {
   PhysicalPlan plan = ProfessorUcqPlan(Fast());
   plan.root->est_rows = std::nan("");
   ExpectRejected(plan, "estimates");
+}
+
+// --- kViewScan mutations (view-resolution / view-schema rules). ---
+
+TEST_F(PlanVerifierTest, ViewSubstitutedPlansVerifyClean) {
+  StubViewResolver resolver;
+  PhysicalPlan plan = ViewScanUcqPlan(&resolver);  // Verifies internally.
+  ASSERT_NE(FindKind(&plan, PlanNodeKind::kViewScan), nullptr);
+}
+
+TEST_F(PlanVerifierTest, RejectsViewScanWithoutPinnedRows) {
+  StubViewResolver resolver;
+  PhysicalPlan plan = ViewScanUcqPlan(&resolver);
+  PlanNode* view = FindKind(&plan, PlanNodeKind::kViewScan);
+  ASSERT_NE(view, nullptr);
+  view->view_rows.reset();  // Catalog eviction must not strand the plan.
+  ExpectRejected(plan, "view-resolution");
+}
+
+TEST_F(PlanVerifierTest, RejectsViewScanWithEmptySignature) {
+  StubViewResolver resolver;
+  PhysicalPlan plan = ViewScanUcqPlan(&resolver);
+  PlanNode* view = FindKind(&plan, PlanNodeKind::kViewScan);
+  ASSERT_NE(view, nullptr);
+  view->view_signature.clear();
+  ExpectRejected(plan, "view-resolution");
+}
+
+TEST_F(PlanVerifierTest, RejectsViewScanAritySkew) {
+  StubViewResolver resolver;
+  PhysicalPlan plan = ViewScanUcqPlan(&resolver);
+  PlanNode* view = FindKind(&plan, PlanNodeKind::kViewScan);
+  ASSERT_NE(view, nullptr);
+  ASSERT_FALSE(view->out_columns.empty());
+  // The catalog served rows of a different shape than the node announces.
+  view->view_rows = std::make_shared<const Relation>(
+      Relation{std::vector<VarId>{}});
+  ExpectRejected(plan, "view-schema");
+}
+
+TEST_F(PlanVerifierTest, RejectsViewScanStandingForZeroTerms) {
+  StubViewResolver resolver;
+  PhysicalPlan plan = ViewScanUcqPlan(&resolver);
+  PlanNode* view = FindKind(&plan, PlanNodeKind::kViewScan);
+  ASSERT_NE(view, nullptr);
+  view->union_terms = 0;
+  ExpectRejected(plan, "view-resolution");
 }
 
 // ---------------------------------------------------------------------------
